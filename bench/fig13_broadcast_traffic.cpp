@@ -1,0 +1,73 @@
+// Regenerates Fig 13 (Appendix D): throughput-latency evaluation with
+// broadcast-only traffic at 1GHz. Performance benefits exceed the mixed
+// case: the paper's point that broadcast-heavy coherence gains most.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "noc/experiment.hpp"
+#include "theory/mesh_limits.hpp"
+
+using namespace noc;
+using noc::Table;
+
+int main() {
+  const MeasureOptions opt{.warmup = 3000, .window = 12000};
+  NetworkConfig prop = NetworkConfig::proposed(4);
+  NetworkConfig base = NetworkConfig::baseline_3stage(4);
+  prop.traffic.pattern = base.traffic.pattern = TrafficPattern::BroadcastOnly;
+  prop.traffic.identical_prbs = base.traffic.identical_prbs = true;
+
+  std::printf("Fig 13: Throughput-latency with broadcast-only traffic at 1GHz\n\n");
+
+  std::vector<double> loads;
+  for (double f :
+       {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.78, 0.84, 0.9, 0.94})
+    loads.push_back(f / 16.0);  // broadcast ejection limit: R = 1/k^2
+
+  Table t("Average packet latency vs offered load (identical-PRBS NICs)");
+  t.set_columns({"Offered (flits/node/cyc)", "Received (Gb/s)",
+                 "Proposed lat (cyc)", "Baseline lat (cyc)", "Bypass rate"});
+  auto pc = sweep_curve(prop, loads, opt);
+  auto bc = sweep_curve(base, loads, opt);
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const bool base_sane = bc[i].avg_latency < 1500;
+    t.add_row({Table::fmt(loads[i], 4), Table::fmt(pc[i].recv_gbps, 0),
+               Table::fmt(pc[i].avg_latency, 1),
+               base_sane ? Table::fmt(bc[i].avg_latency, 1) : ">saturated",
+               Table::fmt(pc[i].bypass_rate, 2)});
+  }
+  t.print();
+
+  auto sp = find_saturation(prop, opt);
+  auto sb = find_saturation(base, opt);
+  const double limit_gbps = theory::aggregate_throughput_limit_gbps(4);
+
+  Table h("Fig 13 headline numbers");
+  h.set_columns({"Metric", "This repro", "Paper"});
+  h.add_row({"Theoretical latency limit (cycles)",
+             Table::fmt(theory::zero_load_latency_limit_broadcast(4), 2),
+             "7.5"});
+  h.add_row({"Zero-load latency, proposed (cycles)",
+             Table::fmt(sp.zero_load_latency, 2), "~13.8 (limit + 6.3)"});
+  h.add_row({"Zero-load latency, baseline (cycles)",
+             Table::fmt(sb.zero_load_latency, 2), "-"});
+  h.add_row({"Latency reduction",
+             Table::fmt_percent(1 - sp.zero_load_latency / sb.zero_load_latency),
+             "55.1%"});
+  h.add_row({"Saturation throughput, proposed (Gb/s)",
+             Table::fmt(sp.saturation_gbps, 0), "~932"});
+  h.add_row({"  ... fraction of 1024 Gb/s limit",
+             Table::fmt_percent(sp.saturation_gbps / limit_gbps), "91%"});
+  h.add_row({"Saturation throughput, baseline (Gb/s)",
+             Table::fmt(sb.saturation_gbps, 0), "~424"});
+  h.add_row({"Throughput improvement",
+             Table::fmt(sp.saturation_gbps / sb.saturation_gbps, 2) + "x",
+             "2.2x"});
+  h.print();
+
+  std::printf(
+      "\nCompared to mixed traffic (fig5), both the latency reduction and the\n"
+      "throughput improvement grow -- the paper's conclusion that benefits\n"
+      "increase as traffic becomes more broadcast-intensive.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Regenerates Fig 5: throughput-latency evaluation with mixed traffic
+// (50% broadcast request / 25% unicast request / 25% unicast response) at
+// 1 GHz -- proposed NoC vs the aggressive single-cycle-ST+LT baseline vs the
+// theoretical mesh limits. The chip's identical-PRBS artifact is on, as in
+// the measurement; the clean-generator numbers are reported alongside
+// (paper: RTL sims show 0.04 cycles/hop of contention without it).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "noc/experiment.hpp"
+#include "theory/mesh_limits.hpp"
+
+using namespace noc;
+using noc::Table;
+
+int main() {
+  const MeasureOptions opt{.warmup = 3000, .window = 12000};
+  NetworkConfig prop = NetworkConfig::proposed(4);
+  NetworkConfig base = NetworkConfig::baseline_3stage(4);
+  prop.traffic.pattern = base.traffic.pattern = TrafficPattern::MixedPaper;
+  prop.traffic.identical_prbs = base.traffic.identical_prbs = true;
+
+  std::printf("Fig 5: Throughput-latency with mixed traffic at 1GHz\n");
+  std::printf("Traffic: 50%% bcast REQ (1 flit), 25%% uni REQ (1 flit), 25%% uni RESP (5 flits)\n\n");
+
+  const double limit_gbps = theory::aggregate_throughput_limit_gbps(4);
+  const double limit_lat = theory::zero_load_latency_limit_mixed(4);
+
+  // Latency-throughput curve.
+  std::vector<double> loads;
+  const double cap = 1.0 / deliveries_per_offered_flit(prop);
+  for (double f : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.72, 0.78,
+                   0.84, 0.88, 0.92})
+    loads.push_back(f * cap);
+
+  Table t("Average packet latency vs offered load (identical-PRBS NICs)");
+  t.set_columns({"Offered (flits/node/cyc)", "Received (Gb/s)",
+                 "Proposed lat (cyc)", "Baseline lat (cyc)", "Bypass rate",
+                 "Latency reduction"});
+  auto pc = sweep_curve(prop, loads, opt);
+  auto bc = sweep_curve(base, loads, opt);
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const bool base_sane = bc[i].avg_latency < 1500;
+    t.add_row({Table::fmt(loads[i], 4), Table::fmt(pc[i].recv_gbps, 0),
+               Table::fmt(pc[i].avg_latency, 1),
+               base_sane ? Table::fmt(bc[i].avg_latency, 1) : ">saturated",
+               Table::fmt(pc[i].bypass_rate, 2),
+               base_sane
+                   ? Table::fmt_percent(1 - pc[i].avg_latency / bc[i].avg_latency)
+                   : "-"});
+  }
+  t.print();
+
+  // Headline numbers.
+  auto sp = find_saturation(prop, opt);
+  auto sb = find_saturation(base, opt);
+
+  NetworkConfig clean = prop;
+  clean.traffic.identical_prbs = false;
+  const double zl_clean = zero_load_latency(clean, opt);
+
+  Table h("Fig 5 headline numbers (saturation = 3x zero-load latency)");
+  h.set_columns({"Metric", "This repro", "Paper"});
+  h.add_row({"Theoretical latency limit (cycles)", Table::fmt(limit_lat, 2),
+             "7.42 (3.33/5.5 hops + 2 NIC cyc)"});
+  h.add_row({"Zero-load latency, proposed (cycles)",
+             Table::fmt(sp.zero_load_latency, 2), "~13.1 (limit + 5.7)"});
+  h.add_row({"  ... gap to limit (cycles)",
+             Table::fmt(sp.zero_load_latency - limit_lat, 2), "5.7"});
+  h.add_row({"  ... with distinct generators",
+             Table::fmt(zl_clean, 2), "limit + ~0.13 (0.04 cyc/hop)"});
+  h.add_row({"Zero-load latency, baseline (cycles)",
+             Table::fmt(sb.zero_load_latency, 2), "-"});
+  h.add_row({"Latency reduction before saturation",
+             Table::fmt_percent(1 - sp.zero_load_latency / sb.zero_load_latency),
+             "48.7%"});
+  h.add_row({"Saturation throughput, proposed (Gb/s)",
+             Table::fmt(sp.saturation_gbps, 0), "892"});
+  h.add_row({"  ... fraction of 1024 Gb/s limit",
+             Table::fmt_percent(sp.saturation_gbps / limit_gbps), "87.1%"});
+  h.add_row({"Saturation throughput, baseline (Gb/s)",
+             Table::fmt(sb.saturation_gbps, 0), "~425"});
+  h.add_row({"Throughput improvement",
+             Table::fmt(sp.saturation_gbps / sb.saturation_gbps, 2) + "x",
+             "2.1x"});
+  h.print();
+
+  std::printf(
+      "\nGap notes: the residual throughput gap to the limit comes from separable\n"
+      "allocation (mSA-I/mSA-II) and XY load imbalance, as in the paper; our\n"
+      "textbook baseline saturates somewhat higher than the authors' pre-layout\n"
+      "baseline sims, so the improvement factor lands below the paper's 2.1x\n"
+      "(see EXPERIMENTS.md).\n");
+  return 0;
+}

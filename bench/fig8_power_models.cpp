@@ -1,0 +1,105 @@
+// Regenerates Fig 8: ORION 2.0 vs post-layout vs measured power, for the
+// baseline and the proposed NoC at 653 Gb/s / 1.1V / 1GHz. All three
+// estimator families consume identical simulator event counts, exactly as
+// the paper drives all three with the same workload.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "noc/experiment.hpp"
+#include "power/estimators.hpp"
+
+using namespace noc;
+using namespace noc::power;
+using noc::Table;
+
+namespace {
+
+/// Event counts for delivering 653 Gb/s of broadcast traffic. A design that
+/// saturates below that (the unicast baseline) is measured near its own
+/// saturation and its event counts are scaled to the common workload, so
+/// every estimator sees the same delivered bits for both designs.
+EnergyCounters events_at_653(NetworkConfig cfg) {
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  cfg.traffic.identical_prbs = true;
+  auto sat = find_saturation(cfg, {.warmup = 2000, .window = 8000});
+  const double want =
+      653.0 / 1024.0 / deliveries_per_offered_flit(cfg) * 16.0;
+  const double offered = std::min(want, 0.9 * sat.saturation_offered);
+  auto pt = measure_point(cfg, offered, {.warmup = 3000, .window = 10000});
+  const double s = 653.0 / pt.recv_gbps;
+  EnergyCounters e = pt.energy;
+  auto scale = [s](int64_t& v) {
+    v = static_cast<int64_t>(static_cast<double>(v) * s + 0.5);
+  };
+  scale(e.xbar_traversals);
+  scale(e.link_traversals);
+  scale(e.nic_link_traversals);
+  scale(e.buffer_writes);
+  scale(e.buffer_reads);
+  scale(e.sa1_arbitrations);
+  scale(e.sa2_arbitrations);
+  scale(e.vc_allocations);
+  scale(e.lookaheads_sent);
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 8: Power estimates vs measurements (653 Gb/s, 1.1V, 1GHz)\n\n");
+
+  const EnergyCounters base_ev = events_at_653(NetworkConfig::baseline_3stage(4));
+  const EnergyCounters prop_ev = events_at_653(NetworkConfig::proposed(4));
+
+  const auto cmp = compare_all_estimators(base_ev, /*baseline_lowswing=*/false,
+                                          prop_ev, /*proposed_lowswing=*/true,
+                                          16);
+  const double measured_base = cmp[2].baseline.total_mw();
+  const double measured_prop = cmp[2].proposed.total_mw();
+
+  Table t("Total power by estimator (mW)");
+  t.set_columns({"Estimator", "Baseline", "Proposed", "Proposed/measured",
+                 "Relative reduction"});
+  for (const auto& c : cmp) {
+    t.add_row({estimator_name(c.which), Table::fmt(c.baseline.total_mw(), 0),
+               Table::fmt(c.proposed.total_mw(), 0),
+               Table::fmt(c.proposed.total_mw() / measured_prop, 2) + "x",
+               Table::fmt_percent(c.relative_reduction())});
+  }
+  t.print();
+
+  Table d("Category detail, proposed design (mW)");
+  d.set_columns({"Estimator", "Clocking", "Logic+buffers", "Datapath"});
+  for (const auto& c : cmp) {
+    d.add_row({estimator_name(c.which),
+               Table::fmt(c.proposed.clocking_segment_mw(), 0),
+               Table::fmt(c.proposed.logic_and_buffer_segment_mw(), 0),
+               Table::fmt(c.proposed.datapath_mw, 0)});
+  }
+  d.print();
+
+  Table h("Fig 8 / Sec 4.4 headline numbers");
+  h.set_columns({"Metric", "This repro", "Paper"});
+  h.add_row({"ORION absolute over-estimation",
+             Table::fmt(cmp[0].proposed.total_mw() / measured_prop, 1) + "x",
+             "4.8-5.3x"});
+  h.add_row({"Post-layout deviation",
+             Table::fmt(cmp[1].proposed.total_mw() / measured_prop, 2) + "x",
+             "1.06-1.13x"});
+  h.add_row({"ORION relative reduction",
+             Table::fmt_percent(cmp[0].relative_reduction()), "~32%"});
+  h.add_row({"Post-layout relative reduction",
+             Table::fmt_percent(cmp[1].relative_reduction()), "~34%"});
+  h.add_row({"Measured relative reduction",
+             Table::fmt_percent(cmp[2].relative_reduction()), "38%"});
+  h.print();
+
+  (void)measured_base;
+  std::printf(
+      "\nReading: ORION's assumed transistor sizes dwarf the chip's custom\n"
+      "circuits, so its absolute numbers are unusable for power budgets, yet\n"
+      "its relative ranking of designs holds -- fine for early design-space\n"
+      "exploration. Post-layout tracks measurements closely but needs complete\n"
+      "extracted netlists and days of simulation (paper Sec 4.4).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Simulator performance microbenchmarks (google-benchmark). Not a paper
+// figure -- this guards the cycle-accurate model's own speed so the sweep
+// benches stay laptop-scale.
+#include <benchmark/benchmark.h>
+
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace noc;
+
+void run_cycles(benchmark::State& state, NetworkConfig cfg, double offered) {
+  cfg.traffic.offered_flits_per_node_cycle = offered;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(500);  // warm the pipelines
+  for (auto _ : state) {
+    sim.run(100);
+    benchmark::DoNotOptimize(net.metrics().total_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100 *
+                          net.geom().num_nodes());
+  state.counters["completed"] =
+      static_cast<double>(net.metrics().total_completed());
+}
+
+void BM_Proposed4x4Mixed(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  run_cycles(state, cfg, 0.10);
+}
+BENCHMARK(BM_Proposed4x4Mixed)->Unit(benchmark::kMicrosecond);
+
+void BM_Proposed4x4BroadcastSaturated(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  run_cycles(state, cfg, 0.055);
+}
+BENCHMARK(BM_Proposed4x4BroadcastSaturated)->Unit(benchmark::kMicrosecond);
+
+void BM_Baseline4x4Mixed(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::baseline_3stage(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  run_cycles(state, cfg, 0.06);
+}
+BENCHMARK(BM_Baseline4x4Mixed)->Unit(benchmark::kMicrosecond);
+
+void BM_Proposed8x8Uniform(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  run_cycles(state, cfg, 0.10);
+}
+BENCHMARK(BM_Proposed8x8Uniform)->Unit(benchmark::kMicrosecond);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Network net(NetworkConfig::proposed(k));
+    benchmark::DoNotOptimize(&net);
+  }
+}
+BENCHMARK(BM_NetworkConstruction)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// A cache-coherence-shaped workload driven through the public API without
+// the built-in traffic generators: each "miss" issues a broadcast probe
+// (1-flit request to all nodes) and a randomly chosen owner answers with a
+// 5-flit data response -- the message pattern the paper's router was
+// designed for (Sec 3: request/response message classes avoid protocol
+// deadlock; broadcasts serve snoopy coherence).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+
+using namespace noc;
+
+int main() {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;  // we drive it ourselves
+  Network net(cfg);
+  Simulation sim(net);
+  MeshGeometry geom(4);
+  Xoshiro256 rng(2026);
+
+  const double miss_rate_per_node = 0.01;  // probes per node per cycle
+  PacketId next_id = 1;
+  int probes = 0, responses = 0;
+
+  // Closed-ish loop: on each cycle nodes may issue a probe; two cycles
+  // later (directory lookup) the owner injects the data response.
+  struct PendingResponse {
+    Cycle due;
+    NodeId owner;
+    NodeId requester;
+  };
+  std::vector<PendingResponse> pending;
+
+  for (Cycle t = 0; t < 20000; ++t) {
+    for (NodeId n = 0; n < geom.num_nodes(); ++n) {
+      if (rng.bernoulli(miss_rate_per_node)) {
+        Packet probe;
+        probe.id = next_id++;
+        probe.src = n;
+        probe.dest_mask = geom.all_nodes_mask();  // snoop everyone
+        probe.mc = MsgClass::Request;
+        probe.length = kRequestPacketLen;
+        probe.gen_cycle = t;
+        net.nic(n).submit_packet(probe);
+        ++probes;
+        NodeId owner;
+        do {
+          owner = static_cast<NodeId>(rng.next_below(geom.num_nodes()));
+        } while (owner == n);
+        pending.push_back({t + 2, owner, n});
+      }
+    }
+    // Owners answer with cache-line data.
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->due <= t) {
+        Packet data;
+        data.id = next_id++;
+        data.src = it->owner;
+        data.dest_mask = MeshGeometry::node_mask(it->requester);
+        data.mc = MsgClass::Response;
+        data.length = kResponsePacketLen;
+        data.gen_cycle = t;
+        net.nic(it->owner).submit_packet(data);
+        ++responses;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (t == 2000) net.metrics().begin_window(t);
+    net.step(t);
+  }
+  net.metrics().end_window(20000);
+
+  const Metrics& m = net.metrics();
+  std::printf("== coherence workload on the proposed 4x4 NoC ==\n");
+  std::printf("probes issued            : %d (broadcast, 1 flit)\n", probes);
+  std::printf("data responses           : %d (unicast, 5 flits)\n", responses);
+  std::printf("probe latency (to last)  : %.2f cycles\n",
+              m.latency_stat(PacketKind::Broadcast).mean());
+  std::printf("data latency             : %.2f cycles\n",
+              m.latency_stat(PacketKind::UnicastResponse).mean());
+  std::printf("received throughput      : %.1f Gb/s\n",
+              m.received_flits_per_cycle() * 64.0);
+  std::printf("bypass rate              : %.1f%%\n",
+              100.0 * net.energy().bypass_rate());
+  std::printf(
+      "\nA miss costs probe + data = %.1f cycles of network time on average --\n"
+      "the single-cycle broadcast tree is what keeps the probe leg flat.\n",
+      m.latency_stat(PacketKind::Broadcast).mean() +
+          m.latency_stat(PacketKind::UnicastResponse).mean());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Circuit-level exploration of the low-swing datapath: pick a voltage swing
+// against a reliability target, then see what that choice does to link
+// energy, achievable clock, and network power -- the cross-layer trade
+// study behind Sec 3.4/4.3 of the paper.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "circuits/montecarlo.hpp"
+#include "circuits/rsd.hpp"
+#include "noc/experiment.hpp"
+#include "power/energy_model.hpp"
+#include "power/tech_params.hpp"
+
+using namespace noc;
+using noc::Table;
+namespace ckt = noc::ckt;
+
+int main() {
+  // 1. Reliability first: sweep swing, watch sigma margin and energy.
+  ckt::MonteCarloConfig mc;
+  Table sw("Swing selection (1mm link, 1000-run Monte Carlo)");
+  sw.set_columns({"Swing (mV)", "Sigma margin", "Fail prob", "fJ/bit",
+                  "ST+LT max rate 1mm (GHz)"});
+  for (double s : {0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
+    auto pt = ckt::evaluate_swing(s, mc);
+    ckt::RsdParams rp;
+    rp.swing_v = s;
+    ckt::TriStateRsd rsd(rp);
+    sw.add_row({Table::fmt(s * 1000, 0), Table::fmt(pt.sigma_margin, 2),
+                Table::fmt(pt.failure_prob_analytic, 5),
+                Table::fmt(pt.energy_per_bit_fj, 1),
+                Table::fmt(rsd.max_data_rate_ghz(1.0), 2)});
+  }
+  sw.print();
+
+  const double chosen = ckt::choose_min_swing_for_sigma(3.0, mc);
+  std::printf("\nChosen swing for >=3-sigma: %.0f mV (the chip's choice: 300 mV)\n\n",
+              chosen * 1000);
+
+  // 2. Network view: what full-swing vs low-swing does to chip power at the
+  //    same operating point (Fig 6's A->B step, at a lighter load).
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  auto pt = measure_point(cfg, 0.04, {.warmup = 2000, .window = 8000});
+  const auto fs = power::compute_power(pt.energy, 16,
+                                       power::calibrated_tech45(), false);
+  const auto ls = power::compute_power(pt.energy, 16,
+                                       power::calibrated_tech45(), true);
+  Table net("Network power at 0.04 bcast flits/node/cycle (~" +
+            std::string(Table::fmt(pt.recv_gbps, 0)) + " Gb/s delivered)");
+  net.set_columns({"Datapath circuits", "Datapath (mW)", "Total (mW)"});
+  net.add_row({"full-swing repeated", Table::fmt(fs.datapath_mw, 1),
+               Table::fmt(fs.total_mw(), 1)});
+  net.add_row({"300mV tri-state RSD", Table::fmt(ls.datapath_mw, 1),
+               Table::fmt(ls.total_mw(), 1)});
+  net.print();
+  std::printf(
+      "\nDatapath saving: %.1f%% (paper: 48.3%%). The cost side is Table 4's\n"
+      "3.1x crossbar area and Fig 10's process-variation exposure -- run\n"
+      "bench/table4_area and bench/fig10_swing_reliability for those.\n",
+      100.0 * (1.0 - ls.datapath_mw / fs.datapath_mw));
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "circuits/area_model.hpp"
+
+namespace noc::ckt {
+
+AreaReport router_area(const AreaConfig& cfg) {
+  AreaReport r;
+  const double crosspoints =
+      static_cast<double>(cfg.ports) * cfg.ports * cfg.flit_bits;
+  r.xbar_fullswing_um2 = crosspoints * cfg.um2_per_xbar_crosspoint_bit;
+  r.xbar_lowswing_um2 = r.xbar_fullswing_um2 * cfg.differential_factor *
+                        cfg.layout_restriction_factor;
+
+  const double buffers = static_cast<double>(cfg.ports) *
+                         cfg.buffers_per_port * cfg.flit_bits *
+                         cfg.um2_per_buffer_bit;
+  const double vc_state =
+      static_cast<double>(cfg.ports) * cfg.vcs_per_port * cfg.um2_per_vc_state;
+  const double base_logic = cfg.allocator_um2 + cfg.misc_logic_um2;
+
+  r.router_fullswing_um2 =
+      r.xbar_fullswing_um2 + buffers + vc_state + base_logic;
+  r.bypass_overhead_um2 = cfg.bypass_logic_fraction * r.router_fullswing_um2;
+  r.router_lowswing_um2 = (r.router_fullswing_um2 - r.xbar_fullswing_um2) +
+                          r.xbar_lowswing_um2 + r.bypass_overhead_um2 +
+                          cfg.lowswing_integration_um2;
+  return r;
+}
+
+}  // namespace noc::ckt

@@ -1,0 +1,44 @@
+#pragma once
+// Router area model (paper Table 4 / Sec 4.3).
+//
+// The low-swing crossbar pays 3.1x over a synthesized full-swing crossbar:
+// differential signaling doubles the wire count and noise-sensitive custom
+// placement restricts packing. At the router level the overhead dilutes to
+// 1.4x; virtual bypassing adds ~5% (Sec 1 lessons).
+
+namespace noc::ckt {
+
+struct AreaConfig {
+  int flit_bits = 64;
+  int ports = 5;
+  int buffers_per_port = 10;
+  int vcs_per_port = 6;
+
+  // um^2 building blocks (45nm SOI standard-cell / custom estimates,
+  // fitted so the totals land on the paper's Table 4 values).
+  double um2_per_xbar_crosspoint_bit = 16.775;  // synthesized full-swing
+  double differential_factor = 2.0;             // low-swing wire doubling
+  double layout_restriction_factor = 1.55;      // shielding + keepouts
+  double um2_per_buffer_bit = 38.0;             // latch-based FIFO cell
+  double um2_per_vc_state = 520.0;              // bookkeeping per VC
+  double allocator_um2 = 21000.0;               // mSA-I + mSA-II + VA
+  double misc_logic_um2 = 42190.0;  // NRC, credit tracking, clocking, DFT
+  double bypass_logic_fraction = 0.05;          // paper: ~5% for bypassing
+  double lowswing_integration_um2 = 23650.0;    // LVDD grid, RSD keepouts
+};
+
+struct AreaReport {
+  double xbar_fullswing_um2 = 0;
+  double xbar_lowswing_um2 = 0;
+  double router_fullswing_um2 = 0;  // baseline router, synthesized xbar
+  double router_lowswing_um2 = 0;   // fabricated router (bypass + RSD xbar)
+  double xbar_overhead() const { return xbar_lowswing_um2 / xbar_fullswing_um2; }
+  double router_overhead() const {
+    return router_lowswing_um2 / router_fullswing_um2;
+  }
+  double bypass_overhead_um2 = 0;
+};
+
+AreaReport router_area(const AreaConfig& cfg = {});
+
+}  // namespace noc::ckt

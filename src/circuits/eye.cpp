@@ -1,0 +1,50 @@
+#include "circuits/eye.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc::ckt {
+
+double vertical_eye_mv(const EyeConfig& cfg, double mm, double r_variation) {
+  NOC_EXPECTS(mm > 0.0 && cfg.data_rate_gbps > 0.0);
+  WireParams w = cfg.rsd.wire;
+  w.r_ohm_per_mm *= (1.0 + r_variation);
+  // Lumped settling model: tau = (R_drv + R_wire/2) * C_total.
+  const double c_total_ff = w.capacitance_ff(mm) + cfg.rsd.c_fixed_ff;
+  const double tau_ps =
+      (cfg.rsd.r_drive_ohm + 0.5 * w.resistance(mm)) * c_total_ff * 1e-3;
+  const double t_bit_ps = 1000.0 / cfg.data_rate_gbps;
+  return cfg.rsd.swing_v * 1000.0 * settled_fraction(t_bit_ps, tau_ps);
+}
+
+std::vector<EyePoint> eye_vs_resistance_variation(
+    const std::vector<double>& r_variations, const EyeConfig& cfg) {
+  std::vector<EyePoint> out;
+  out.reserve(r_variations.size());
+  for (double rv : r_variations) {
+    EyePoint p;
+    p.r_variation = rv;
+    p.eye_repeated_mv = vertical_eye_mv(cfg, cfg.total_mm / 2.0, rv);
+    p.eye_repeaterless_mv = vertical_eye_mv(cfg, cfg.total_mm, rv);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double repeated_energy_per_bit_fj(const EyeConfig& cfg) {
+  TriStateRsd rsd(cfg.rsd);
+  // Two full transmit/sense stages plus the intermediate repeater's strobe
+  // distribution and re-driver enable (the overhead that makes the repeated
+  // configuration ~28% more expensive, paper Appendix C).
+  constexpr double repeater_stage_overhead_fj = 18.2;
+  return 2.0 * rsd.energy_per_bit_fj(cfg.total_mm / 2.0) +
+         repeater_stage_overhead_fj;
+}
+
+double repeaterless_energy_per_bit_fj(const EyeConfig& cfg) {
+  TriStateRsd rsd(cfg.rsd);
+  return rsd.energy_per_bit_fj(cfg.total_mm);
+}
+
+int repeated_extra_cycles() { return 1; }
+
+}  // namespace noc::ckt

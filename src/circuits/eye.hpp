@@ -1,0 +1,44 @@
+#pragma once
+// Vertical-eye model for repeated vs. repeaterless low-swing links (paper
+// Fig 12 / Appendix C): 2mm link traversal realized either as two 1mm
+// RSD-repeated segments (one extra cycle, fresh swing each segment) or as a
+// single 2mm repeaterless drive. The repeaterless wire settles through a
+// larger RC, so wire-resistance variation erodes its eye faster; the
+// repeated version costs ~28% more energy and one extra cycle.
+
+#include <vector>
+
+#include "circuits/rsd.hpp"
+
+namespace noc::ckt {
+
+struct EyeConfig {
+  RsdParams rsd;
+  double data_rate_gbps = 2.5;  // paper's Fig 12 point
+  double total_mm = 2.0;
+};
+
+struct EyePoint {
+  double r_variation = 0;      // fractional wire-R deviation (e.g. +0.2)
+  double eye_repeated_mv = 0;  // 1mm-repeated configuration
+  double eye_repeaterless_mv = 0;
+};
+
+/// Vertical eye (mV) of a single RSD segment of `mm` at the configured data
+/// rate, with wire resistance scaled by (1 + r_variation).
+double vertical_eye_mv(const EyeConfig& cfg, double mm, double r_variation);
+
+/// Sweep of Fig 12: repeated = per-1mm-segment eye (regenerated at the
+/// repeater), repeaterless = full-length eye.
+std::vector<EyePoint> eye_vs_resistance_variation(
+    const std::vector<double>& r_variations, const EyeConfig& cfg = {});
+
+/// Energy per bit of the two configurations (fJ); repeated should come out
+/// ~28% higher (paper Appendix C).
+double repeated_energy_per_bit_fj(const EyeConfig& cfg = {});
+double repeaterless_energy_per_bit_fj(const EyeConfig& cfg = {});
+
+/// Latency in cycles at the network clock: repeated takes one extra cycle.
+int repeated_extra_cycles();
+
+}  // namespace noc::ckt

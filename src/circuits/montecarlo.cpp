@@ -1,0 +1,45 @@
+#include "circuits/montecarlo.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc::ckt {
+
+SwingTradeoffPoint evaluate_swing(double swing_v,
+                                  const MonteCarloConfig& cfg) {
+  NOC_EXPECTS(swing_v > 0.0 && cfg.runs > 0);
+  SenseAmp sa(cfg.sense_amp);
+  TriStateRsd rsd(cfg.rsd);
+  Xoshiro256 rng(cfg.seed ^ static_cast<uint64_t>(swing_v * 1e6));
+
+  int failures = 0;
+  for (int i = 0; i < cfg.runs; ++i)
+    if (!sa.sample_resolves(swing_v, rng)) ++failures;
+
+  SwingTradeoffPoint pt;
+  pt.swing_v = swing_v;
+  pt.energy_per_bit_fj = rsd.energy_per_bit_fj(cfg.link_mm, swing_v);
+  pt.failure_prob_mc =
+      static_cast<double>(failures) / static_cast<double>(cfg.runs);
+  pt.failure_prob_analytic = sa.failure_probability(swing_v);
+  pt.sigma_margin = sa.sigma_margin(swing_v);
+  return pt;
+}
+
+std::vector<SwingTradeoffPoint> swing_tradeoff_sweep(
+    const std::vector<double>& swings_v, const MonteCarloConfig& cfg) {
+  std::vector<SwingTradeoffPoint> out;
+  out.reserve(swings_v.size());
+  for (double s : swings_v) out.push_back(evaluate_swing(s, cfg));
+  return out;
+}
+
+double choose_min_swing_for_sigma(double target_sigma,
+                                  const MonteCarloConfig& cfg, double step_v) {
+  NOC_EXPECTS(target_sigma > 0.0 && step_v > 0.0);
+  SenseAmp sa(cfg.sense_amp);
+  for (double s = step_v; s < 1.2; s += step_v)
+    if (sa.sigma_margin(s) >= target_sigma) return s;
+  return 1.2;
+}
+
+}  // namespace noc::ckt

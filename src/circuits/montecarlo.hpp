@@ -1,0 +1,42 @@
+#pragma once
+// Monte-Carlo engine for the swing-vs-reliability trade-off (paper Fig 10 /
+// Appendix C): 1000-run sampling of sense-amp offsets at each voltage swing,
+// producing link failure probability alongside energy per bit.
+
+#include <vector>
+
+#include "circuits/rsd.hpp"
+#include "circuits/sense_amp.hpp"
+
+namespace noc::ckt {
+
+struct SwingTradeoffPoint {
+  double swing_v = 0;
+  double energy_per_bit_fj = 0;   // 1mm tri-state RSD at this swing
+  double failure_prob_mc = 0;     // Monte-Carlo estimate
+  double failure_prob_analytic = 0;  // erfc cross-check
+  double sigma_margin = 0;
+};
+
+struct MonteCarloConfig {
+  int runs = 1000;  // the paper's 1000-run Spice methodology
+  uint64_t seed = 2012;
+  double link_mm = 1.0;
+  SenseAmpParams sense_amp;
+  RsdParams rsd;
+};
+
+/// One swing point.
+SwingTradeoffPoint evaluate_swing(double swing_v, const MonteCarloConfig& cfg);
+
+/// Full Fig 10 sweep.
+std::vector<SwingTradeoffPoint> swing_tradeoff_sweep(
+    const std::vector<double>& swings_v, const MonteCarloConfig& cfg = {});
+
+/// The chip's design choice: smallest swing (on a grid) meeting the target
+/// sigma margin (paper: 300mV for >= 3 sigma).
+double choose_min_swing_for_sigma(double target_sigma,
+                                  const MonteCarloConfig& cfg = {},
+                                  double step_v = 0.025);
+
+}  // namespace noc::ckt

@@ -1,0 +1,42 @@
+#include "circuits/rsd.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc::ckt {
+
+double TriStateRsd::energy_per_bit_fj(double mm) const {
+  return energy_per_bit_fj(mm, p_.swing_v);
+}
+
+double TriStateRsd::energy_per_bit_fj(double mm, double swing_v) const {
+  NOC_EXPECTS(mm > 0.0 && swing_v > 0.0);
+  const double c_ff = p_.wire.switched_cap_ff(mm) + p_.c_fixed_ff;
+  const double lvdd = swing_v + p_.lvdd_headroom_v;
+  // Charge drawn from LVDD to swing the wire: C * Vswing; energy C*Vs*LVDD.
+  const double e_wire_fj = p_.activity * c_ff * swing_v * lvdd;
+  return e_wire_fj + p_.e_sense_amp_fj + p_.e_clocking_fj;
+}
+
+double TriStateRsd::st_lt_delay_ps(double mm) const {
+  return p_.t_fixed_ps +
+         wire_delay_ps(p_.wire, mm, p_.r_drive_ohm, p_.c_fixed_ff);
+}
+
+double TriStateRsd::max_data_rate_ghz(double mm) const {
+  return 1000.0 / st_lt_delay_ps(mm);
+}
+
+double FullSwingRepeatedLink::energy_per_bit_fj(double mm) const {
+  NOC_EXPECTS(mm > 0.0);
+  const double c_ff =
+      p_.wire.switched_cap_ff(mm) * p_.repeater_cap_overhead;
+  return p_.activity * c_ff * p_.vdd * p_.vdd;
+}
+
+double fullswing_vs_lowswing_ratio(double mm, double swing_v) {
+  TriStateRsd ls;
+  FullSwingRepeatedLink fs;
+  return fs.energy_per_bit_fj(mm) / ls.energy_per_bit_fj(mm, swing_v);
+}
+
+}  // namespace noc::ckt

@@ -1,0 +1,27 @@
+#include "circuits/sense_amp.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace noc::ckt {
+
+bool SenseAmp::sample_resolves(double swing_v, Xoshiro256& rng) const {
+  NOC_EXPECTS(swing_v > 0.0);
+  const double offset = rng.gaussian() * p_.offset_sigma_v;
+  const double margin = p_.eye_fraction * swing_v / 2.0;
+  return std::abs(offset) < margin;
+}
+
+double SenseAmp::failure_probability(double swing_v) const {
+  const double z = sigma_margin(swing_v);
+  // P(|N(0,1)| > z) = erfc(z / sqrt(2)).
+  return std::erfc(z / std::sqrt(2.0));
+}
+
+double SenseAmp::sigma_margin(double swing_v) const {
+  NOC_EXPECTS(swing_v > 0.0);
+  return p_.eye_fraction * swing_v / 2.0 / p_.offset_sigma_v;
+}
+
+}  // namespace noc::ckt

@@ -1,0 +1,39 @@
+#pragma once
+// Sense-amplifier model (paper Sec 4.3): the primary noise source of the
+// low-swing datapath is the sense-amp input offset from process variation.
+// The chip chose a 300mV swing for >3-sigma reliability from 1000-run
+// Monte-Carlo Spice; we model the offset as N(0, sigma) with sigma set so
+// that a 300mV differential swing (±150mV at the input) is exactly 3 sigma.
+
+#include "common/rng.hpp"
+
+namespace noc::ckt {
+
+struct SenseAmpParams {
+  double offset_sigma_v = 0.050;  // 150mV margin / 3 sigma
+  /// Residual ISI / attenuation eats into the margin: the usable input is
+  /// eye_fraction * (swing / 2).
+  double eye_fraction = 1.0;
+};
+
+class SenseAmp {
+ public:
+  explicit SenseAmp(const SenseAmpParams& p = {}) : p_(p) {}
+
+  /// Draw one process-variation instance; returns true if it resolves a
+  /// differential input of `swing_v` correctly.
+  bool sample_resolves(double swing_v, Xoshiro256& rng) const;
+
+  /// Analytic failure probability: P(|offset| > margin).
+  double failure_probability(double swing_v) const;
+
+  /// Margin in sigmas at `swing_v`.
+  double sigma_margin(double swing_v) const;
+
+  const SenseAmpParams& params() const { return p_; }
+
+ private:
+  SenseAmpParams p_;
+};
+
+}  // namespace noc::ckt

@@ -1,0 +1,65 @@
+#include "circuits/timing_model.hpp"
+
+namespace noc::ckt {
+
+namespace {
+
+CriticalPathReport evaluate(std::vector<PathComponent> comps,
+                            const TimingConfig& cfg, bool fabricated) {
+  CriticalPathReport r;
+  r.components = std::move(comps);
+  for (const auto& c : r.components) {
+    r.pre_layout_ps += c.logic_ps;
+    r.post_layout_ps += c.logic_ps * cfg.layout_logic_factor + c.wire_ps;
+  }
+  r.measured_ps = fabricated ? r.post_layout_ps * cfg.silicon_factor : 0.0;
+  return r;
+}
+
+std::vector<PathComponent> baseline_components() {
+  // Stage 2: grant-enable from the stage-1 winner latch, 5x5 matrix
+  // arbitration, grant decode, crossbar select drive, credit check, and
+  // register overhead (clk->q + setup + skew). Pre-layout sums to 549ps.
+  return {
+      {"clk->q + setup + skew", 90.0, 6.0},
+      {"stage-1 winner request fanout", 59.0, 8.0},
+      {"mSA-II 5x5 matrix arbiter", 160.0, 12.0},
+      {"grant decode + VC credit check", 60.0, 6.0},
+      {"crossbar select driver setup", 180.0, 22.0},
+  };
+}
+
+std::vector<PathComponent> proposed_components() {
+  // The lookahead path inserts a priority mux between incoming lookaheads
+  // and buffered requests before the matrix arbiter (44ps of logic, 1.08x
+  // pre-layout) and brings long inter-router lookahead wires plus bypass
+  // enable routing into the stage (post-layout wire adders, 1.21x).
+  auto comps = baseline_components();
+  comps.insert(comps.begin() + 2,
+               PathComponent{"lookahead priority mux", 44.0, 33.0});
+  comps.push_back(PathComponent{"lookahead wire span + bypass enable", 0.0,
+                                54.0});
+  return comps;
+}
+
+}  // namespace
+
+CriticalPathReport baseline_critical_path(const TimingConfig& cfg) {
+  return evaluate(baseline_components(), cfg, /*fabricated=*/false);
+}
+
+CriticalPathReport proposed_critical_path(const TimingConfig& cfg) {
+  return evaluate(proposed_components(), cfg, /*fabricated=*/true);
+}
+
+double prelayout_overhead(const TimingConfig& cfg) {
+  return proposed_critical_path(cfg).pre_layout_ps /
+         baseline_critical_path(cfg).pre_layout_ps;
+}
+
+double postlayout_overhead(const TimingConfig& cfg) {
+  return proposed_critical_path(cfg).post_layout_ps /
+         baseline_critical_path(cfg).post_layout_ps;
+}
+
+}  // namespace noc::ckt

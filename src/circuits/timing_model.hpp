@@ -1,0 +1,52 @@
+#pragma once
+// Critical-path timing model (paper Table 3 / Sec 4.2).
+//
+// Both the baseline and the proposed router are critical in pipeline
+// stage 2, where mSA-II runs. The model composes the stage from named
+// component delays (pre-layout logic depth), applies a layout factor plus
+// per-path wire adders for post-layout, and a silicon non-ideality factor
+// (contaminated clock, supply fluctuation, temperature) for the measured
+// chip. The lookahead path adds a priority mux pre-layout and long
+// lookahead wires post-layout -- which is why the overhead grows from 8%
+// (pre) to 21% (post), the paper's headline observation.
+
+#include <string>
+#include <vector>
+
+namespace noc::ckt {
+
+struct PathComponent {
+  std::string name;
+  double logic_ps = 0;  // pre-layout contribution
+  double wire_ps = 0;   // additional post-layout wire delay
+};
+
+struct TimingConfig {
+  /// Post-layout multiplies logic by this (cell sizing after placement) and
+  /// adds the per-component wire delays.
+  double layout_logic_factor = 1.10;
+  /// Measured silicon vs post-layout: clock contamination, supply droop,
+  /// temperature (Sec 4.2 lists these as unpredictable at design time).
+  double silicon_factor = 1.2119;
+};
+
+struct CriticalPathReport {
+  std::vector<PathComponent> components;
+  double pre_layout_ps = 0;
+  double post_layout_ps = 0;
+  double measured_ps = 0;  // only meaningful for the fabricated design
+  double fmax_ghz() const { return 1000.0 / measured_ps; }
+};
+
+/// Stage-2 path of the baseline router (mSA-II matrix arbitration).
+CriticalPathReport baseline_critical_path(const TimingConfig& cfg = {});
+
+/// Stage-2 path of the virtual-bypassed router (adds lookahead priority
+/// muxing and lookahead wire spans).
+CriticalPathReport proposed_critical_path(const TimingConfig& cfg = {});
+
+/// Table 3 ratios.
+double prelayout_overhead(const TimingConfig& cfg = {});   // ~1.08x
+double postlayout_overhead(const TimingConfig& cfg = {});  // ~1.21x
+
+}  // namespace noc::ckt

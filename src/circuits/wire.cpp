@@ -1,0 +1,25 @@
+#include "circuits/wire.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace noc::ckt {
+
+double wire_delay_ps(const WireParams& w, double mm, double r_drv_ohm,
+                     double c_load_ff) {
+  NOC_EXPECTS(mm >= 0.0 && r_drv_ohm >= 0.0);
+  const double r_wire = w.resistance(mm);
+  const double c_wire = w.capacitance_ff(mm);
+  // ps = Ohm * fF * 1e-3.
+  const double t_drv = r_drv_ohm * (c_wire + c_load_ff) * 1e-3;
+  const double t_wire = (0.38 * r_wire * c_wire + r_wire * c_load_ff) * 1e-3;
+  return t_drv + t_wire;
+}
+
+double settled_fraction(double t_ps, double tau_ps) {
+  NOC_EXPECTS(tau_ps > 0.0);
+  return 1.0 - std::exp(-t_ps / tau_ps);
+}
+
+}  // namespace noc::ckt

@@ -1,0 +1,33 @@
+#pragma once
+// On-chip wire model for the datapath links (paper Sec 3.4: 64-bit links of
+// 0.15um-width / 0.30um-space fully shielded differential wires).
+//
+// Distributed RC with Elmore-style delay; resistance/capacitance per mm are
+// 45nm intermediate-metal values for that geometry.
+
+namespace noc::ckt {
+
+struct WireParams {
+  double r_ohm_per_mm = 500.0;  // 0.15um-wide Cu, barrier included
+  double c_ff_per_mm = 230.0;   // per wire, shielded (ground both sides)
+  /// Differential pairs switch two wires per transition.
+  bool differential = true;
+
+  double resistance(double mm) const { return r_ohm_per_mm * mm; }
+  double capacitance_ff(double mm) const { return c_ff_per_mm * mm; }
+  double switched_cap_ff(double mm) const {
+    return (differential ? 2.0 : 1.0) * capacitance_ff(mm);
+  }
+};
+
+/// Distributed-RC wire delay (ps): 0.38 * R * C for the wire itself plus
+/// the source-resistance term R_drv * C_total. Capacitance in fF,
+/// resistance in ohms -> time in ps (1 fF * 1 Ohm = 1e-3 ps; handled here).
+double wire_delay_ps(const WireParams& w, double mm, double r_drv_ohm,
+                     double c_load_ff = 0.0);
+
+/// Single-pole settling fraction after `t_ps` for a lumped tau (used by the
+/// eye model): 1 - exp(-t/tau).
+double settled_fraction(double t_ps, double tau_ps);
+
+}  // namespace noc::ckt

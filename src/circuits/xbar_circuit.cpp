@@ -1,0 +1,27 @@
+#include "circuits/xbar_circuit.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc::ckt {
+
+double xbar_dynamic_power_uw(int multicast_count,
+                             const XbarCircuitConfig& cfg) {
+  NOC_EXPECTS(multicast_count >= 1 && multicast_count <= cfg.ports * cfg.ports);
+  TriStateRsd rsd(cfg.rsd);
+  // Each granted output drives its vertical wire plus the attached link.
+  const double per_output_fj =
+      rsd.energy_per_bit_fj(cfg.vertical_wire_mm + cfg.link_mm);
+  const double e_bit_fj =
+      cfg.input_fixed_fj_per_bit + multicast_count * per_output_fj;
+  // fJ/bit * Gbit/s = uW.
+  return e_bit_fj * cfg.data_rate_gbps;
+}
+
+double xbar_energy_per_delivered_bit_fj(int multicast_count,
+                                        const XbarCircuitConfig& cfg) {
+  const double p_uw = xbar_dynamic_power_uw(multicast_count, cfg);
+  // Delivered bandwidth scales with the multicast count.
+  return p_uw / (cfg.data_rate_gbps * multicast_count);
+}
+
+}  // namespace noc::ckt

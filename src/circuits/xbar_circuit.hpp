@@ -1,0 +1,33 @@
+#pragma once
+// 1-bit 5x5 tri-state-RSD crossbar power vs. multicast count (paper Fig 11 /
+// Appendix C). The tri-state RSD disconnects unused vertical wires, so
+// dynamic power grows linearly with the number of simultaneously driven
+// outputs -- the circuit-level basis of the router's energy-efficient
+// multicast.
+
+#include "circuits/rsd.hpp"
+
+namespace noc::ckt {
+
+struct XbarCircuitConfig {
+  RsdParams rsd;
+  int ports = 5;
+  double vertical_wire_mm = 0.25;  // crossbar column height
+  double link_mm = 1.0;            // attached link per output
+  double data_rate_gbps = 5.0;
+  /// Input horizontal wire + enable distribution, driven once regardless of
+  /// multicast count.
+  double input_fixed_fj_per_bit = 14.0;
+};
+
+/// Dynamic power (uW) of the 1b crossbar delivering to `multicast_count`
+/// outputs (1 = unicast ... ports = broadcast).
+double xbar_dynamic_power_uw(int multicast_count,
+                             const XbarCircuitConfig& cfg = {});
+
+/// Energy per delivered bit (fJ) -- constant-ish in multicast count, the
+/// figure's efficiency message.
+double xbar_energy_per_delivered_bit_fj(int multicast_count,
+                                        const XbarCircuitConfig& cfg = {});
+
+}  // namespace noc::ckt

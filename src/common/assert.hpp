@@ -1,0 +1,33 @@
+#pragma once
+// Lightweight contract-checking macros in the spirit of the C++ Core
+// Guidelines' Expects/Ensures (I.6/I.8). They stay active in release builds:
+// a cycle-accurate model that silently corrupts flit state is worse than one
+// that stops, and the checks are far off the simulator's hot path.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace noc {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace noc
+
+#define NOC_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::noc::contract_violation("Precondition", #cond, __FILE__,   \
+                                      __LINE__))
+
+#define NOC_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::noc::contract_violation("Postcondition", #cond, __FILE__,   \
+                                      __LINE__))
+
+#define NOC_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::noc::contract_violation("Invariant", #cond, __FILE__,    \
+                                      __LINE__))

@@ -1,0 +1,23 @@
+#pragma once
+// Minimal leveled logging. The simulator is quiet by default; tests and
+// debugging can raise the level per-process.
+
+#include <cstdarg>
+
+namespace noc {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging gated on the global level.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace noc
+
+#define NOC_LOG_DEBUG(...) ::noc::logf(::noc::LogLevel::Debug, __VA_ARGS__)
+#define NOC_LOG_INFO(...) ::noc::logf(::noc::LogLevel::Info, __VA_ARGS__)
+#define NOC_LOG_WARN(...) ::noc::logf(::noc::LogLevel::Warn, __VA_ARGS__)
+#define NOC_LOG_ERROR(...) ::noc::logf(::noc::LogLevel::Error, __VA_ARGS__)

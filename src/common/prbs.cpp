@@ -1,0 +1,68 @@
+#include "common/prbs.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+Prbs::Prbs(Poly poly, uint32_t seed) : poly_(poly) {
+  switch (poly) {
+    case Poly::PRBS7:
+      order_ = 7;
+      tap_ = 6;
+      break;
+    case Poly::PRBS15:
+      order_ = 15;
+      tap_ = 14;
+      break;
+    case Poly::PRBS23:
+      order_ = 23;
+      tap_ = 18;
+      break;
+    case Poly::PRBS31:
+      order_ = 31;
+      tap_ = 28;
+      break;
+  }
+  const uint32_t mask = (order_ == 31) ? 0x7fffffffu : ((1u << order_) - 1u);
+  state_ = seed & mask;
+  if (state_ == 0) state_ = 1;  // all-zero state is the LFSR's fixed point
+}
+
+int Prbs::next_bit() {
+  const int b1 = static_cast<int>((state_ >> (order_ - 1)) & 1u);
+  const int b2 = static_cast<int>((state_ >> (tap_ - 1)) & 1u);
+  const int fb = b1 ^ b2;
+  state_ = ((state_ << 1) | static_cast<uint32_t>(fb));
+  const uint32_t mask = (order_ == 31) ? 0x7fffffffu : ((1u << order_) - 1u);
+  state_ &= mask;
+  return b1;
+}
+
+uint64_t Prbs::next_bits(int n) {
+  NOC_EXPECTS(n >= 1 && n <= 64);
+  uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 1) | static_cast<uint64_t>(next_bit());
+  return v;
+}
+
+uint64_t Prbs::period() const { return (uint64_t{1} << order_) - 1; }
+
+int hamming_distance(uint64_t a, uint64_t b) { return std::popcount(a ^ b); }
+
+double prbs_toggle_rate(Prbs::Poly poly, int words, int width) {
+  NOC_EXPECTS(words > 0 && width >= 1 && width <= 64);
+  Prbs gen(poly);
+  uint64_t prev = gen.next_bits(width);
+  long toggles = 0;
+  for (int i = 0; i < words; ++i) {
+    uint64_t cur = gen.next_bits(width);
+    toggles += hamming_distance(prev, cur);
+    prev = cur;
+  }
+  return static_cast<double>(toggles) /
+         (static_cast<double>(words) * static_cast<double>(width));
+}
+
+}  // namespace noc

@@ -1,0 +1,50 @@
+#pragma once
+// Pseudo-random binary sequence (PRBS) generators.
+//
+// The chip's NICs generate payloads and injection decisions from on-die PRBS
+// circuits; the paper specifically calls out that *identical* PRBS
+// generators at every NIC synchronized the traffic and inflated low-load
+// contention (Sec 4.1). We model the same LFSRs so that both the artifact
+// and the Fig 7 "energy on PRBS data" measurement are reproducible.
+
+#include <cstdint>
+
+namespace noc {
+
+/// Fibonacci LFSR implementing the standard PRBS polynomials.
+/// PRBS7  : x^7 + x^6 + 1
+/// PRBS15 : x^15 + x^14 + 1
+/// PRBS23 : x^23 + x^18 + 1
+/// PRBS31 : x^31 + x^28 + 1
+class Prbs {
+ public:
+  enum class Poly { PRBS7, PRBS15, PRBS23, PRBS31 };
+
+  explicit Prbs(Poly poly, uint32_t seed = 1);
+
+  /// Advance one bit.
+  int next_bit();
+
+  /// Assemble `n` bits (MSB-first), n in [1, 64].
+  uint64_t next_bits(int n);
+
+  /// Sequence period for this polynomial (2^k - 1).
+  uint64_t period() const;
+
+  Poly poly() const { return poly_; }
+
+ private:
+  Poly poly_;
+  uint32_t state_;
+  int order_;
+  int tap_;  // second feedback tap position (first is `order_`)
+};
+
+/// Hamming distance between consecutive words; used by the energy model to
+/// weight data-dependent switching on links and crossbars.
+int hamming_distance(uint64_t a, uint64_t b);
+
+/// Average toggle probability per wire of a PRBS-driven 64b bus (~0.5).
+double prbs_toggle_rate(Prbs::Poly poly, int words, int width = 64);
+
+}  // namespace noc

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use xoshiro256** (public-domain, Blackman & Vigna) seeded through
+// SplitMix64 rather than std::mt19937 so that (a) streams are cheap enough to
+// give every NIC its own generator and (b) results are bit-reproducible
+// across standard-library implementations, which the regression tests rely
+// on.
+
+#include <cstdint>
+
+namespace noc {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also usable as a tiny standalone generator for non-critical choices.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the simulator's workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) with Lemire rejection (unbiased).
+  uint64_t next_below(uint64_t bound);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Zero-mean unit-variance Gaussian via Box-Muller (cached pair).
+  double gaussian();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace noc

@@ -1,0 +1,46 @@
+#pragma once
+// Aligned console tables and CSV emission for the bench harnesses.
+//
+// Every bench binary prints the paper's table/figure as rows on stdout and
+// can optionally mirror them to a CSV file for plotting.
+
+#include <string>
+#include <vector>
+
+namespace noc {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& set_columns(std::vector<std::string> headers);
+
+  /// Append a row of pre-formatted cells. Row length may be shorter than the
+  /// header; missing cells render empty.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  Table& add_separator();
+
+  /// Render to stdout with column alignment.
+  void print() const;
+
+  /// Render to CSV (RFC-4180-ish quoting) at `path`; returns false on I/O
+  /// failure. Separator rows are skipped.
+  bool write_csv(const std::string& path) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Format helpers used by the benches.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> is_separator_;
+};
+
+}  // namespace noc

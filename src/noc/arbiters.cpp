@@ -1,0 +1,63 @@
+#include "noc/arbiters.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+RoundRobinArbiter::RoundRobinArbiter(int n) : n_(n) {
+  NOC_EXPECTS(n >= 1 && n <= 32);
+}
+
+int RoundRobinArbiter::peek(uint32_t requests) const {
+  if (requests == 0) return -1;
+  for (int off = 0; off < n_; ++off) {
+    const int i = (next_ + off) % n_;
+    if (requests & (uint32_t{1} << i)) return i;
+  }
+  return -1;
+}
+
+int RoundRobinArbiter::arbitrate(uint32_t requests) {
+  const int winner = peek(requests);
+  if (winner >= 0) next_ = (winner + 1) % n_;
+  return winner;
+}
+
+MatrixArbiter::MatrixArbiter(int n)
+    : n_(n), w_(static_cast<size_t>(n * n), false) {
+  NOC_EXPECTS(n >= 1 && n <= 32);
+  // Initial priority: lower index beats higher index.
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) w_[static_cast<size_t>(i * n + j)] = true;
+}
+
+int MatrixArbiter::peek(uint32_t requests) const {
+  if (requests == 0) return -1;
+  for (int i = 0; i < n_; ++i) {
+    if (!(requests & (uint32_t{1} << i))) continue;
+    bool wins = true;
+    for (int j = 0; j < n_ && wins; ++j) {
+      if (j == i || !(requests & (uint32_t{1} << j))) continue;
+      if (!beats(i, j)) wins = false;
+    }
+    if (wins) return i;
+  }
+  // With a consistent matrix exactly one requester wins; defensive fallback.
+  for (int i = 0; i < n_; ++i)
+    if (requests & (uint32_t{1} << i)) return i;
+  return -1;
+}
+
+int MatrixArbiter::arbitrate(uint32_t requests) {
+  const int winner = peek(requests);
+  if (winner < 0) return -1;
+  // Demote the winner below all others.
+  for (int j = 0; j < n_; ++j) {
+    if (j == winner) continue;
+    w_[static_cast<size_t>(winner * n_ + j)] = false;
+    w_[static_cast<size_t>(j * n_ + winner)] = true;
+  }
+  return winner;
+}
+
+}  // namespace noc

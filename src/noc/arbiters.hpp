@@ -1,0 +1,56 @@
+#pragma once
+// Arbiters used by the separable switch allocator:
+//  - mSA-I: per-input-port round-robin across the 6 VCs, "fair and
+//    starvation-free" (paper Sec 3.1).
+//  - mSA-II: per-output-port matrix arbiter across the 5 input ports
+//    (paper Sec 3.1), least-recently-served priority.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+/// Rotating-priority (round-robin) arbiter over n requesters.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int n);
+
+  /// Grant one of the requesters set in `requests` (bit i = requester i),
+  /// starting the search after the previous winner. Returns the winner
+  /// index, or -1 if no requests. Advances the pointer on a grant.
+  int arbitrate(uint32_t requests);
+
+  /// Inspect without state change.
+  int peek(uint32_t requests) const;
+
+  int size() const { return n_; }
+  int pointer() const { return next_; }
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+/// Matrix arbiter over n requesters: w[i][j] == true means i beats j.
+/// The winner is demoted below everyone it beat (least-recently-served),
+/// which is starvation-free for persistent requesters.
+class MatrixArbiter {
+ public:
+  explicit MatrixArbiter(int n);
+
+  /// Grant one requester from the bitmask, or -1. Updates the matrix.
+  int arbitrate(uint32_t requests);
+
+  int peek(uint32_t requests) const;
+
+  int size() const { return n_; }
+
+ private:
+  bool beats(int i, int j) const { return w_[static_cast<size_t>(i * n_ + j)]; }
+
+  int n_;
+  std::vector<bool> w_;
+};
+
+}  // namespace noc

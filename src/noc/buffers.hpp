@@ -1,0 +1,134 @@
+#pragma once
+// Virtual-channel buffering and credit-based flow control state.
+//
+// Paper configuration (Sec 3.3 / Fig 2): per input port, 2 message classes
+// over 6 VCs -- Request: 4 VCs x 1 flit deep, Response: 2 VCs x 3 flits deep
+// (10 x 64b latches per port). Upstream side (an output port, or a NIC's
+// injection stage) tracks per-VC credits and a free-VC queue per message
+// class for VC allocation.
+
+#include <deque>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+
+namespace noc {
+
+/// VC organization shared by every input port in the network.
+struct VcConfig {
+  int vcs_per_mc[kNumMsgClasses] = {4, 2};
+  int depth_per_mc[kNumMsgClasses] = {1, 3};
+
+  int total_vcs() const { return vcs_per_mc[0] + vcs_per_mc[1]; }
+  int total_buffers() const {
+    return vcs_per_mc[0] * depth_per_mc[0] + vcs_per_mc[1] * depth_per_mc[1];
+  }
+  /// First VC id of a message class (VC ids are global per port).
+  int vc_base(MsgClass mc) const {
+    return mc == MsgClass::Request ? 0 : vcs_per_mc[0];
+  }
+  MsgClass mc_of_vc(int vc) const {
+    NOC_EXPECTS(vc >= 0 && vc < total_vcs());
+    return vc < vcs_per_mc[0] ? MsgClass::Request : MsgClass::Response;
+  }
+  int depth_of_vc(int vc) const {
+    return depth_per_mc[static_cast<int>(mc_of_vc(vc))];
+  }
+};
+
+/// One multicast branch of the packet currently holding an input VC:
+/// the output port it forks to, the destination partition, the downstream
+/// VC allocated by VA, and per-branch send progress.
+struct Branch {
+  PortDir out = PortDir::Local;
+  DestMask dests = 0;
+  int ds_vc = -1;        // downstream VC (VA result); -1 = not yet allocated
+  int next_seq = 0;      // next flit sequence number to send on this branch
+  bool tail_sent = false;
+
+  bool needs_vc() const { return ds_vc < 0; }
+};
+
+/// State of one input VC: the flit FIFO plus the active packet's branch
+/// bookkeeping. The branch state is also used by fully-bypassed packets
+/// whose flits never enter the FIFO (DESIGN.md Sec 3).
+class InputVc {
+ public:
+  void configure(int depth) { depth_ = depth; }
+
+  bool busy() const { return busy_; }
+  bool empty() const { return fifo_.empty(); }
+  int occupancy() const { return static_cast<int>(fifo_.size()); }
+  int depth() const { return depth_; }
+
+  /// Allocate this VC to a packet and install its branches.
+  void open_packet(const Flit& head, std::vector<Branch> branches);
+
+  /// Release the VC after the tail has been sent on every branch.
+  void close_packet();
+
+  /// Buffer write. The FIFO stores flits in seq order; front_seq tracks the
+  /// seq of the flit at the FIFO head (flits below it already left).
+  void push(const Flit& f);
+
+  /// The flit with sequence number `seq`, which must still be buffered.
+  const Flit& flit_at_seq(int seq) const;
+  bool has_seq(int seq) const;
+
+  /// Pop the front flit once every branch has sent it. Returns it.
+  Flit pop_front();
+  int front_seq() const { return front_seq_; }
+
+  std::vector<Branch>& branches() { return branches_; }
+  const std::vector<Branch>& branches() const { return branches_; }
+
+  /// Smallest next_seq over unfinished branches == the seq currently being
+  /// serviced; INT_MAX when all branches are done.
+  int current_seq() const;
+
+  /// True when all branches have sent the tail.
+  bool all_branches_done() const;
+
+  /// Total flits of the active packet that have been accepted (bypassed or
+  /// buffered); used to detect when a body flit may bypass in order.
+  int accepted_flits = 0;
+  int packet_len = 0;
+
+ private:
+  std::deque<Flit> fifo_;
+  std::vector<Branch> branches_;
+  int depth_ = 1;
+  int front_seq_ = 0;
+  bool busy_ = false;
+};
+
+/// Upstream-side view of one downstream input port: per-VC credit counters
+/// plus per-MC free-VC queues used by VA (paper Fig 1: "VC allocation from a
+/// free VC queue at each output port").
+class DownstreamState {
+ public:
+  void configure(const VcConfig& cfg);
+
+  /// VA: take a free downstream VC of class `mc`, or -1.
+  int allocate_vc(MsgClass mc);
+  /// A vc_free credit arrived: the downstream VC finished its packet.
+  void release_vc(int vc);
+
+  bool has_free_vc(MsgClass mc) const;
+  int free_vc_count(MsgClass mc) const;
+
+  int credits(int vc) const { return credits_[static_cast<size_t>(vc)]; }
+  void consume_credit(int vc);
+  void return_credit(int vc);
+
+  const VcConfig& config() const { return cfg_; }
+
+ private:
+  VcConfig cfg_;
+  std::vector<int> credits_;
+  std::deque<int> free_vcs_[kNumMsgClasses];
+};
+
+}  // namespace noc

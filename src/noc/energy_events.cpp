@@ -1,0 +1,43 @@
+#include "noc/energy_events.hpp"
+
+namespace noc {
+
+EnergyCounters& EnergyCounters::operator+=(const EnergyCounters& o) {
+  xbar_traversals += o.xbar_traversals;
+  link_traversals += o.link_traversals;
+  nic_link_traversals += o.nic_link_traversals;
+  buffer_writes += o.buffer_writes;
+  buffer_reads += o.buffer_reads;
+  sa1_arbitrations += o.sa1_arbitrations;
+  sa2_arbitrations += o.sa2_arbitrations;
+  vc_allocations += o.vc_allocations;
+  lookaheads_sent += o.lookaheads_sent;
+  cycles += o.cycles;
+  vc_active_cycles += o.vc_active_cycles;
+  bypasses += o.bypasses;
+  partial_bypasses += o.partial_bypasses;
+  buffered_hops += o.buffered_hops;
+  return *this;
+}
+
+EnergyCounters EnergyCounters::delta_since(
+    const EnergyCounters& baseline) const {
+  EnergyCounters d = *this;
+  d.xbar_traversals -= baseline.xbar_traversals;
+  d.link_traversals -= baseline.link_traversals;
+  d.nic_link_traversals -= baseline.nic_link_traversals;
+  d.buffer_writes -= baseline.buffer_writes;
+  d.buffer_reads -= baseline.buffer_reads;
+  d.sa1_arbitrations -= baseline.sa1_arbitrations;
+  d.sa2_arbitrations -= baseline.sa2_arbitrations;
+  d.vc_allocations -= baseline.vc_allocations;
+  d.lookaheads_sent -= baseline.lookaheads_sent;
+  d.cycles -= baseline.cycles;
+  d.vc_active_cycles -= baseline.vc_active_cycles;
+  d.bypasses -= baseline.bypasses;
+  d.partial_bypasses -= baseline.partial_bypasses;
+  d.buffered_hops -= baseline.buffered_hops;
+  return d;
+}
+
+}  // namespace noc

@@ -1,0 +1,52 @@
+#pragma once
+// Energy event counters.
+//
+// The simulator does not compute joules inline; it counts microarchitectural
+// events (the quantities a power model multiplies by per-event energies).
+// src/power turns these counts into the paper's mW breakdowns, and the same
+// counts feed all three estimator families of Fig 8.
+
+#include <cstdint>
+
+namespace noc {
+
+struct EnergyCounters {
+  // Datapath events.
+  int64_t xbar_traversals = 0;   // one per (flit, granted output) -- fanout
+  int64_t link_traversals = 0;   // router-to-router link, one per flit copy
+  int64_t nic_link_traversals = 0;  // NIC<->router links
+
+  // Buffer events.
+  int64_t buffer_writes = 0;
+  int64_t buffer_reads = 0;
+
+  // Control events.
+  int64_t sa1_arbitrations = 0;  // mSA-I round-robin decisions
+  int64_t sa2_arbitrations = 0;  // mSA-II matrix-arbiter decisions
+  int64_t vc_allocations = 0;    // VA free-VC-queue pops
+  int64_t lookaheads_sent = 0;   // 15b lookahead transmissions
+
+  // Occupancy / time.
+  int64_t cycles = 0;            // network cycles elapsed (per-router clock
+                                 // and leakage scale with this)
+  int64_t vc_active_cycles = 0;  // VC bookkeeping state busy-cycles
+
+  // Microarchitectural outcomes (statistics, not energy).
+  int64_t bypasses = 0;          // flits that fully bypassed a router
+  int64_t partial_bypasses = 0;  // multicast flits that bypassed a subset
+  int64_t buffered_hops = 0;     // flits that took the buffered pipeline
+
+  void reset() { *this = EnergyCounters{}; }
+
+  EnergyCounters& operator+=(const EnergyCounters& o);
+  EnergyCounters delta_since(const EnergyCounters& baseline) const;
+
+  /// Fraction of hop traversals that bypassed buffering entirely.
+  double bypass_rate() const {
+    const double total =
+        static_cast<double>(bypasses + partial_bypasses + buffered_hops);
+    return total > 0 ? static_cast<double>(bypasses) / total : 0.0;
+  }
+};
+
+}  // namespace noc

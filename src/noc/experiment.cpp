@@ -1,0 +1,121 @@
+#include "noc/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace noc {
+
+double deliveries_per_offered_flit(const NetworkConfig& cfg) {
+  const MeshGeometry geom(cfg.k);
+  const auto n = static_cast<double>(geom.num_nodes());
+  const double bdel =
+      cfg.traffic.include_self_in_broadcast ? n : n - 1.0;  // per bcast flit
+  switch (cfg.traffic.pattern) {
+    case TrafficPattern::BroadcastOnly:
+      return bdel;
+    case TrafficPattern::MixedPaper: {
+      // Per logical packet: flits offered and flits delivered.
+      const double offered = cfg.traffic.frac_broadcast_request * 1.0 +
+                             cfg.traffic.frac_unicast_request * 1.0 +
+                             cfg.traffic.frac_unicast_response * 5.0;
+      const double delivered = cfg.traffic.frac_broadcast_request * bdel +
+                               cfg.traffic.frac_unicast_request * 1.0 +
+                               cfg.traffic.frac_unicast_response * 5.0;
+      return delivered / offered;
+    }
+    default:
+      return 1.0;
+  }
+}
+
+PointResult measure_point(NetworkConfig cfg, double offered,
+                          const MeasureOptions& opt) {
+  cfg.traffic.offered_flits_per_node_cycle = offered;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(opt.warmup);
+  net.metrics().begin_window(sim.now());
+  const EnergyCounters before = net.energy();
+  sim.run(opt.window);
+  net.metrics().end_window(sim.now());
+
+  PointResult r;
+  r.offered_fpc = offered;
+  r.avg_latency = net.metrics().avg_packet_latency();
+  r.recv_flits_per_cycle = net.metrics().received_flits_per_cycle();
+  r.recv_gbps = flits_per_cycle_to_gbps(r.recv_flits_per_cycle);
+  r.completed_packets = net.metrics().completed_packets();
+  r.max_ejection_load = net.metrics().max_ejection_link_load();
+  r.max_bisection_load = net.metrics().max_bisection_link_load();
+  r.energy = net.energy().delta_since(before);
+  r.bypass_rate = r.energy.bypass_rate();
+  return r;
+}
+
+double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt) {
+  MeasureOptions zl = opt;
+  zl.window = std::max<Cycle>(opt.window, 20000);
+  const double tiny = 0.002;
+  return measure_point(cfg, tiny, zl).avg_latency;
+}
+
+SaturationResult find_saturation(NetworkConfig cfg, const MeasureOptions& opt) {
+  SaturationResult res;
+  res.zero_load_latency = zero_load_latency(cfg, opt);
+  const double threshold = 3.0 * res.zero_load_latency;
+  const double limit = 1.0 / deliveries_per_offered_flit(cfg);
+
+  // Geometric ramp until saturated, then bisect.
+  double lo = limit * 0.05, hi = limit * 1.10;
+  PointResult lo_pt = measure_point(cfg, lo, opt);
+  if (lo_pt.avg_latency > threshold) {
+    // Saturates below 5% of the ejection limit; bisect from ~0.
+    hi = lo;
+    lo = limit * 0.002;
+  } else {
+    double rate = lo;
+    bool found = false;
+    while (rate < hi) {
+      const double next = rate * 1.5;
+      PointResult pt = measure_point(cfg, std::min(next, hi), opt);
+      if (pt.avg_latency > threshold) {
+        lo = rate;
+        hi = std::min(next, hi);
+        found = true;
+        break;
+      }
+      rate = next;
+    }
+    if (!found) {
+      // Never saturated inside the physical envelope: report the limit.
+      res.saturation_offered = hi;
+      res.at_saturation = measure_point(cfg, hi, opt);
+      res.saturation_gbps = res.at_saturation.recv_gbps;
+      return res;
+    }
+  }
+  for (int iter = 0; iter < 9; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    PointResult pt = measure_point(cfg, mid, opt);
+    if (pt.avg_latency > threshold)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  res.saturation_offered = 0.5 * (lo + hi);
+  res.at_saturation = measure_point(cfg, res.saturation_offered, opt);
+  res.saturation_gbps = res.at_saturation.recv_gbps;
+  return res;
+}
+
+std::vector<PointResult> sweep_curve(NetworkConfig cfg,
+                                     const std::vector<double>& offered,
+                                     const MeasureOptions& opt) {
+  std::vector<PointResult> out;
+  out.reserve(offered.size());
+  for (double r : offered) out.push_back(measure_point(cfg, r, opt));
+  return out;
+}
+
+}  // namespace noc

@@ -1,0 +1,61 @@
+#pragma once
+// Experiment harness: the measurement methodology shared by the Fig 5/6/13
+// benches and the throughput tests.
+//
+// A measurement runs a fresh network through warmup, opens the metrics
+// window, and reports latency / received throughput / channel loads /
+// bypass statistics at one offered load. Saturation follows the paper's
+// definition (Sec 4.1 footnote): the injection rate at which average packet
+// latency reaches 3x the no-load latency.
+
+#include <vector>
+
+#include "noc/network.hpp"
+
+namespace noc {
+
+struct MeasureOptions {
+  Cycle warmup = 3000;
+  Cycle window = 10000;
+};
+
+struct PointResult {
+  double offered_fpc = 0;       // offered logical flits / node / cycle
+  double avg_latency = 0;       // cycles, generation -> last delivery
+  double recv_flits_per_cycle = 0;  // aggregate over all NICs
+  double recv_gbps = 0;         // at 1 GHz, 64b flits
+  double bypass_rate = 0;       // fraction of hops fully bypassed
+  int64_t completed_packets = 0;
+  double max_ejection_load = 0;
+  double max_bisection_load = 0;
+  EnergyCounters energy;        // window-scoped event counts
+};
+
+/// Run one point at `offered` flits/node/cycle.
+PointResult measure_point(NetworkConfig cfg, double offered,
+                          const MeasureOptions& opt = {});
+
+/// Latency at (near) zero load.
+double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt = {});
+
+struct SaturationResult {
+  double zero_load_latency = 0;
+  double saturation_offered = 0;  // flits/node/cycle at the 3x point
+  double saturation_gbps = 0;     // received throughput there
+  PointResult at_saturation;
+};
+
+/// Locate the saturation point by geometric ramp + bisection on offered load.
+SaturationResult find_saturation(NetworkConfig cfg,
+                                 const MeasureOptions& opt = {});
+
+/// Latency-throughput curve over the given offered loads.
+std::vector<PointResult> sweep_curve(NetworkConfig cfg,
+                                     const std::vector<double>& offered,
+                                     const MeasureOptions& opt = {});
+
+/// Deliveries (ejected flits) per offered logical flit for a pattern; the
+/// ejection-limited saturation offered load is 1 / this value.
+double deliveries_per_offered_flit(const NetworkConfig& cfg);
+
+}  // namespace noc

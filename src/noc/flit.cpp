@@ -1,0 +1,25 @@
+#include "noc/flit.hpp"
+
+#include <cstdio>
+
+namespace noc {
+
+std::string Flit::describe() const {
+  const char* ty = "?";
+  switch (type) {
+    case FlitType::Head: ty = "H"; break;
+    case FlitType::Body: ty = "B"; break;
+    case FlitType::Tail: ty = "T"; break;
+    case FlitType::HeadTail: ty = "HT"; break;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "flit{pkt=%llu src=%d dm=%llx bm=%llx mc=%d %s seq=%d/%d vc=%d}",
+                static_cast<unsigned long long>(packet_id), src,
+                static_cast<unsigned long long>(dest_mask),
+                static_cast<unsigned long long>(branch_mask),
+                static_cast<int>(mc), ty, seq, packet_len, vc);
+  return buf;
+}
+
+}  // namespace noc

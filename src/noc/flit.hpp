@@ -1,0 +1,75 @@
+#pragma once
+// Flit: the flow-control unit moving through the network (paper Sec 2.1).
+//
+// Flits are 64-bit on the chip; here the struct additionally carries the
+// bookkeeping the hardware encodes in head-flit fields and side-band wires:
+// the destination mask (multicast), message class, sequence number within
+// the packet, and timestamps for the latency statistics.
+
+#include <cstdint>
+#include <string>
+
+#include "noc/geometry.hpp"
+#include "sim/tickable.hpp"
+
+namespace noc {
+
+/// Message classes avoid request/response protocol deadlock in
+/// cache-coherent multicores (paper Sec 3). Requests are single-flit
+/// (coherence requests/acks), responses are 5-flit (cache-line data).
+enum class MsgClass : uint8_t { Request = 0, Response = 1 };
+constexpr int kNumMsgClasses = 2;
+
+enum class FlitType : uint8_t { Head, Body, Tail, HeadTail };
+
+inline bool is_head(FlitType t) {
+  return t == FlitType::Head || t == FlitType::HeadTail;
+}
+inline bool is_tail(FlitType t) {
+  return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+using PacketId = uint64_t;
+
+struct Flit {
+  PacketId packet_id = 0;
+  /// Logical packet this flit belongs to: equals packet_id except for
+  /// NIC-duplicated broadcast copies, which share the original broadcast's
+  /// id so latency can be measured to the last delivered copy.
+  PacketId logical_id = 0;
+  NodeId src = 0;
+  /// Full destination set of the packet (1 bit for unicast).
+  DestMask dest_mask = 0;
+  /// Destinations THIS copy is responsible for. On a multicast fork each
+  /// branch copy receives a disjoint partition, so no node is delivered to
+  /// twice (DESIGN.md Sec 3).
+  DestMask branch_mask = 0;
+  MsgClass mc = MsgClass::Request;
+  FlitType type = FlitType::HeadTail;
+  /// Position within the packet: 0 .. packet_len-1.
+  int seq = 0;
+  int packet_len = 1;
+  /// 64-bit payload word (PRBS-generated); drives data-dependent energy.
+  uint64_t payload = 0;
+  /// VC id at the input port the flit is currently heading to / stored in.
+  int vc = -1;
+  /// Cycle the packet was created at the source NIC (includes source
+  /// queueing in latency -- the paper's saturation definition needs this).
+  Cycle gen_cycle = 0;
+  /// Cycle the head flit entered the network (left the NIC).
+  Cycle inject_cycle = 0;
+
+  std::string describe() const;
+};
+
+/// Credit / VC-free signal returned upstream (paper Fig 1 "credit signals").
+struct Credit {
+  int vc = -1;
+  /// One buffer slot freed (always true for slot credits).
+  bool slot = true;
+  /// The tail flit has left (or bypassed) the buffer: the VC itself is free
+  /// for reallocation by the upstream VA.
+  bool vc_free = false;
+};
+
+}  // namespace noc

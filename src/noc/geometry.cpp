@@ -1,0 +1,67 @@
+#include "noc/geometry.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace noc {
+
+MeshGeometry::MeshGeometry(int k) : k_(k) {
+  NOC_EXPECTS(k >= 2 && k * k <= 64);
+}
+
+NodeId MeshGeometry::id(Coord c) const {
+  NOC_EXPECTS(valid(c));
+  return c.y * k_ + c.x;
+}
+
+Coord MeshGeometry::coord(NodeId n) const {
+  NOC_EXPECTS(n >= 0 && n < num_nodes());
+  return Coord{n % k_, n / k_};
+}
+
+bool MeshGeometry::valid(Coord c) const {
+  return c.x >= 0 && c.x < k_ && c.y >= 0 && c.y < k_;
+}
+
+int MeshGeometry::manhattan(NodeId a, NodeId b) const {
+  const Coord ca = coord(a), cb = coord(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+int MeshGeometry::furthest_distance(NodeId src) const {
+  const Coord c = coord(src);
+  const int dx = std::max(c.x, k_ - 1 - c.x);
+  const int dy = std::max(c.y, k_ - 1 - c.y);
+  return dx + dy;
+}
+
+DestMask MeshGeometry::all_nodes_mask() const {
+  const int n = num_nodes();
+  return n == 64 ? ~DestMask{0} : ((DestMask{1} << n) - 1);
+}
+
+std::vector<NodeId> MeshGeometry::nodes_in(DestMask mask) const {
+  std::vector<NodeId> out;
+  for (int n = 0; n < num_nodes(); ++n)
+    if (mask & node_mask(n)) out.push_back(n);
+  return out;
+}
+
+double MeshGeometry::exact_avg_unicast_hops() const {
+  long total = 0, pairs = 0;
+  for (NodeId a = 0; a < num_nodes(); ++a)
+    for (NodeId b = 0; b < num_nodes(); ++b) {
+      if (a == b) continue;
+      total += manhattan(a, b);
+      ++pairs;
+    }
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+double MeshGeometry::exact_avg_broadcast_hops() const {
+  long total = 0;
+  for (NodeId s = 0; s < num_nodes(); ++s) total += furthest_distance(s);
+  return static_cast<double>(total) / num_nodes();
+}
+
+}  // namespace noc

@@ -1,0 +1,69 @@
+#pragma once
+// k x k mesh geometry: node ids, coordinates, Manhattan distances, and the
+// destination-set bit masks used by the multicast machinery.
+//
+// Node ids are row-major: id = y * k + x. Destination sets are uint64_t bit
+// masks (bit i = node i), which caps the mesh at 64 nodes -- enough for the
+// paper's 4x4 chip and the 8x8 comparisons of Table 2.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+using NodeId = int;
+using DestMask = uint64_t;
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class MeshGeometry {
+ public:
+  explicit MeshGeometry(int k);
+
+  int k() const { return k_; }
+  int num_nodes() const { return k_ * k_; }
+
+  NodeId id(Coord c) const;
+  NodeId id(int x, int y) const { return id(Coord{x, y}); }
+  Coord coord(NodeId n) const;
+  bool valid(Coord c) const;
+
+  int manhattan(NodeId a, NodeId b) const;
+
+  /// Distance from `src` to its furthest node (broadcast completion metric,
+  /// Fig 9 of the paper).
+  int furthest_distance(NodeId src) const;
+
+  /// Mask with every node set (broadcast destination set, self included --
+  /// Table 1 counts ejection load k^2 R, i.e. self-delivery included).
+  DestMask all_nodes_mask() const;
+
+  /// Mask for a single node.
+  static DestMask node_mask(NodeId n) {
+    NOC_EXPECTS(n >= 0 && n < 64);
+    return DestMask{1} << n;
+  }
+
+  /// All node ids present in `mask`.
+  std::vector<NodeId> nodes_in(DestMask mask) const;
+
+  /// Exact average hop count under uniform random unicast (src != dst),
+  /// by enumeration. Used to cross-check Table 1's printed formula.
+  double exact_avg_unicast_hops() const;
+
+  /// Exact average distance-to-furthest over all sources (broadcast),
+  /// by enumeration. Cross-checks Table 1's printed broadcast formula.
+  double exact_avg_broadcast_hops() const;
+
+ private:
+  int k_;
+};
+
+}  // namespace noc

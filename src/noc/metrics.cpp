@@ -1,0 +1,134 @@
+#include "noc/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+Metrics::Metrics(const MeshGeometry& geom)
+    : geom_(geom),
+      link_flits_(static_cast<size_t>(geom.num_nodes())),
+      injection_flits_(static_cast<size_t>(geom.num_nodes()), 0) {
+  for (auto& arr : link_flits_) arr.fill(0);
+}
+
+void Metrics::on_logical_packet(PacketId logical_id, PacketKind kind,
+                                Cycle gen, int deliveries) {
+  NOC_EXPECTS(deliveries > 0);
+  auto [it, inserted] = open_.try_emplace(logical_id);
+  if (inserted) {
+    it->second.gen = gen;
+    it->second.kind = kind;
+    it->second.remaining = deliveries;
+    ++total_generated_;
+  } else {
+    // NIC-duplicated broadcast: copies accumulate onto one logical record.
+    it->second.remaining += deliveries;
+  }
+}
+
+void Metrics::on_flit_received(PacketId logical_id, const Flit& f, Cycle now) {
+  if (in_window_) ++window_flits_received_;
+  if (!is_tail(f.type)) return;
+  auto it = open_.find(logical_id);
+  NOC_ASSERT(it != open_.end());
+  NOC_ASSERT(it->second.remaining > 0);
+  if (--it->second.remaining == 0) {
+    ++total_completed_;
+    if (in_window_) {
+      const auto lat = static_cast<double>(now - it->second.gen);
+      latency_all_.add(lat);
+      latency_by_kind_[static_cast<int>(it->second.kind)].add(lat);
+      ++window_packets_completed_;
+    }
+    open_.erase(it);
+  }
+}
+
+void Metrics::on_link_flit(NodeId node, PortDir port) {
+  if (!in_window_) return;
+  ++link_flits_[static_cast<size_t>(node)][static_cast<size_t>(port_index(port))];
+}
+
+void Metrics::on_injection_link(NodeId node) {
+  if (!in_window_) return;
+  ++injection_flits_[static_cast<size_t>(node)];
+}
+
+void Metrics::begin_window(Cycle now) {
+  in_window_ = true;
+  window_start_ = now;
+  window_end_ = now;
+  latency_all_.reset();
+  for (auto& s : latency_by_kind_) s.reset();
+  window_flits_received_ = 0;
+  window_packets_completed_ = 0;
+  for (auto& arr : link_flits_) arr.fill(0);
+  std::fill(injection_flits_.begin(), injection_flits_.end(), 0);
+}
+
+void Metrics::end_window(Cycle now) {
+  in_window_ = false;
+  window_end_ = now;
+}
+
+Cycle Metrics::window_cycles() const { return window_end_ - window_start_; }
+
+double Metrics::received_flits_per_cycle() const {
+  const Cycle w = window_cycles();
+  return w > 0 ? static_cast<double>(window_flits_received_) /
+                     static_cast<double>(w)
+               : 0.0;
+}
+
+double Metrics::max_bisection_link_load() const {
+  const Cycle w = window_cycles();
+  if (w <= 0) return 0.0;
+  const int k = geom_.k();
+  const int xw = k / 2 - 1;  // west column of the vertical bisection cut
+  int64_t worst = 0;
+  for (int y = 0; y < k; ++y) {
+    const NodeId west = geom_.id(xw, y), east = geom_.id(xw + 1, y);
+    worst = std::max(
+        worst, link_flits_[static_cast<size_t>(west)][port_index(PortDir::East)]);
+    worst = std::max(
+        worst, link_flits_[static_cast<size_t>(east)][port_index(PortDir::West)]);
+  }
+  return static_cast<double>(worst) / static_cast<double>(w);
+}
+
+double Metrics::avg_bisection_link_load() const {
+  const Cycle w = window_cycles();
+  if (w <= 0) return 0.0;
+  const int k = geom_.k();
+  const int xw = k / 2 - 1;
+  int64_t total = 0;
+  for (int y = 0; y < k; ++y) {
+    const NodeId west = geom_.id(xw, y), east = geom_.id(xw + 1, y);
+    total += link_flits_[static_cast<size_t>(west)][port_index(PortDir::East)];
+    total += link_flits_[static_cast<size_t>(east)][port_index(PortDir::West)];
+  }
+  return static_cast<double>(total) / static_cast<double>(2 * k) /
+         static_cast<double>(w);
+}
+
+double Metrics::max_ejection_link_load() const {
+  const Cycle w = window_cycles();
+  if (w <= 0) return 0.0;
+  int64_t worst = 0;
+  for (const auto& arr : link_flits_)
+    worst = std::max(worst, arr[port_index(PortDir::Local)]);
+  return static_cast<double>(worst) / static_cast<double>(w);
+}
+
+double Metrics::avg_ejection_link_load() const {
+  const Cycle w = window_cycles();
+  if (w <= 0) return 0.0;
+  int64_t total = 0;
+  for (const auto& arr : link_flits_) total += arr[port_index(PortDir::Local)];
+  return static_cast<double>(total) / static_cast<double>(geom_.num_nodes()) /
+         static_cast<double>(w);
+}
+
+}  // namespace noc

@@ -1,0 +1,108 @@
+#pragma once
+// Network-level measurement: packet latency (to the LAST destination for
+// multicasts, per the paper's "complete action" definition), received
+// throughput, and per-link channel loads.
+//
+// Latency is measured from packet *generation* (so source queueing counts,
+// which the paper's saturation definition -- latency reaching 3x the no-load
+// latency -- requires), to the cycle the tail flit is drained at the last
+// destination NIC.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/flit.hpp"
+#include "noc/geometry.hpp"
+#include "noc/routing.hpp"
+
+namespace noc {
+
+/// Classification used for per-traffic-type statistics.
+enum class PacketKind { UnicastRequest, UnicastResponse, Broadcast };
+constexpr int kNumPacketKinds = 3;
+
+class Metrics {
+ public:
+  explicit Metrics(const MeshGeometry& geom);
+
+  // ---- recording interface (called by NICs / routers) ----
+
+  /// A logical packet came into existence. `deliveries` is the number of
+  /// tail-flit deliveries required for completion (dest count; for a
+  /// NIC-duplicated broadcast the copies share the logical id so the latency
+  /// spans all of them).
+  void on_logical_packet(PacketId logical_id, PacketKind kind, Cycle gen,
+                         int deliveries);
+
+  /// A flit was drained at a destination NIC.
+  void on_flit_received(PacketId logical_id, const Flit& f, Cycle now);
+
+  /// A flit crossed the link leaving `node` through `port` (Local = ejection
+  /// link toward the NIC). Injection links are recorded via
+  /// on_injection_link.
+  void on_link_flit(NodeId node, PortDir port);
+  void on_injection_link(NodeId node);
+
+  // ---- measurement window ----
+
+  void begin_window(Cycle now);
+  void end_window(Cycle now);
+  bool in_window() const { return in_window_; }
+  Cycle window_cycles() const;
+
+  // ---- results ----
+
+  /// Average latency over packets *completed* inside the window.
+  double avg_packet_latency() const { return latency_all_.mean(); }
+  const RunningStat& latency_stat() const { return latency_all_; }
+  const RunningStat& latency_stat(PacketKind k) const {
+    return latency_by_kind_[static_cast<int>(k)];
+  }
+
+  /// Aggregate received flits per cycle inside the window.
+  double received_flits_per_cycle() const;
+  int64_t received_flits() const { return window_flits_received_; }
+  int64_t completed_packets() const { return window_packets_completed_; }
+
+  /// Flits per cycle on the busiest / average bisection link (the k vertical
+  /// cut E/W channels in each direction), Table 1's L_bisection.
+  double max_bisection_link_load() const;
+  double avg_bisection_link_load() const;
+  /// Flits per cycle on the busiest ejection (router->NIC) link, L_ejection.
+  double max_ejection_link_load() const;
+  double avg_ejection_link_load() const;
+
+  /// Number of logical packets generated but not yet fully delivered.
+  int64_t open_packets() const { return static_cast<int64_t>(open_.size()); }
+  int64_t total_generated() const { return total_generated_; }
+  int64_t total_completed() const { return total_completed_; }
+
+ private:
+  struct OpenPacket {
+    Cycle gen = 0;
+    int remaining = 0;
+    PacketKind kind = PacketKind::UnicastRequest;
+  };
+
+  const MeshGeometry& geom_;
+  std::unordered_map<PacketId, OpenPacket> open_;
+
+  bool in_window_ = false;
+  Cycle window_start_ = 0;
+  Cycle window_end_ = 0;
+
+  RunningStat latency_all_;
+  RunningStat latency_by_kind_[kNumPacketKinds];
+  int64_t window_flits_received_ = 0;
+  int64_t window_packets_completed_ = 0;
+  int64_t total_generated_ = 0;
+  int64_t total_completed_ = 0;
+
+  // link flit counters, window-scoped: [node][port]
+  std::vector<std::array<int64_t, kNumPorts>> link_flits_;
+  std::vector<int64_t> injection_flits_;
+};
+
+}  // namespace noc

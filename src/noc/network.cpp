@@ -1,0 +1,146 @@
+#include "noc/network.hpp"
+
+namespace noc {
+
+NetworkConfig NetworkConfig::proposed(int k) {
+  NetworkConfig c;
+  c.k = k;
+  c.router.pipeline = PipelineMode::Proposed;
+  c.router.multicast = true;
+  return c;
+}
+
+NetworkConfig NetworkConfig::lowswing_multicast(int k) {
+  NetworkConfig c;
+  c.k = k;
+  c.router.pipeline = PipelineMode::ThreeStage;
+  c.router.multicast = true;
+  return c;
+}
+
+NetworkConfig NetworkConfig::baseline_3stage(int k) {
+  NetworkConfig c;
+  c.k = k;
+  c.router.pipeline = PipelineMode::ThreeStage;
+  c.router.multicast = false;
+  c.router.actionable_sa1_requests = false;  // textbook Fig-1 allocator
+  return c;
+}
+
+NetworkConfig NetworkConfig::baseline_4stage(int k) {
+  NetworkConfig c;
+  c.k = k;
+  c.router.pipeline = PipelineMode::FourStage;
+  c.router.multicast = false;
+  c.router.actionable_sa1_requests = false;  // textbook Fig-1 allocator
+  return c;
+}
+
+template <typename T>
+Channel<T>* Network::make_channel(
+    std::vector<std::unique_ptr<Channel<T>>>& pool, int latency) {
+  pool.push_back(std::make_unique<Channel<T>>(latency));
+  return pool.back().get();
+}
+
+Network::Network(const NetworkConfig& cfg)
+    : cfg_(cfg), geom_(cfg.k), metrics_(geom_) {
+  const int n = geom_.num_nodes();
+  routers_.reserve(static_cast<size_t>(n));
+  nics_.reserve(static_cast<size_t>(n));
+  for (NodeId node = 0; node < n; ++node) {
+    routers_.push_back(std::make_unique<Router>(node, geom_, cfg.router,
+                                                &energy_, &metrics_));
+    nics_.push_back(std::make_unique<Nic>(node, geom_, cfg.router, cfg.traffic,
+                                          &energy_, &metrics_));
+  }
+
+  const bool bypass = cfg.router.has_bypass();
+
+  // Router-to-router wiring. Each undirected edge gets one channel of each
+  // kind per direction. We visit each edge once (East and North neighbors).
+  auto wire_edge = [&](NodeId a, PortDir a_out, NodeId b) {
+    const PortDir b_out = opposite(a_out);
+    auto* f_ab = make_channel(flit_channels_, 1);
+    auto* f_ba = make_channel(flit_channels_, 1);
+    auto* c_ab = make_channel(credit_channels_, 1);  // a's inport -> b's outport
+    auto* c_ba = make_channel(credit_channels_, 1);  // b's inport -> a's outport
+    Channel<Lookahead>* l_ab = bypass ? make_channel(la_channels_, 1) : nullptr;
+    Channel<Lookahead>* l_ba = bypass ? make_channel(la_channels_, 1) : nullptr;
+
+    Router::PortChannels pa;  // router a, port a_out
+    pa.flit_out = f_ab;
+    pa.flit_in = f_ba;
+    pa.credit_in = c_ba;   // credits from b for flits a sent
+    pa.credit_out = c_ab;  // credits a sends for flits received from b
+    pa.la_out = l_ab;
+    pa.la_in = l_ba;
+    routers_[static_cast<size_t>(a)]->connect(a_out, pa);
+
+    Router::PortChannels pb;  // router b, port b_out
+    pb.flit_out = f_ba;
+    pb.flit_in = f_ab;
+    pb.credit_in = c_ab;
+    pb.credit_out = c_ba;
+    pb.la_out = l_ba;
+    pb.la_in = l_ab;
+    routers_[static_cast<size_t>(b)]->connect(b_out, pb);
+  };
+
+  for (int y = 0; y < cfg.k; ++y) {
+    for (int x = 0; x < cfg.k; ++x) {
+      const NodeId a = geom_.id(x, y);
+      if (x + 1 < cfg.k) wire_edge(a, PortDir::East, geom_.id(x + 1, y));
+      if (y + 1 < cfg.k) wire_edge(a, PortDir::North, geom_.id(x, y + 1));
+    }
+  }
+
+  // NIC wiring through each router's Local port.
+  for (NodeId node = 0; node < n; ++node) {
+    auto* f_nr = make_channel(flit_channels_, 1);   // NIC -> router
+    auto* f_rn = make_channel(flit_channels_, 1);   // router -> NIC
+    auto* c_rn = make_channel(credit_channels_, 1); // router local-in -> NIC
+    auto* c_nr = make_channel(credit_channels_, 1); // NIC rx -> router local-out
+    Channel<Lookahead>* l_nr = bypass ? make_channel(la_channels_, 0) : nullptr;
+
+    Router::PortChannels pl;
+    pl.flit_in = f_nr;
+    pl.flit_out = f_rn;
+    pl.credit_in = c_nr;
+    pl.credit_out = c_rn;
+    pl.la_in = l_nr;
+    pl.la_out = nullptr;  // no lookahead toward the NIC
+    routers_[static_cast<size_t>(node)]->connect(PortDir::Local, pl);
+
+    Nic::Channels nc;
+    nc.flit_to_router = f_nr;
+    nc.la_to_router = l_nr;
+    nc.credit_from_router = c_rn;
+    nc.flit_from_router = f_rn;
+    nc.credit_to_router = c_nr;
+    nics_[static_cast<size_t>(node)]->connect(nc);
+  }
+}
+
+void Network::step(Cycle now) {
+  for (auto& ch : flit_channels_) ch->begin_cycle(now);
+  for (auto& ch : credit_channels_) ch->begin_cycle(now);
+  for (auto& ch : la_channels_) ch->begin_cycle(now);
+  for (auto& nic : nics_) nic->tick_inject(now);
+  for (auto& r : routers_) r->tick(now);
+  for (auto& nic : nics_) nic->tick_eject(now);
+  ++energy_.cycles;
+}
+
+bool Network::quiescent() const {
+  if (metrics_.open_packets() != 0) return false;
+  for (const auto& r : routers_)
+    if (!r->idle()) return false;
+  for (const auto& nic : nics_)
+    if (!nic->idle()) return false;
+  for (const auto& ch : flit_channels_)
+    if (!ch->idle()) return false;
+  return true;
+}
+
+}  // namespace noc

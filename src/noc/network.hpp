@@ -1,0 +1,69 @@
+#pragma once
+// Network: assembles the k x k mesh of routers and NICs (paper Fig 2) and
+// drives them in the per-cycle phase order required by the timing model:
+//
+//   1. all channels deliver this cycle's arrivals
+//   2. NIC injection halves tick (they raise latency-0 lookaheads that the
+//      routers' mSA-II must see this same cycle)
+//   3. routers tick (credits -> ST/BW -> mSA-II -> mSA-I/VA)
+//   4. NIC ejection halves tick (drain flits the routers sent last cycle)
+
+#include <memory>
+#include <vector>
+
+#include "noc/energy_events.hpp"
+#include "noc/metrics.hpp"
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+#include "noc/traffic.hpp"
+#include "sim/simulation.hpp"
+
+namespace noc {
+
+struct NetworkConfig {
+  int k = 4;
+  RouterConfig router;
+  TrafficConfig traffic;
+
+  /// The paper's four measured configurations (Fig 5/6/13).
+  static NetworkConfig proposed(int k = 4);          // D: bypass + multicast
+  static NetworkConfig lowswing_multicast(int k = 4);  // C: multicast, no bypass
+  static NetworkConfig baseline_3stage(int k = 4);   // A/B: unicast, fused ST+LT
+  static NetworkConfig baseline_4stage(int k = 4);   // Fig 1 textbook router
+};
+
+class Network : public Steppable {
+ public:
+  explicit Network(const NetworkConfig& cfg);
+
+  void step(Cycle now) override;
+
+  const NetworkConfig& config() const { return cfg_; }
+  const MeshGeometry& geom() const { return geom_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  EnergyCounters& energy() { return energy_; }
+  Router& router(NodeId n) { return *routers_[static_cast<size_t>(n)]; }
+  Nic& nic(NodeId n) { return *nics_[static_cast<size_t>(n)]; }
+
+  /// True when no packet is anywhere in flight.
+  bool quiescent() const;
+
+ private:
+  template <typename T>
+  Channel<T>* make_channel(std::vector<std::unique_ptr<Channel<T>>>& pool,
+                           int latency);
+
+  NetworkConfig cfg_;
+  MeshGeometry geom_;
+  Metrics metrics_;
+  EnergyCounters energy_;
+
+  std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
+  std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
+  std::vector<std::unique_ptr<Channel<Lookahead>>> la_channels_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace noc

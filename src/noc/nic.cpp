@@ -1,0 +1,190 @@
+#include "noc/nic.hpp"
+
+#include <bit>
+
+namespace noc {
+
+Nic::Nic(NodeId node, const MeshGeometry& geom, const RouterConfig& router_cfg,
+         const TrafficConfig& traffic_cfg, EnergyCounters* energy,
+         Metrics* metrics)
+    : node_(node),
+      geom_(geom),
+      router_cfg_(router_cfg),
+      energy_(energy),
+      metrics_(metrics),
+      gen_(geom, traffic_cfg, node),
+      rx_vcs_(static_cast<size_t>(router_cfg.vc.total_vcs())),
+      rx_rr_(router_cfg.vc.total_vcs()) {
+  ds_.configure(router_cfg.vc);
+}
+
+PacketKind Nic::classify(const Packet& pkt) const {
+  if (std::popcount(pkt.dest_mask) > 1) return PacketKind::Broadcast;
+  return pkt.mc == MsgClass::Response ? PacketKind::UnicastResponse
+                                      : PacketKind::UnicastRequest;
+}
+
+void Nic::account_new_packet(const Packet& pkt, Cycle now) {
+  if (metrics_ == nullptr) return;
+  metrics_->on_logical_packet(pkt.id, classify(pkt), pkt.gen_cycle,
+                              std::popcount(pkt.dest_mask));
+  (void)now;
+}
+
+void Nic::enqueue_for_send(Packet pkt) {
+  queue_[static_cast<int>(pkt.mc)].push_back(std::move(pkt));
+}
+
+void Nic::submit_packet(Packet pkt) {
+  NOC_EXPECTS(pkt.src == node_);
+  NOC_EXPECTS(pkt.dest_mask != 0);
+  account_new_packet(pkt, pkt.gen_cycle);
+
+  const bool is_multicast = std::popcount(pkt.dest_mask) > 1;
+  if (is_multicast && !router_cfg_.multicast) {
+    // Routers cannot fork: duplicate into unicast copies (paper Sec 2.3).
+    // The source's own copy is delivered locally without network traversal.
+    const DestMask self_bit = MeshGeometry::node_mask(node_);
+    if (pkt.dest_mask & self_bit) {
+      Flit f;
+      f.packet_id = pkt.id;
+      f.logical_id = pkt.effective_logical_id();
+      f.src = node_;
+      f.dest_mask = self_bit;
+      f.branch_mask = self_bit;
+      f.mc = pkt.mc;
+      f.packet_len = pkt.length;
+      f.gen_cycle = pkt.gen_cycle;
+      for (int s = 0; s < pkt.length; ++s) {
+        f.seq = s;
+        f.type = pkt.length == 1 ? FlitType::HeadTail
+                 : s == 0        ? FlitType::Head
+                 : s == pkt.length - 1 ? FlitType::Tail
+                                       : FlitType::Body;
+        if (metrics_) metrics_->on_flit_received(f.logical_id, f, pkt.gen_cycle);
+      }
+    }
+    uint64_t copy_idx = 0;
+    for (NodeId d : geom_.nodes_in(pkt.dest_mask & ~self_bit)) {
+      Packet copy = pkt;
+      copy.logical_id = pkt.effective_logical_id();
+      copy.id = (pkt.id ^ 0x5a5a5a5aULL) + (++copy_idx << 56);
+      copy.dest_mask = MeshGeometry::node_mask(d);
+      enqueue_for_send(std::move(copy));
+    }
+    return;
+  }
+  enqueue_for_send(std::move(pkt));
+}
+
+bool Nic::try_activate(MsgClass mc) {
+  const int m = static_cast<int>(mc);
+  if (active_[m].has_value()) return true;
+  if (queue_[m].empty()) return false;
+  const int vc = ds_.allocate_vc(mc);
+  if (vc < 0) return false;
+  if (energy_) ++energy_->vc_allocations;
+  Packet pkt = std::move(queue_[m].front());
+  queue_[m].pop_front();
+  std::vector<uint64_t> payloads(static_cast<size_t>(pkt.length));
+  for (auto& w : payloads) w = gen_.next_payload();
+  ActiveTx tx;
+  tx.flits = segment_packet(pkt, payloads);
+  tx.vc = vc;
+  active_[m] = std::move(tx);
+  return true;
+}
+
+bool Nic::can_send(MsgClass mc) const {
+  const int m = static_cast<int>(mc);
+  if (!active_[m].has_value()) return false;
+  return ds_.credits(active_[m]->vc) > 0;
+}
+
+void Nic::send_flit(MsgClass mc, Cycle now) {
+  const int m = static_cast<int>(mc);
+  auto& tx = *active_[m];
+  Flit f = tx.flits[tx.next++];
+  f.vc = tx.vc;
+  f.inject_cycle = now;
+  ds_.consume_credit(tx.vc);
+  NOC_ASSERT(ch_.flit_to_router != nullptr);
+  ch_.flit_to_router->send(now, f);
+  if (energy_) ++energy_->nic_link_traversals;
+  if (metrics_) metrics_->on_injection_link(node_);
+  if (router_cfg_.has_bypass() && ch_.la_to_router != nullptr) {
+    Lookahead la;
+    la.in_port = port_index(PortDir::Local);
+    la.flit = f;
+    ch_.la_to_router->send(now, la);
+    if (energy_) ++energy_->lookaheads_sent;
+  }
+  if (tx.done()) active_[m].reset();
+}
+
+void Nic::tick_inject(Cycle now) {
+  // Apply credits from the router's Local input port.
+  if (ch_.credit_from_router != nullptr) {
+    for (const Credit& c : ch_.credit_from_router->arrivals()) {
+      if (c.slot) ds_.return_credit(c.vc);
+      if (c.vc_free) ds_.release_vc(c.vc);
+    }
+  }
+
+  // Traffic generation.
+  if (auto pkt = gen_.generate(now)) submit_packet(std::move(*pkt));
+
+  // Send at most one flit (64b link). Round-robin across message classes.
+  uint32_t sendable = 0;
+  for (int m = 0; m < kNumMsgClasses; ++m) {
+    if (try_activate(static_cast<MsgClass>(m)) &&
+        can_send(static_cast<MsgClass>(m)))
+      sendable |= uint32_t{1} << m;
+  }
+  if (sendable != 0) {
+    const int m = mc_rr_.arbitrate(sendable);
+    send_flit(static_cast<MsgClass>(m), now);
+  }
+}
+
+void Nic::tick_eject(Cycle now) {
+  // Accept arrivals from the router's Local output.
+  if (ch_.flit_from_router != nullptr) {
+    const auto& arrivals = ch_.flit_from_router->arrivals();
+    NOC_ASSERT(arrivals.size() <= 1);
+    for (const Flit& f : arrivals) {
+      NOC_ASSERT(f.vc >= 0 &&
+                 f.vc < static_cast<int>(rx_vcs_.size()));
+      rx_vcs_[static_cast<size_t>(f.vc)].push_back(f);
+      NOC_ASSERT(static_cast<int>(rx_vcs_[static_cast<size_t>(f.vc)].size()) <=
+                 router_cfg_.vc.depth_of_vc(f.vc));
+    }
+  }
+
+  // Drain one flit per cycle (the ejection-bandwidth limit of Table 1).
+  uint32_t occupied = 0;
+  for (size_t v = 0; v < rx_vcs_.size(); ++v)
+    if (!rx_vcs_[v].empty()) occupied |= uint32_t{1} << v;
+  if (occupied == 0) return;
+  const int v = rx_rr_.arbitrate(occupied);
+  Flit f = rx_vcs_[static_cast<size_t>(v)].front();
+  rx_vcs_[static_cast<size_t>(v)].pop_front();
+  if (ch_.credit_to_router != nullptr) {
+    Credit c;
+    c.vc = v;
+    c.slot = true;
+    c.vc_free = is_tail(f.type);
+    ch_.credit_to_router->send(now, c);
+  }
+  if (metrics_) metrics_->on_flit_received(f.logical_id, f, now);
+}
+
+bool Nic::idle() const {
+  for (int m = 0; m < kNumMsgClasses; ++m)
+    if (!queue_[m].empty() || active_[m].has_value()) return false;
+  for (const auto& q : rx_vcs_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+}  // namespace noc

@@ -1,0 +1,96 @@
+#pragma once
+// Network Interface Controller (paper Sec 2.1/3): packetizes and injects
+// traffic into its router's Local input port and drains ejected flits.
+//
+// Injection side: per-message-class packet queues, VC allocation against the
+// router's Local input port (credit-based), one flit per cycle on the 64b
+// NIC->router link. In Proposed mode the NIC also raises the lookahead for
+// each flit so injected flits can bypass the first router; the lookahead
+// wire is latency-0 (the NIC abuts its router) and the NIC ticks before
+// routers each cycle.
+//
+// When the routers lack multicast support the NIC duplicates a broadcast
+// into k^2-1 unicast copies (paper Sec 2.3, TILE64/Teraflops behaviour);
+// its own copy is delivered locally without entering the network.
+//
+// Ejection side: flits arrive from the router's Local output into small
+// per-VC buffers and drain at 1 flit/cycle -- the ejection bandwidth that
+// bounds broadcast throughput in Table 1.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "noc/buffers.hpp"
+#include "noc/energy_events.hpp"
+#include "noc/metrics.hpp"
+#include "noc/router.hpp"
+#include "noc/traffic.hpp"
+#include "sim/channel.hpp"
+
+namespace noc {
+
+class Nic {
+ public:
+  struct Channels {
+    Channel<Flit>* flit_to_router = nullptr;    // latency 1
+    Channel<Lookahead>* la_to_router = nullptr; // latency 0 (Proposed only)
+    Channel<Credit>* credit_from_router = nullptr;
+    Channel<Flit>* flit_from_router = nullptr;
+    Channel<Credit>* credit_to_router = nullptr;
+  };
+
+  Nic(NodeId node, const MeshGeometry& geom, const RouterConfig& router_cfg,
+      const TrafficConfig& traffic_cfg, EnergyCounters* energy,
+      Metrics* metrics);
+
+  void connect(const Channels& ch) { ch_ = ch; }
+
+  /// Injection half-cycle; must run before the routers' tick.
+  void tick_inject(Cycle now);
+  /// Ejection half-cycle; must run after the routers' tick.
+  void tick_eject(Cycle now);
+
+  /// Enqueue an externally-constructed packet (examples/tests drive the
+  /// network directly through this).
+  void submit_packet(Packet pkt);
+
+  bool idle() const;
+  NodeId node() const { return node_; }
+  TrafficGenerator& traffic() { return gen_; }
+
+ private:
+  struct ActiveTx {
+    std::vector<Flit> flits;
+    size_t next = 0;
+    int vc = -1;
+    bool done() const { return next >= flits.size(); }
+  };
+
+  PacketKind classify(const Packet& pkt) const;
+  void account_new_packet(const Packet& pkt, Cycle now);
+  void enqueue_for_send(Packet pkt);
+  bool try_activate(MsgClass mc);
+  bool can_send(MsgClass mc) const;
+  void send_flit(MsgClass mc, Cycle now);
+
+  NodeId node_;
+  const MeshGeometry& geom_;
+  RouterConfig router_cfg_;
+  EnergyCounters* energy_;
+  Metrics* metrics_;
+  TrafficGenerator gen_;
+  Channels ch_;
+
+  DownstreamState ds_;  // router Local input port credits / free VCs
+  std::deque<Packet> queue_[kNumMsgClasses];
+  std::optional<ActiveTx> active_[kNumMsgClasses];
+  RoundRobinArbiter mc_rr_{kNumMsgClasses};
+
+  // Ejection buffers, one FIFO per VC of the router's Local output.
+  std::vector<std::deque<Flit>> rx_vcs_;
+  RoundRobinArbiter rx_rr_{1};
+};
+
+}  // namespace noc

@@ -1,0 +1,39 @@
+#include "noc/packet.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+std::vector<Flit> segment_packet(const Packet& p,
+                                 const std::vector<uint64_t>& payloads) {
+  NOC_EXPECTS(p.length >= 1);
+  NOC_EXPECTS(p.dest_mask != 0);
+  std::vector<Flit> flits;
+  flits.reserve(static_cast<size_t>(p.length));
+  for (int i = 0; i < p.length; ++i) {
+    Flit f;
+    f.packet_id = p.id;
+    f.logical_id = p.effective_logical_id();
+    f.src = p.src;
+    f.dest_mask = p.dest_mask;
+    f.branch_mask = p.dest_mask;
+    f.mc = p.mc;
+    f.seq = i;
+    f.packet_len = p.length;
+    f.gen_cycle = p.gen_cycle;
+    f.payload = i < static_cast<int>(payloads.size()) ? payloads[i] : 0;
+    if (p.length == 1) {
+      f.type = FlitType::HeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::Head;
+    } else if (i == p.length - 1) {
+      f.type = FlitType::Tail;
+    } else {
+      f.type = FlitType::Body;
+    }
+    flits.push_back(f);
+  }
+  return flits;
+}
+
+}  // namespace noc

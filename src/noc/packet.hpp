@@ -1,0 +1,40 @@
+#pragma once
+// Packet descriptors and segmentation into flits (paper Sec 2.1: a packet is
+// a head flit with the destination, body flits, and a tail flit; single-flit
+// packets exist where one flit is both head and tail).
+
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace noc {
+
+struct Packet {
+  PacketId id = 0;
+  NodeId src = 0;
+  DestMask dest_mask = 0;
+  MsgClass mc = MsgClass::Request;
+  int length = 1;  // flits
+  Cycle gen_cycle = 0;
+  /// For NIC-level broadcast duplication (no router multicast support): the
+  /// logical broadcast this copy belongs to, used so latency is measured to
+  /// the LAST delivered copy. 0 when the packet is its own logical packet.
+  PacketId logical_id = 0;
+
+  PacketId effective_logical_id() const { return logical_id ? logical_id : id; }
+};
+
+/// Paper packet sizes (Fig 2 table): 1-flit requests, 5-flit responses.
+constexpr int kRequestPacketLen = 1;
+constexpr int kResponsePacketLen = 5;
+
+inline int default_packet_length(MsgClass mc) {
+  return mc == MsgClass::Request ? kRequestPacketLen : kResponsePacketLen;
+}
+
+/// Segment a packet into its flits. `payload_seed` feeds per-flit payload
+/// words (callers typically use a PRBS stream).
+std::vector<Flit> segment_packet(const Packet& p,
+                                 const std::vector<uint64_t>& payloads = {});
+
+}  // namespace noc

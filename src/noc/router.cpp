@@ -1,0 +1,558 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+#include <climits>
+
+namespace noc {
+
+Router::Router(NodeId node, const MeshGeometry& geom, const RouterConfig& cfg,
+               EnergyCounters* energy, Metrics* metrics)
+    : node_(node), geom_(geom), cfg_(cfg), energy_(energy), metrics_(metrics) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    ip.vcs.resize(static_cast<size_t>(cfg.vc.total_vcs()));
+    for (int v = 0; v < cfg.vc.total_vcs(); ++v)
+      ip.vcs[static_cast<size_t>(v)].configure(cfg.vc.depth_of_vc(v));
+    ip.sa1 = RoundRobinArbiter(cfg.vc.total_vcs());
+    auto& op = out_[static_cast<size_t>(p)];
+    op.ds.configure(cfg.vc);
+    op.sa2 = MatrixArbiter(kNumPorts);
+  }
+}
+
+void Router::connect(PortDir port, const PortChannels& ch) {
+  auto& ip = in_[static_cast<size_t>(port_index(port))];
+  ip.ch = ch;
+  ip.connected = true;
+}
+
+bool Router::idle() const {
+  for (const auto& ip : in_) {
+    if (ip.st.valid || ip.bypass.valid || ip.stage2_vc >= 0) return false;
+    for (const auto& vc : ip.vcs)
+      if (vc.busy() || !vc.empty()) return false;
+  }
+  for (const auto& op : out_)
+    if (op.lt.has_value()) return false;
+  return true;
+}
+
+void Router::dump_state(FILE* out) const {
+  if (idle()) return;
+  std::fprintf(out, "router %d:\n", node_);
+  for (int p = 0; p < kNumPorts; ++p) {
+    const auto& ip = in_[static_cast<size_t>(p)];
+    for (int v = 0; v < cfg_.vc.total_vcs(); ++v) {
+      const auto& ivc = ip.vcs[static_cast<size_t>(v)];
+      if (!ivc.busy()) continue;
+      std::fprintf(out, "  in[%s] vc%d occ=%d front_seq=%d acc=%d/%d:",
+                   port_name(port_dir(p)), v, ivc.occupancy(), ivc.front_seq(),
+                   ivc.accepted_flits, ivc.packet_len);
+      for (const auto& b : ivc.branches())
+        std::fprintf(out, " [%s seq=%d dsvc=%d%s cred=%d]",
+                     port_name(b.out), b.next_seq, b.ds_vc,
+                     b.tail_sent ? " done" : "",
+                     b.ds_vc >= 0
+                         ? out_[static_cast<size_t>(port_index(b.out))].ds.credits(
+                               b.ds_vc)
+                         : -1);
+      std::fprintf(out, "%s\n", ip.stage2_vc == v ? "  <stage2>" : "");
+    }
+    if (ip.st.valid)
+      std::fprintf(out, "  in[%s] st_latch vc%d seq%d\n",
+                   port_name(port_dir(p)), ip.st.vc, ip.st.seq);
+    if (ip.bypass.valid)
+      std::fprintf(out, "  in[%s] bypass vc%d seq%d\n",
+                   port_name(port_dir(p)), ip.bypass.vc, ip.bypass.seq);
+  }
+}
+
+void Router::tick(Cycle now) {
+  apply_credits(now);
+  phase_st_and_bw(now);
+  phase_sa2(now);
+  phase_sa1_va(now);
+  if (energy_) {
+    for (const auto& ip : in_)
+      for (const auto& vc : ip.vcs)
+        if (vc.busy()) ++energy_->vc_active_cycles;
+  }
+}
+
+void Router::apply_credits(Cycle) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (!ip.connected || ip.ch.credit_in == nullptr) continue;
+    for (const Credit& c : ip.ch.credit_in->arrivals()) {
+      auto& ds = out_[static_cast<size_t>(p)].ds;
+      if (c.slot) ds.return_credit(c.vc);
+      if (c.vc_free) ds.release_vc(c.vc);
+    }
+  }
+}
+
+void Router::open_packet_state(int port, const Flit& head) {
+  NOC_EXPECTS(is_head(head.type));
+  const RouteSet rs = tree_route(cfg_.routing, geom_, node_, head.branch_mask);
+  std::vector<Branch> branches;
+  for (int o = 0; o < kNumPorts; ++o) {
+    const DestMask m = rs.port_dests[static_cast<size_t>(o)];
+    if (m == 0) continue;
+    Branch b;
+    b.out = port_dir(o);
+    b.dests = m;
+    branches.push_back(b);
+  }
+  NOC_ASSERT(!branches.empty());
+  if (!cfg_.multicast) NOC_ASSERT(branches.size() == 1);
+  in_[static_cast<size_t>(port)].vcs[static_cast<size_t>(head.vc)].open_packet(
+      head, std::move(branches));
+}
+
+void Router::forward_copy(Cycle now, const Flit& f, const GrantOut& go) {
+  Flit copy = f;
+  copy.branch_mask = go.dests;
+  copy.vc = go.ds_vc;
+  if (energy_) ++energy_->xbar_traversals;
+  auto* out_ch = in_[static_cast<size_t>(port_index(go.out))].ch.flit_out;
+  NOC_ASSERT(out_ch != nullptr);
+  if (cfg_.pipeline == PipelineMode::FourStage) {
+    auto& lt = out_[static_cast<size_t>(port_index(go.out))].lt;
+    NOC_ASSERT(!lt.has_value());
+    lt = copy;
+    return;
+  }
+  // Fused ST+LT: the copy is on the wire this cycle.
+  if (energy_) {
+    if (go.out == PortDir::Local)
+      ++energy_->nic_link_traversals;
+    else
+      ++energy_->link_traversals;
+  }
+  if (metrics_) metrics_->on_link_flit(node_, go.out);
+  out_ch->send(now, copy);
+}
+
+void Router::send_lookahead(Cycle now, const Flit& f, const GrantOut& go) {
+  if (!cfg_.has_bypass() || go.out == PortDir::Local) return;
+  auto* la_ch = in_[static_cast<size_t>(port_index(go.out))].ch.la_out;
+  if (la_ch == nullptr) return;
+  Lookahead la;
+  la.in_port = port_index(opposite(go.out));
+  la.flit = f;
+  la.flit.branch_mask = go.dests;
+  la.flit.vc = go.ds_vc;
+  la_ch->send(now, la);
+  if (energy_) ++energy_->lookaheads_sent;
+}
+
+void Router::send_credit_upstream(Cycle now, int port, int vc, bool vc_free) {
+  auto* ch = in_[static_cast<size_t>(port)].ch.credit_out;
+  NOC_ASSERT(ch != nullptr);
+  Credit c;
+  c.vc = vc;
+  c.slot = true;
+  c.vc_free = vc_free;
+  ch->send(now, c);
+}
+
+int Router::serviceable_seq(const InputVc& ivc) const {
+  int s = INT_MAX;
+  for (const auto& b : ivc.branches()) {
+    if (b.tail_sent || b.ds_vc < 0) continue;
+    if (!ivc.has_seq(b.next_seq)) continue;
+    if (out_[static_cast<size_t>(port_index(b.out))].ds.credits(b.ds_vc) <= 0)
+      continue;
+    s = std::min(s, b.next_seq);
+  }
+  return s;
+}
+
+void Router::advance_branch(Branch& b, const Flit& f) {
+  NOC_ASSERT(b.next_seq == f.seq);
+  ++b.next_seq;
+  if (is_tail(f.type)) b.tail_sent = true;
+}
+
+void Router::retire_sent_flits(Cycle now, int port, int vc) {
+  auto& ivc = in_[static_cast<size_t>(port)].vcs[static_cast<size_t>(vc)];
+  if (!ivc.busy()) return;
+  while (!ivc.empty()) {
+    const int fs = ivc.front_seq();
+    // Fully sent iff every unfinished branch has moved past it, and every
+    // finished branch finished at or beyond it (tail_sent implies so).
+    bool fully_sent = true;
+    for (const auto& b : ivc.branches())
+      if (!b.tail_sent && b.next_seq <= fs) fully_sent = false;
+    if (!fully_sent) break;
+    const Flit f = ivc.pop_front();
+    const bool last = is_tail(f.type) && ivc.all_branches_done();
+    send_credit_upstream(now, port, vc, last);
+  }
+  if (ivc.empty() && ivc.all_branches_done()) ivc.close_packet();
+}
+
+void Router::phase_st_and_bw(Cycle now) {
+  // LT stage of the FourStage pipeline: drain last cycle's ST results.
+  if (cfg_.pipeline == PipelineMode::FourStage) {
+    for (int o = 0; o < kNumPorts; ++o) {
+      auto& op = out_[static_cast<size_t>(o)];
+      if (!op.lt.has_value()) continue;
+      auto* ch = in_[static_cast<size_t>(o)].ch.flit_out;
+      NOC_ASSERT(ch != nullptr);
+      if (energy_) {
+        if (port_dir(o) == PortDir::Local)
+          ++energy_->nic_link_traversals;
+        else
+          ++energy_->link_traversals;
+      }
+      if (metrics_) metrics_->on_link_flit(node_, port_dir(o));
+      ch->send(now, *op.lt);
+      op.lt.reset();
+    }
+  }
+
+  // ST for buffered flits granted in last cycle's mSA-II. Runs before the
+  // arrival handling below so that a departing flit frees its buffer slot in
+  // the same cycle a new flit lands (read-before-write register semantics);
+  // the credit protocol sizes occupancy assuming exactly this.
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (!ip.st.valid) continue;
+    const int vcid = ip.st.vc;
+    auto& ivc = ip.vcs[static_cast<size_t>(vcid)];
+    const Flit f = ivc.flit_at_seq(ip.st.seq);
+    if (energy_) ++energy_->buffer_reads;
+    for (const auto& go : ip.st.outs) forward_copy(now, f, go);
+    ip.st = StLatch{};
+    retire_sent_flits(now, p, vcid);
+  }
+
+  // Arriving flits: bypass or buffer-write.
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (!ip.connected || ip.ch.flit_in == nullptr) continue;
+    const auto& arrivals = ip.ch.flit_in->arrivals();
+    NOC_ASSERT(arrivals.size() <= 1);  // one flit per link per cycle
+    if (arrivals.empty()) {
+      NOC_ASSERT(!ip.bypass.valid);  // a lookahead always precedes its flit
+      continue;
+    }
+    const Flit& f = arrivals.front();
+    NOC_ASSERT(f.vc >= 0 && f.vc < cfg_.vc.total_vcs());
+    auto& ivc = ip.vcs[static_cast<size_t>(f.vc)];
+
+    if (ip.bypass.valid) {
+      NOC_ASSERT(ip.bypass.vc == f.vc && ip.bypass.seq == f.seq);
+      for (const auto& go : ip.bypass.outs) forward_copy(now, f, go);
+      ++ivc.accepted_flits;
+      if (ip.bypass.full) {
+        if (energy_) ++energy_->bypasses;
+        const bool last = is_tail(f.type) && ivc.all_branches_done();
+        send_credit_upstream(now, p, f.vc, last);
+        if (ivc.empty() && ivc.all_branches_done()) ivc.close_packet();
+      } else {
+        // Partial bypass: the flit stays buffered for the remaining branches.
+        if (energy_) {
+          ++energy_->partial_bypasses;
+          ++energy_->buffer_writes;
+        }
+        ivc.push(f);
+      }
+      ip.bypass = BypassGrant{};
+      continue;
+    }
+
+    // Buffered path: BW (stage 1 action).
+    if (is_head(f.type) && !ivc.busy()) open_packet_state(p, f);
+    NOC_ASSERT(ivc.busy());
+    ivc.push(f);
+    ++ivc.accepted_flits;
+    if (energy_) {
+      ++energy_->buffer_writes;
+      ++energy_->buffered_hops;
+    }
+  }
+}
+
+void Router::phase_sa2(Cycle now) {
+  std::array<bool, kNumPorts> out_claimed{};
+  std::array<bool, kNumPorts> in_claimed{};
+
+  if (cfg_.has_bypass() && cfg_.lookahead_priority) {
+    process_lookaheads(now, out_claimed, in_claimed);
+    arbitrate_buffered(now, out_claimed, in_claimed);
+  } else if (cfg_.has_bypass()) {
+    arbitrate_buffered(now, out_claimed, in_claimed);
+    process_lookaheads(now, out_claimed, in_claimed);
+  } else {
+    arbitrate_buffered(now, out_claimed, in_claimed);
+  }
+}
+
+void Router::process_lookaheads(Cycle now,
+                                std::array<bool, kNumPorts>& out_claimed,
+                                std::array<bool, kNumPorts>& in_claimed) {
+  // Rotating priority across input ports keeps lookahead-vs-lookahead
+  // conflicts from systematically favouring one direction.
+  const int rot = la_order_.pointer();
+  la_order_.arbitrate(uint32_t{1} << rot);  // advance by one each cycle
+
+  for (int off = 0; off < kNumPorts; ++off) {
+    const int p = (rot + off) % kNumPorts;
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (!ip.connected || ip.ch.la_in == nullptr) continue;
+    for (const Lookahead& la : ip.ch.la_in->arrivals()) {
+      NOC_ASSERT(la.in_port == p);
+      if (energy_) ++energy_->sa2_arbitrations;
+      auto& ivc = ip.vcs[static_cast<size_t>(la.flit.vc)];
+
+      // Install route state for an incoming head even if the bypass fails:
+      // NRC was already performed upstream, the flit will need it either way.
+      if (is_head(la.flit.type) && !ivc.busy())
+        open_packet_state(p, la.flit);
+
+      if (in_claimed[static_cast<size_t>(p)]) continue;
+      if (!ivc.busy() || !ivc.empty()) continue;  // order would be violated
+      // With an empty FIFO all unfinished branches sit at the same seq.
+      if (ivc.current_seq() != la.flit.seq) continue;
+
+      // Which branches can be granted right now?
+      std::vector<Branch*> want;
+      std::vector<GrantOut> grantable;
+      for (auto& b : ivc.branches()) {
+        if (b.tail_sent || b.next_seq != la.flit.seq) continue;
+        want.push_back(&b);
+        const int o = port_index(b.out);
+        if (out_claimed[static_cast<size_t>(o)]) continue;
+        auto& ds = out_[static_cast<size_t>(o)].ds;
+        int vc = b.ds_vc;
+        if (vc < 0 && !ds.has_free_vc(la.flit.mc)) continue;
+        if (vc >= 0 && ds.credits(vc) <= 0) continue;
+        grantable.push_back(GrantOut{b.out, vc, b.dests});
+      }
+      if (grantable.empty()) continue;
+      const bool full = grantable.size() == want.size();
+      if (!full && !cfg_.allow_partial_bypass) continue;
+      // Multi-flit multicasts may only bypass on a full grant: a partial
+      // grant would acquire a subset of branch VCs, reintroducing the
+      // hold-and-wait deadlock that atomic VA exists to prevent.
+      if (!full && la.flit.packet_len > 1 && want.size() > 1) continue;
+
+      // Commit the grant.
+      BypassGrant grant;
+      grant.valid = true;
+      grant.vc = la.flit.vc;
+      grant.seq = la.flit.seq;
+      grant.full = full;
+      for (auto& go : grantable) {
+        auto& ds = out_[static_cast<size_t>(port_index(go.out))].ds;
+        // Find the matching branch to persist VA results / progress.
+        Branch* br = nullptr;
+        for (auto* w : want)
+          if (w->out == go.out) br = w;
+        NOC_ASSERT(br != nullptr);
+        if (go.ds_vc < 0) {
+          go.ds_vc = ds.allocate_vc(la.flit.mc);
+          NOC_ASSERT(go.ds_vc >= 0);
+          br->ds_vc = go.ds_vc;
+          if (energy_) ++energy_->vc_allocations;
+        }
+        ds.consume_credit(go.ds_vc);
+        out_claimed[static_cast<size_t>(port_index(go.out))] = true;
+        advance_branch(*br, la.flit);
+        send_lookahead(now, la.flit, go);
+        grant.outs.push_back(go);
+      }
+      in_claimed[static_cast<size_t>(p)] = true;
+      ip.bypass = grant;
+    }
+  }
+}
+
+void Router::arbitrate_buffered(Cycle now,
+                                std::array<bool, kNumPorts>& out_claimed,
+                                std::array<bool, kNumPorts>& in_claimed) {
+  // Per-input view of the stage-2 candidate's current service state.
+  struct Cand {
+    bool valid = false;
+    int vc = -1;
+    int seq = 0;
+  };
+  std::array<Cand, kNumPorts> cand{};
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (in_claimed[static_cast<size_t>(p)] || ip.stage2_vc < 0) continue;
+    auto& ivc = ip.vcs[static_cast<size_t>(ip.stage2_vc)];
+    if (!ivc.busy()) continue;
+    // Serve the lowest sequence that can make progress; this is NOT
+    // necessarily the packet's globally lowest unsent seq (see
+    // serviceable_seq). One seq per input per cycle -- the crossbar has a
+    // single read port per input.
+    const int s = serviceable_seq(ivc);
+    if (s == INT_MAX) continue;
+    cand[static_cast<size_t>(p)] = Cand{true, ip.stage2_vc, s};
+  }
+
+  // Output-port arbitration (mSA-II): matrix arbiter per output.
+  std::array<std::vector<GrantOut>, kNumPorts> granted;  // per input
+  for (int o = 0; o < kNumPorts; ++o) {
+    if (out_claimed[static_cast<size_t>(o)]) continue;
+    uint32_t requests = 0;
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (!cand[static_cast<size_t>(p)].valid) continue;
+      const auto& ivc = in_[static_cast<size_t>(p)]
+                            .vcs[static_cast<size_t>(cand[static_cast<size_t>(p)].vc)];
+      for (const auto& b : ivc.branches()) {
+        if (b.tail_sent || b.next_seq != cand[static_cast<size_t>(p)].seq)
+          continue;
+        if (port_index(b.out) != o) continue;
+        if (b.ds_vc < 0) continue;  // VA not yet successful for this branch
+        if (out_[static_cast<size_t>(o)].ds.credits(b.ds_vc) <= 0) continue;
+        requests |= uint32_t{1} << p;
+      }
+    }
+    if (requests == 0) continue;
+    if (energy_) ++energy_->sa2_arbitrations;
+    const int w = out_[static_cast<size_t>(o)].sa2.arbitrate(requests);
+    NOC_ASSERT(w >= 0);
+    const auto& ivc =
+        in_[static_cast<size_t>(w)].vcs[static_cast<size_t>(cand[static_cast<size_t>(w)].vc)];
+    for (const auto& b : ivc.branches()) {
+      if (b.tail_sent || b.next_seq != cand[static_cast<size_t>(w)].seq)
+        continue;
+      if (port_index(b.out) != o) continue;
+      granted[static_cast<size_t>(w)].push_back(GrantOut{b.out, b.ds_vc, b.dests});
+      break;
+    }
+  }
+
+  // Commit grants: fill ST latches, consume credits, advance branches,
+  // emit lookaheads one cycle ahead of the flit.
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    auto& gouts = granted[static_cast<size_t>(p)];
+    if (!gouts.empty()) {
+      auto& c = cand[static_cast<size_t>(p)];
+      auto& ivc = ip.vcs[static_cast<size_t>(c.vc)];
+      const Flit& f = ivc.flit_at_seq(c.seq);
+      StLatch st;
+      st.valid = true;
+      st.vc = c.vc;
+      st.seq = c.seq;
+      for (auto& go : gouts) {
+        auto& ds = out_[static_cast<size_t>(port_index(go.out))].ds;
+        ds.consume_credit(go.ds_vc);
+        out_claimed[static_cast<size_t>(port_index(go.out))] = true;
+        for (auto& b : ivc.branches())
+          if (b.out == go.out && !b.tail_sent && b.next_seq == c.seq)
+            advance_branch(b, f);
+        send_lookahead(now, f, go);
+        st.outs.push_back(go);
+      }
+      NOC_ASSERT(!ip.st.valid);
+      ip.st = st;
+      in_claimed[static_cast<size_t>(p)] = true;
+    }
+    // Stage-2 candidate lifetime: a multicast flit that won SOME of its
+    // branches this cycle holds the stage-2 request so the remaining output
+    // ports can be granted on subsequent cycles without re-running mSA-I
+    // (the paper's mSA-II serves multicast requests port by port). A
+    // candidate that won nothing releases the slot -- holding it through a
+    // long ejection backlog would head-of-line-block every other VC at this
+    // input port.
+    bool hold = false;
+    if (!gouts.empty() && ip.stage2_vc >= 0) {
+      const auto& ivc = ip.vcs[static_cast<size_t>(ip.stage2_vc)];
+      if (ivc.busy()) {
+        const int s = ivc.current_seq();
+        bool started = false;
+        for (const auto& b : ivc.branches())
+          if (s != INT_MAX && b.next_seq > s) started = true;
+        hold = started && serviceable_seq(ivc) != INT_MAX;
+      }
+    }
+    if (!hold) ip.stage2_vc = -1;
+  }
+}
+
+void Router::phase_sa1_va(Cycle) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto& ip = in_[static_cast<size_t>(p)];
+    if (ip.stage2_vc >= 0) {
+      // A partially-served multicast is holding stage 2; retry VA for any
+      // of its branches that still lack a downstream VC, but do not run
+      // mSA-I over it.
+      allocate_branch_vcs(ip.stage2_vc, ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
+      continue;
+    }
+    uint32_t eligible = 0;
+    for (int v = 0; v < cfg_.vc.total_vcs(); ++v) {
+      const auto& ivc = ip.vcs[static_cast<size_t>(v)];
+      if (!ivc.busy()) continue;
+      const int s = ivc.current_seq();
+      if (s == INT_MAX) continue;
+      // The output-port request is only raised when it is actionable: some
+      // branch can traverse this cycle, or VA can equip one to. The
+      // textbook baseline skips this masking (see
+      // RouterConfig::actionable_sa1_requests).
+      if (cfg_.actionable_sa1_requests) {
+        bool actionable = serviceable_seq(ivc) != INT_MAX;
+        if (!actionable) {
+          const MsgClass mc = cfg_.vc.mc_of_vc(v);
+          for (const auto& b : ivc.branches()) {
+            if (b.tail_sent || !b.needs_vc() || !ivc.has_seq(b.next_seq))
+              continue;
+            if (out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(mc)) {
+              actionable = true;
+              break;
+            }
+          }
+        }
+        if (!actionable) continue;
+      } else if (!ivc.has_seq(s)) {
+        continue;
+      }
+      eligible |= uint32_t{1} << v;
+    }
+    if (eligible == 0) {
+      ip.stage2_vc = -1;
+      continue;
+    }
+    if (energy_) ++energy_->sa1_arbitrations;
+    ip.stage2_vc = ip.sa1.arbitrate(eligible);
+
+    // VA (stage-1 action, paper Fig 3): allocate downstream VCs for the
+    // selected packet's branches that still lack one.
+    allocate_branch_vcs(ip.stage2_vc, ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
+  }
+}
+
+void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
+  if (!ivc.busy()) return;
+  const MsgClass mc = cfg_.vc.mc_of_vc(vc_id);
+  // Multi-flit multicasts must acquire every branch VC atomically: a branch
+  // holding its VC while a sibling waits for one deadlocks, because buffer
+  // slots only retire once ALL branches have sent a flit (hold-and-wait
+  // cycle across packets). Single-flit multicasts release a branch VC the
+  // moment the branch sends, so lazy per-branch VA is safe -- and that is
+  // the only multicast the paper's traffic contains.
+  const bool atomic = ivc.packet_len > 1 && ivc.branches().size() > 1;
+  if (atomic) {
+    for (const auto& b : ivc.branches()) {
+      if (b.tail_sent || !b.needs_vc()) continue;
+      if (!out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(mc))
+        return;  // all-or-nothing: try again next cycle
+    }
+  }
+  for (auto& b : ivc.branches()) {
+    if (!b.needs_vc() || b.tail_sent) continue;
+    const int vc = out_[static_cast<size_t>(port_index(b.out))].ds.allocate_vc(mc);
+    if (vc >= 0) {
+      b.ds_vc = vc;
+      if (energy_) ++energy_->vc_allocations;
+    }
+  }
+}
+
+}  // namespace noc

@@ -1,0 +1,209 @@
+#pragma once
+// The router microarchitecture (paper Figs 1 and 3).
+//
+// One parameterizable implementation covers the three designs evaluated in
+// the paper:
+//
+//   FourStage  -- textbook baseline (Fig 1):
+//                 stage 1: BW + mSA-I + VA | stage 2: NRC + mSA-II |
+//                 stage 3: ST | stage 4: LT            => 4 cycles/hop
+//   ThreeStage -- "aggressive" baseline of Sec 4.1 with fused single-cycle
+//                 ST+LT                                => 3 cycles/hop
+//   Proposed   -- ThreeStage buffered path + router-level multicast +
+//                 lookahead virtual bypassing          => 1 cycle/hop on a
+//                 successful bypass (Fig 3)
+//
+// Timing model (simulation tick t):
+//   * Lookaheads sent by the upstream router during its SA phase of tick
+//     t-1 arrive at tick t and enter mSA-II with priority. A winner
+//     pre-allocates the crossbar for its flit, which arrives at t+1 and is
+//     forwarded in the ST phase of t+1: one cycle per hop.
+//   * Buffered path: BW + mSA-I at tick t (stage 1), mSA-II at t+1
+//     (stage 2, candidate latched by SA-I), ST(+LT) at t+2.
+//   * Credits cross a 1-cycle channel and are applied at the start of the
+//     receiving tick, which yields exactly the paper's 3-cycle buffer/VC
+//     turnaround (ST+LT, credit return, credit processing).
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "noc/arbiters.hpp"
+#include "noc/buffers.hpp"
+#include "noc/energy_events.hpp"
+#include "noc/flit.hpp"
+#include "noc/geometry.hpp"
+#include "noc/metrics.hpp"
+#include "noc/routing.hpp"
+#include "sim/channel.hpp"
+
+namespace noc {
+
+enum class PipelineMode { FourStage, ThreeStage, Proposed };
+
+struct RouterConfig {
+  PipelineMode pipeline = PipelineMode::Proposed;
+  /// Router-level multicast fork support (paper Sec 3.3). Without it the
+  /// router only accepts unicast flits (the NIC duplicates broadcasts).
+  bool multicast = true;
+  /// A multicast lookahead may bypass on a subset of its requested output
+  /// ports, buffering only the remainder. Ablation knob (DESIGN.md Sec 6).
+  bool allow_partial_bypass = true;
+  /// Lookaheads beat buffered requests in mSA-II (paper Sec 3.2). Ablation
+  /// knob: when false, buffered flits arbitrate first.
+  bool lookahead_priority = true;
+  /// mSA-I only considers VCs whose output-port request is actionable
+  /// (downstream VC + credit available). The proposed router's stage-1
+  /// mSA-I/VA co-design implies this masking; the textbook Fig-1 baseline
+  /// feeds raw per-VC outport requests into its round-robin circuit and
+  /// wastes switch cycles on credit-blocked VCs.
+  bool actionable_sa1_requests = true;
+  /// Dimension order for the routing tree. The chip uses XY; YX is the
+  /// mirror, available to quantify the paper's "XY routing imbalance"
+  /// explanation of the throughput gap (ablation).
+  RoutingMode routing = RoutingMode::XYTree;
+  VcConfig vc;
+
+  bool has_bypass() const { return pipeline == PipelineMode::Proposed; }
+  /// Buffered-path pipeline depth in cycles (BW/SA-I .. flit on the link).
+  int buffered_stages() const {
+    return pipeline == PipelineMode::FourStage ? 4 : 3;
+  }
+};
+
+/// Lookahead signal (paper: 15 bits -- output-port vector from NRC plus VC
+/// and head metadata). We carry the full flit descriptor; only information
+/// the hardware encodes or can derive from the header is used.
+struct Lookahead {
+  int in_port = 0;  // input port at the receiving router
+  Flit flit;        // the flit that will arrive next cycle (vc/branch_mask set)
+};
+
+class Router {
+ public:
+  /// External wiring for one port, owned by the Network.
+  struct PortChannels {
+    Channel<Flit>* flit_in = nullptr;
+    Channel<Flit>* flit_out = nullptr;
+    Channel<Credit>* credit_in = nullptr;   // credits from downstream
+    Channel<Credit>* credit_out = nullptr;  // credits to upstream
+    Channel<Lookahead>* la_in = nullptr;
+    Channel<Lookahead>* la_out = nullptr;
+  };
+
+  Router(NodeId node, const MeshGeometry& geom, const RouterConfig& cfg,
+         EnergyCounters* energy, Metrics* metrics);
+
+  void connect(PortDir port, const PortChannels& ch);
+
+  /// One clock cycle. Phases: credits -> ST/BW -> SA-II(+lookaheads) ->
+  /// SA-I/VA -> occupancy accounting.
+  void tick(Cycle now);
+
+  NodeId node() const { return node_; }
+  const RouterConfig& config() const { return cfg_; }
+
+  /// True when no flit is buffered or latched anywhere in this router.
+  bool idle() const;
+
+  /// Downstream credit/VC view of an output port (exposed for tests).
+  const DownstreamState& downstream(PortDir out) const {
+    return out_[port_index(out)].ds;
+  }
+
+  /// Human-readable dump of all non-idle state (debugging stuck networks).
+  void dump_state(FILE* out) const;
+
+ private:
+  struct GrantOut {
+    PortDir out = PortDir::Local;
+    int ds_vc = -1;
+    DestMask dests = 0;
+  };
+
+  /// Switch-traversal latch: a buffered flit granted by mSA-II, traversing
+  /// ST(+LT) this tick.
+  struct StLatch {
+    bool valid = false;
+    int vc = -1;
+    int seq = 0;
+    std::vector<GrantOut> outs;
+  };
+
+  /// Pre-allocated crossbar passage for a flit arriving this tick.
+  struct BypassGrant {
+    bool valid = false;
+    int vc = -1;
+    int seq = 0;
+    bool full = false;  // all requested branches granted
+    std::vector<GrantOut> outs;
+  };
+
+  struct InputPort {
+    std::vector<InputVc> vcs;
+    RoundRobinArbiter sa1{1};
+    int stage2_vc = -1;  // mSA-I winner awaiting mSA-II (stage-2 candidate)
+    StLatch st;          // executes at the next tick's ST phase
+    BypassGrant bypass;  // applies to the flit arriving next tick
+    PortChannels ch;
+    bool connected = false;
+  };
+
+  struct OutputPort {
+    DownstreamState ds;
+    MatrixArbiter sa2{kNumPorts};
+    /// LT latch for the FourStage pipeline (ST fills it, LT drains it).
+    std::optional<Flit> lt;
+  };
+
+  // --- phases ---
+  void apply_credits(Cycle now);
+  void phase_st_and_bw(Cycle now);
+  void phase_sa2(Cycle now);
+  void phase_sa1_va(Cycle now);
+
+  // --- helpers ---
+  void process_lookaheads(Cycle now, std::array<bool, kNumPorts>& out_claimed,
+                          std::array<bool, kNumPorts>& in_claimed);
+  void arbitrate_buffered(Cycle now,
+                          std::array<bool, kNumPorts>& out_claimed,
+                          std::array<bool, kNumPorts>& in_claimed);
+  /// Install route/branch state for a head flit arriving at (port, vc).
+  void open_packet_state(int port, const Flit& head);
+  /// Forward one flit copy through the crossbar toward `go` (ST; plus LT
+  /// for fused pipelines, or into the LT latch for FourStage).
+  void forward_copy(Cycle now, const Flit& f, const GrantOut& go);
+  /// Send the lookahead announcing `f` will traverse toward `go` next tick.
+  void send_lookahead(Cycle now, const Flit& f, const GrantOut& go);
+  void send_credit_upstream(Cycle now, int port, int vc, bool vc_free);
+  /// VA for the packet holding (vc_id): lazy per-branch for unicasts and
+  /// single-flit multicasts, atomic all-or-nothing for multi-flit
+  /// multicasts (deadlock avoidance; see implementation comment).
+  void allocate_branch_vcs(int vc_id, InputVc& ivc);
+  /// Smallest sequence number among branches that can actually move this
+  /// cycle (flit buffered, downstream VC allocated, credit available).
+  /// INT_MAX when none can. Branches are deliberately NOT served in global
+  /// lockstep: a branch with credits must be allowed to run ahead of a
+  /// credit-stalled sibling, or multi-flit multicast trees deadlock (the
+  /// stalled sibling may be waiting on exactly the resource the ready
+  /// branch would free).
+  int serviceable_seq(const InputVc& ivc) const;
+  /// Branch bookkeeping after a copy of flit `seq` has been granted toward
+  /// branch `b` (advances next_seq / tail_sent).
+  static void advance_branch(Branch& b, const Flit& f);
+  /// Pop + credit any fully-sent flits at the front of (port, vc)'s FIFO;
+  /// closes the packet when every branch is done.
+  void retire_sent_flits(Cycle now, int port, int vc);
+
+  NodeId node_;
+  const MeshGeometry& geom_;
+  RouterConfig cfg_;
+  EnergyCounters* energy_;
+  Metrics* metrics_;
+
+  std::array<InputPort, kNumPorts> in_;
+  std::array<OutputPort, kNumPorts> out_;
+  RoundRobinArbiter la_order_{kNumPorts};  // rotating lookahead priority
+};
+
+}  // namespace noc

@@ -1,0 +1,111 @@
+#include "noc/routing.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+const char* port_name(PortDir d) {
+  switch (d) {
+    case PortDir::North: return "N";
+    case PortDir::East: return "E";
+    case PortDir::South: return "S";
+    case PortDir::West: return "W";
+    case PortDir::Local: return "L";
+  }
+  return "?";
+}
+
+PortDir opposite(PortDir out) {
+  switch (out) {
+    case PortDir::North: return PortDir::South;
+    case PortDir::East: return PortDir::West;
+    case PortDir::South: return PortDir::North;
+    case PortDir::West: return PortDir::East;
+    case PortDir::Local: return PortDir::Local;
+  }
+  return PortDir::Local;
+}
+
+Coord neighbor_coord(Coord c, PortDir out) {
+  switch (out) {
+    case PortDir::North: return {c.x, c.y + 1};
+    case PortDir::East: return {c.x + 1, c.y};
+    case PortDir::South: return {c.x, c.y - 1};
+    case PortDir::West: return {c.x - 1, c.y};
+    case PortDir::Local: return c;
+  }
+  return c;
+}
+
+uint8_t RouteSet::request_vector() const {
+  uint8_t v = 0;
+  for (int i = 0; i < kNumPorts; ++i)
+    if (port_dests[static_cast<size_t>(i)] != 0) v |= uint8_t{1} << i;
+  return v;
+}
+
+int RouteSet::fanout() const { return std::popcount(request_vector()); }
+
+RouteSet xy_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests) {
+  NOC_EXPECTS(dests != 0);
+  RouteSet rs;
+  const Coord c = geom.coord(here);
+  for (NodeId n = 0; n < geom.num_nodes(); ++n) {
+    const DestMask bit = MeshGeometry::node_mask(n);
+    if (!(dests & bit)) continue;
+    const Coord d = geom.coord(n);
+    if (d.x > c.x) {
+      rs[PortDir::East] |= bit;
+    } else if (d.x < c.x) {
+      rs[PortDir::West] |= bit;
+    } else if (d.y > c.y) {
+      rs[PortDir::North] |= bit;
+    } else if (d.y < c.y) {
+      rs[PortDir::South] |= bit;
+    } else {
+      rs[PortDir::Local] |= bit;
+    }
+  }
+  return rs;
+}
+
+RouteSet yx_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests) {
+  NOC_EXPECTS(dests != 0);
+  RouteSet rs;
+  const Coord c = geom.coord(here);
+  for (NodeId n = 0; n < geom.num_nodes(); ++n) {
+    const DestMask bit = MeshGeometry::node_mask(n);
+    if (!(dests & bit)) continue;
+    const Coord d = geom.coord(n);
+    if (d.y > c.y) {
+      rs[PortDir::North] |= bit;
+    } else if (d.y < c.y) {
+      rs[PortDir::South] |= bit;
+    } else if (d.x > c.x) {
+      rs[PortDir::East] |= bit;
+    } else if (d.x < c.x) {
+      rs[PortDir::West] |= bit;
+    } else {
+      rs[PortDir::Local] |= bit;
+    }
+  }
+  return rs;
+}
+
+RouteSet tree_route(RoutingMode mode, const MeshGeometry& geom, NodeId here,
+                    DestMask dests) {
+  return mode == RoutingMode::XYTree ? xy_tree_route(geom, here, dests)
+                                     : yx_tree_route(geom, here, dests);
+}
+
+PortDir xy_route(const MeshGeometry& geom, NodeId here, NodeId dest) {
+  const RouteSet rs = xy_tree_route(geom, here, MeshGeometry::node_mask(dest));
+  for (int i = 0; i < kNumPorts; ++i)
+    if (rs.port_dests[static_cast<size_t>(i)] != 0) return port_dir(i);
+  NOC_ASSERT(false);
+  return PortDir::Local;
+}
+
+}  // namespace noc

@@ -1,0 +1,159 @@
+#include "noc/traffic.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+const char* traffic_pattern_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::UniformRequest: return "uniform-request";
+    case TrafficPattern::MixedPaper: return "mixed(50b/25u/25r)";
+    case TrafficPattern::BroadcastOnly: return "broadcast-only";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bit-complement";
+    case TrafficPattern::Tornado: return "tornado";
+    case TrafficPattern::NearestNeighbor: return "nearest-neighbor";
+  }
+  return "?";
+}
+
+TrafficGenerator::TrafficGenerator(const MeshGeometry& geom,
+                                   const TrafficConfig& cfg, NodeId node)
+    : geom_(geom),
+      cfg_(cfg),
+      node_(node),
+      // Identical seeds across NICs reproduce the chip's synchronized-PRBS
+      // artifact; otherwise each NIC gets an independent stream.
+      rng_(cfg.identical_prbs
+               ? cfg.seed
+               : cfg.seed ^ SplitMix64(static_cast<uint64_t>(node) + 1).next()),
+      payload_prbs_(Prbs::Poly::PRBS31,
+                    cfg.identical_prbs
+                        ? static_cast<uint32_t>(cfg.seed | 1)
+                        : static_cast<uint32_t>((cfg.seed + 77u) *
+                                                (static_cast<uint32_t>(node) + 13u)) |
+                              1u) {
+  NOC_EXPECTS(cfg.offered_flits_per_node_cycle >= 0.0);
+}
+
+double TrafficGenerator::avg_flits_per_packet() const {
+  switch (cfg_.pattern) {
+    case TrafficPattern::MixedPaper:
+      return cfg_.frac_broadcast_request * kRequestPacketLen +
+             cfg_.frac_unicast_request * kRequestPacketLen +
+             cfg_.frac_unicast_response * kResponsePacketLen;
+    default:
+      return kRequestPacketLen;
+  }
+}
+
+NodeId TrafficGenerator::pick_unicast_dest() {
+  if (cfg_.identical_prbs) {
+    // Keep every NIC's generator in lockstep: one draw per packet, shared
+    // sequence. The chip's NICs map the PRBS destination field relative to
+    // their own id, so a synchronized draw produces a permutation (every
+    // node sends, no ejection hotspot) -- but the injection *cycles* and
+    // packet *types* are identical chip-wide, which is what contends away
+    // bypassing at low loads.
+    const auto n = static_cast<NodeId>(geom_.num_nodes());
+    const auto draw =
+        static_cast<NodeId>(rng_.next_below(static_cast<uint64_t>(n)));
+    NodeId d = (node_ + draw) % n;
+    if (d == node_) d = (d + 1) % n;
+    return d;
+  }
+  NodeId d;
+  do {
+    d = static_cast<NodeId>(rng_.next_below(
+        static_cast<uint64_t>(geom_.num_nodes())));
+  } while (d == node_);
+  return d;
+}
+
+uint64_t TrafficGenerator::next_payload() { return payload_prbs_.next_bits(64); }
+
+std::optional<Packet> TrafficGenerator::generate(Cycle now) {
+  // At most one packet decision per cycle: offered loads beyond the source
+  // capacity simply pin the injection process at saturation.
+  const double p_packet = std::min(
+      1.0, cfg_.offered_flits_per_node_cycle / avg_flits_per_packet());
+  if (cfg_.identical_prbs) {
+    // Fixed-interval deterministic injection, phase-aligned across all
+    // NICs: the chip's identical free-running generators made every NIC
+    // inject (and pick destinations) in unison, which is what contended
+    // away bypassing even at low loads (paper Sec 4.1).
+    inject_credit_ += p_packet;
+    if (inject_credit_ < 1.0) return std::nullopt;
+    inject_credit_ -= 1.0;
+  } else if (!rng_.bernoulli(p_packet)) {
+    return std::nullopt;
+  }
+
+  Packet pkt;
+  pkt.src = node_;
+  pkt.gen_cycle = now;
+  pkt.id = ((static_cast<PacketId>(node_) + 1) << 40) | next_local_id_++;
+  pkt.mc = MsgClass::Request;
+  pkt.length = kRequestPacketLen;
+
+  auto broadcast_mask = [&]() -> DestMask {
+    DestMask m = geom_.all_nodes_mask();
+    if (!cfg_.include_self_in_broadcast) m &= ~MeshGeometry::node_mask(node_);
+    return m;
+  };
+
+  switch (cfg_.pattern) {
+    case TrafficPattern::UniformRequest:
+      pkt.dest_mask = MeshGeometry::node_mask(pick_unicast_dest());
+      break;
+    case TrafficPattern::BroadcastOnly:
+      pkt.dest_mask = broadcast_mask();
+      break;
+    case TrafficPattern::MixedPaper: {
+      const double u = rng_.next_double();
+      if (u < cfg_.frac_broadcast_request) {
+        pkt.dest_mask = broadcast_mask();
+      } else if (u < cfg_.frac_broadcast_request + cfg_.frac_unicast_request) {
+        pkt.dest_mask = MeshGeometry::node_mask(pick_unicast_dest());
+      } else {
+        pkt.dest_mask = MeshGeometry::node_mask(pick_unicast_dest());
+        pkt.mc = MsgClass::Response;
+        pkt.length = kResponsePacketLen;
+      }
+      break;
+    }
+    case TrafficPattern::Transpose: {
+      const Coord c = geom_.coord(node_);
+      const NodeId d = geom_.id(c.y, c.x);
+      if (d == node_) return std::nullopt;  // diagonal nodes stay silent
+      pkt.dest_mask = MeshGeometry::node_mask(d);
+      break;
+    }
+    case TrafficPattern::BitComplement: {
+      const NodeId d = (geom_.num_nodes() - 1) - node_;
+      if (d == node_) return std::nullopt;
+      pkt.dest_mask = MeshGeometry::node_mask(d);
+      break;
+    }
+    case TrafficPattern::Tornado: {
+      const Coord c = geom_.coord(node_);
+      const int k = geom_.k();
+      const int dx = (c.x + (k + 1) / 2 - 1) % k;
+      if (dx == c.x) return std::nullopt;
+      pkt.dest_mask = MeshGeometry::node_mask(geom_.id(dx, c.y));
+      break;
+    }
+    case TrafficPattern::NearestNeighbor: {
+      const Coord c = geom_.coord(node_);
+      const int k = geom_.k();
+      pkt.dest_mask = MeshGeometry::node_mask(geom_.id((c.x + 1) % k, c.y));
+      break;
+    }
+  }
+  NOC_ENSURES(pkt.dest_mask != 0);
+  return pkt;
+}
+
+}  // namespace noc

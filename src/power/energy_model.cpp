@@ -1,0 +1,124 @@
+#include "power/energy_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace noc::power {
+
+namespace {
+
+struct DatapathEvents {
+  double hops = 0;        // crossbar + inter-router link traversals
+  double ejections = 0;   // crossbar + router->NIC link
+  double injections = 0;  // NIC->router link only
+};
+
+DatapathEvents split_datapath(const EnergyCounters& ev) {
+  DatapathEvents d;
+  d.hops = static_cast<double>(ev.link_traversals);
+  // Every crossbar grant is either toward a link (hop) or toward the NIC.
+  d.ejections = static_cast<double>(ev.xbar_traversals - ev.link_traversals);
+  d.injections =
+      static_cast<double>(ev.nic_link_traversals) - d.ejections;
+  NOC_ASSERT(d.ejections >= 0 && d.injections >= -1e-9);
+  if (d.injections < 0) d.injections = 0;
+  return d;
+}
+
+}  // namespace
+
+PowerBreakdown compute_power(const EnergyCounters& events, int num_routers,
+                             const TechParams& tech, bool lowswing_datapath,
+                             double clock_ghz) {
+  NOC_EXPECTS(events.cycles > 0);
+  const double cycles = static_cast<double>(events.cycles);
+  // pJ per cycle equals mW at 1 GHz; scale linearly with frequency.
+  auto rate_mw = [&](double count, double pj) {
+    return count / cycles * pj * clock_ghz;
+  };
+
+  PowerBreakdown p;
+  p.clock_mw = tech.p_clock_per_router_mw * num_routers * clock_ghz;
+  p.leakage_mw = tech.p_leak_per_router_mw * num_routers;  // freq-independent
+  // VC bookkeeping is non-data-dependent: it burns whether or not flits
+  // move (the paper's point in Sec 4.1/5).
+  p.vc_state_mw = tech.p_vc_state_per_router_mw * num_routers * clock_ghz;
+
+  p.allocators_mw =
+      rate_mw(static_cast<double>(events.sa1_arbitrations), tech.e_sa1_pj) +
+      rate_mw(static_cast<double>(events.sa2_arbitrations), tech.e_sa2_pj) +
+      rate_mw(static_cast<double>(events.vc_allocations), tech.e_va_pj);
+  p.lookahead_mw = rate_mw(static_cast<double>(events.lookaheads_sent),
+                           tech.e_lookahead_pj);
+  p.buffers_mw =
+      rate_mw(static_cast<double>(events.buffer_writes),
+              tech.e_buffer_write_pj) +
+      rate_mw(static_cast<double>(events.buffer_reads), tech.e_buffer_read_pj);
+
+  const DatapathEvents d = split_datapath(events);
+  const double e_hop = tech.e_hop_pj(lowswing_datapath);
+  p.datapath_mw = rate_mw(d.hops, e_hop) +
+                  rate_mw(d.ejections, e_hop * tech.eject_factor) +
+                  rate_mw(d.injections, e_hop * tech.inject_factor);
+  return p;
+}
+
+PowerBreakdown per_router(const PowerBreakdown& network, int num_routers) {
+  PowerBreakdown p = network;
+  const double n = num_routers;
+  p.clock_mw /= n;
+  p.leakage_mw /= n;
+  p.vc_state_mw /= n;
+  p.allocators_mw /= n;
+  p.lookahead_mw /= n;
+  p.buffers_mw /= n;
+  p.datapath_mw /= n;
+  return p;
+}
+
+PowerBreakdown compute_power_at_voltage(const EnergyCounters& events,
+                                        int num_routers,
+                                        const TechParams& tech,
+                                        bool lowswing_datapath,
+                                        double clock_ghz, double vdd) {
+  NOC_EXPECTS(vdd > 0.3 && vdd <= 1.3);
+  PowerBreakdown p =
+      compute_power(events, num_routers, tech, lowswing_datapath, clock_ghz);
+  const double v = vdd / 1.1;
+  const double dyn = v * v;
+  const double leak = std::pow(v, 1.5);
+  p.clock_mw *= dyn;
+  p.vc_state_mw *= dyn;
+  p.allocators_mw *= dyn;
+  p.lookahead_mw *= dyn;
+  p.buffers_mw *= dyn;
+  // The low-swing datapath runs from LVDD, which tracks the swing rather
+  // than VDD; only its receive/strobe share (~30%) scales with VDD.
+  p.datapath_mw *= lowswing_datapath ? (0.7 + 0.3 * dyn) : dyn;
+  p.leakage_mw *= leak;
+  return p;
+}
+
+double fmax_at_voltage(double vdd, double fmax_nominal_ghz,
+                       double vdd_nominal) {
+  NOC_EXPECTS(vdd > 0.4);
+  constexpr double kVth = 0.32, kAlpha = 1.3;
+  auto drive = [&](double v) { return std::pow(v - kVth, kAlpha) / v; };
+  return fmax_nominal_ghz * drive(vdd) / drive(vdd_nominal);
+}
+
+double theoretical_power_limit_mw(const EnergyCounters& events,
+                                  int num_routers, const TechParams& tech,
+                                  double clock_ghz) {
+  NOC_EXPECTS(events.cycles > 0);
+  const double cycles = static_cast<double>(events.cycles);
+  const DatapathEvents d = split_datapath(events);
+  const double e_hop = tech.e_hop_pj(/*lowswing=*/false);
+  const double dyn = (d.hops * e_hop + d.ejections * e_hop * tech.eject_factor +
+                      d.injections * e_hop * tech.inject_factor) /
+                     cycles * clock_ghz;
+  return tech.p_clock_per_router_mw * num_routers * clock_ghz + dyn;
+}
+
+}  // namespace noc::power

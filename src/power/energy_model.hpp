@@ -1,0 +1,67 @@
+#pragma once
+// Event-count -> power conversion and the Fig 6 / Fig 8 breakdown
+// categories: clocking (incl. leakage), router logic (allocators + VC
+// bookkeeping + lookaheads), buffers, datapath (crossbar + links).
+
+#include "noc/energy_events.hpp"
+#include "power/tech_params.hpp"
+
+namespace noc::power {
+
+struct PowerBreakdown {
+  double clock_mw = 0;
+  double leakage_mw = 0;
+  double vc_state_mw = 0;
+  double allocators_mw = 0;  // mSA-I + mSA-II + VA
+  double lookahead_mw = 0;
+  double buffers_mw = 0;
+  double datapath_mw = 0;  // crossbars + inter-router links + NIC links
+
+  /// Fig 6 segment rollups.
+  double clocking_segment_mw() const { return clock_mw + leakage_mw; }
+  double router_logic_mw() const {
+    return vc_state_mw + allocators_mw + lookahead_mw;
+  }
+  double logic_and_buffer_segment_mw() const {
+    return router_logic_mw() + buffers_mw;
+  }
+  double total_mw() const {
+    return clock_mw + leakage_mw + vc_state_mw + allocators_mw +
+           lookahead_mw + buffers_mw + datapath_mw;
+  }
+};
+
+/// Convert window-scoped event counts into average power.
+/// `lowswing_datapath` selects the datapath energy set (configs A vs B-D of
+/// Fig 6). `clock_ghz` scales pJ/cycle into mW.
+PowerBreakdown compute_power(const EnergyCounters& events, int num_routers,
+                             const TechParams& tech, bool lowswing_datapath,
+                             double clock_ghz = 1.0);
+
+/// Per-router power at a given point (divides by router count).
+PowerBreakdown per_router(const PowerBreakdown& network, int num_routers);
+
+/// Voltage-scaled power: the chip runs from 1.1 V and 0.8 V supplies
+/// (Fig 2). Dynamic power scales as (V/1.1)^2, leakage roughly as
+/// (V/1.1)^1.5 (subthreshold + DIBL), clocking as V^2 at the same
+/// frequency. `clock_ghz` should be chosen within fmax_at_voltage().
+PowerBreakdown compute_power_at_voltage(const EnergyCounters& events,
+                                        int num_routers,
+                                        const TechParams& tech,
+                                        bool lowswing_datapath,
+                                        double clock_ghz, double vdd);
+
+/// Alpha-power-law frequency derate: the 1.04 GHz @ 1.1V router slows as
+/// VDD drops (alpha ~ 1.3 at 45nm, Vth ~ 0.32V).
+double fmax_at_voltage(double vdd, double fmax_nominal_ghz = 1.04,
+                       double vdd_nominal = 1.1);
+
+/// The theoretical power limit of Sec 4.1: clocking plus a full-swing
+/// datapath doing exactly the useful traversals -- no buffers, no
+/// allocators, no VC state (leakage excluded as the paper's limit is
+/// dynamic + clocking).
+double theoretical_power_limit_mw(const EnergyCounters& events,
+                                  int num_routers, const TechParams& tech,
+                                  double clock_ghz = 1.0);
+
+}  // namespace noc::power

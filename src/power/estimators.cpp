@@ -1,0 +1,55 @@
+#include "power/estimators.hpp"
+
+#include "power/tech_params.hpp"
+
+namespace noc::power {
+
+const char* estimator_name(Estimator e) {
+  switch (e) {
+    case Estimator::Orion: return "ORION 2.0 estimation";
+    case Estimator::PostLayout: return "Post-layout estimation";
+    case Estimator::Measured: return "Measured results";
+  }
+  return "?";
+}
+
+PowerBreakdown estimate_power(Estimator which, const EnergyCounters& events,
+                              int num_routers, bool lowswing_datapath,
+                              double clock_ghz) {
+  switch (which) {
+    case Estimator::Orion: {
+      // ORION has no low-swing circuit library: it models the datapath as a
+      // full-swing repeated bus either way (part of its absolute error).
+      OrionConfig cfg;
+      cfg.clock_ghz = clock_ghz;
+      return OrionModel(cfg).estimate(events, num_routers);
+    }
+    case Estimator::PostLayout:
+      return compute_power(events, num_routers, postlayout_tech45(),
+                           lowswing_datapath, clock_ghz);
+    case Estimator::Measured:
+      return compute_power(events, num_routers, calibrated_tech45(),
+                           lowswing_datapath, clock_ghz);
+  }
+  return {};
+}
+
+std::vector<EstimateComparison> compare_all_estimators(
+    const EnergyCounters& baseline_events, bool baseline_lowswing,
+    const EnergyCounters& proposed_events, bool proposed_lowswing,
+    int num_routers, double clock_ghz) {
+  std::vector<EstimateComparison> out;
+  for (Estimator e :
+       {Estimator::Orion, Estimator::PostLayout, Estimator::Measured}) {
+    EstimateComparison c;
+    c.which = e;
+    c.baseline = estimate_power(e, baseline_events, num_routers,
+                                baseline_lowswing, clock_ghz);
+    c.proposed = estimate_power(e, proposed_events, num_routers,
+                                proposed_lowswing, clock_ghz);
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace noc::power

@@ -1,0 +1,40 @@
+#pragma once
+// The three power-estimation families compared in the paper's Fig 8:
+// ORION 2.0 (architectural), post-layout simulation, and the silicon
+// measurement (played by the calibrated model). All consume the same
+// simulator event counts, exactly as the paper drives all three with the
+// same 653 Gb/s workload.
+
+#include <string>
+#include <vector>
+
+#include "noc/energy_events.hpp"
+#include "power/energy_model.hpp"
+#include "power/orion.hpp"
+
+namespace noc::power {
+
+enum class Estimator { Orion, PostLayout, Measured };
+
+const char* estimator_name(Estimator e);
+
+PowerBreakdown estimate_power(Estimator which, const EnergyCounters& events,
+                              int num_routers, bool lowswing_datapath,
+                              double clock_ghz = 1.0);
+
+/// Fig 8 row: one estimator applied to baseline and proposed event counts.
+struct EstimateComparison {
+  Estimator which;
+  PowerBreakdown baseline;
+  PowerBreakdown proposed;
+  double relative_reduction() const {
+    return 1.0 - proposed.total_mw() / baseline.total_mw();
+  }
+};
+
+std::vector<EstimateComparison> compare_all_estimators(
+    const EnergyCounters& baseline_events, bool baseline_lowswing,
+    const EnergyCounters& proposed_events, bool proposed_lowswing,
+    int num_routers, double clock_ghz = 1.0);
+
+}  // namespace noc::power

@@ -1,0 +1,112 @@
+#include "power/orion.hpp"
+
+#include "common/assert.hpp"
+
+namespace noc::power {
+
+OrionModel::OrionModel(const OrionConfig& cfg) : cfg_(cfg) {
+  NOC_EXPECTS(cfg.flit_bits > 0 && cfg.num_ports > 0);
+}
+
+double OrionModel::e_dyn_pj(double c_ff) const {
+  // E = alpha * C * Vdd^2; fF * V^2 = fJ, /1000 -> pJ. The overdesign
+  // factor folds in ORION's margined wire/decoder capacitance defaults.
+  return cfg_.switching_activity * c_ff * cfg_.overdesign_factor * cfg_.vdd *
+         cfg_.vdd / 1000.0;
+}
+
+double OrionModel::buffer_write_energy_pj() const {
+  // Register-file style FIFO: per bit, write drivers + cell + wordline share.
+  const double w_cell_um = 4.0 * cfg_.min_width_um * cfg_.transistor_size_factor;
+  const double c_cell = cfg_.c_gate_ff_per_um * w_cell_um;
+  const double c_wordline = 0.4 * cfg_.flit_bits;  // fF, wire across the row
+  const double c_bit = c_cell + 0.6;               // bitline share per cell
+  return e_dyn_pj(cfg_.flit_bits * c_bit + c_wordline);
+}
+
+double OrionModel::buffer_read_energy_pj() const {
+  return 0.7 * buffer_write_energy_pj();  // no cell flip on read
+}
+
+double OrionModel::crossbar_energy_pj() const {
+  // Matrix crossbar: input driver charges one horizontal wire spanning
+  // num_ports outputs plus one vertical wire, per bit.
+  const double wire_span_mm = 0.25;  // router-internal wire length
+  const double c_h = cfg_.c_wire_ff_per_mm * wire_span_mm;
+  const double c_v = cfg_.c_wire_ff_per_mm * wire_span_mm;
+  const double w_drv_um =
+      8.0 * cfg_.min_width_um * cfg_.transistor_size_factor;
+  const double c_drv = cfg_.c_gate_ff_per_um * w_drv_um * cfg_.num_ports;
+  return e_dyn_pj(cfg_.flit_bits * (c_h + c_v + c_drv) / 4.0);
+}
+
+double OrionModel::link_energy_pj() const {
+  const double c_total = cfg_.c_wire_ff_per_mm * cfg_.link_mm;
+  const double w_rep_um =
+      16.0 * cfg_.min_width_um * cfg_.transistor_size_factor;
+  const double c_rep = cfg_.c_gate_ff_per_um * w_rep_um;
+  return e_dyn_pj(cfg_.flit_bits * (c_total + c_rep));
+}
+
+double OrionModel::arbiter_energy_pj() const {
+  // Matrix arbiter: n^2 priority bits plus grant logic.
+  const double n = cfg_.num_ports;
+  const double w_um = 2.0 * cfg_.min_width_um * cfg_.transistor_size_factor;
+  return e_dyn_pj(n * n * cfg_.c_gate_ff_per_um * w_um * 4.0);
+}
+
+double OrionModel::clock_power_per_router_mw() const {
+  // Clock tree drives every pipeline register: ports x buffers x flit bits.
+  const double regs =
+      cfg_.num_ports * (cfg_.buffers_per_port + 2.0) * cfg_.flit_bits;
+  const double c_per_reg =
+      0.8 * cfg_.c_gate_ff_per_um * cfg_.min_width_um *
+      cfg_.transistor_size_factor;
+  // f * C * V^2; activity 1 for the clock.
+  return regs * c_per_reg * cfg_.overdesign_factor * cfg_.vdd * cfg_.vdd *
+         cfg_.clock_ghz / 1000.0;
+}
+
+double OrionModel::leakage_per_router_mw() const {
+  const double widths_um =
+      cfg_.num_ports *
+      (cfg_.buffers_per_port * cfg_.flit_bits * 6.0 + 500.0) *
+      cfg_.min_width_um * cfg_.transistor_size_factor;
+  const double i_leak_na_per_um = 18.0;  // 45nm-ish
+  return widths_um * i_leak_na_per_um * cfg_.overdesign_factor * cfg_.vdd *
+         1e-6;
+}
+
+PowerBreakdown OrionModel::estimate(const EnergyCounters& events,
+                                    int num_routers) const {
+  NOC_EXPECTS(events.cycles > 0);
+  const double cycles = static_cast<double>(events.cycles);
+  auto rate_mw = [&](double count, double pj) {
+    return count / cycles * pj * cfg_.clock_ghz;
+  };
+  PowerBreakdown p;
+  p.clock_mw = clock_power_per_router_mw() * num_routers;
+  p.leakage_mw = leakage_per_router_mw() * num_routers;
+  p.vc_state_mw = 0.18 * clock_power_per_router_mw() * num_routers;
+  p.allocators_mw = rate_mw(
+      static_cast<double>(events.sa1_arbitrations + events.sa2_arbitrations +
+                          events.vc_allocations),
+      arbiter_energy_pj());
+  p.lookahead_mw = rate_mw(static_cast<double>(events.lookaheads_sent),
+                           arbiter_energy_pj() * 0.4);
+  p.buffers_mw = rate_mw(static_cast<double>(events.buffer_writes),
+                         buffer_write_energy_pj()) +
+                 rate_mw(static_cast<double>(events.buffer_reads),
+                         buffer_read_energy_pj());
+  const double ejections =
+      static_cast<double>(events.xbar_traversals - events.link_traversals);
+  p.datapath_mw =
+      rate_mw(static_cast<double>(events.xbar_traversals),
+              crossbar_energy_pj()) +
+      rate_mw(static_cast<double>(events.link_traversals), link_energy_pj()) +
+      rate_mw(static_cast<double>(events.nic_link_traversals) + ejections,
+              0.5 * link_energy_pj());
+  return p;
+}
+
+}  // namespace noc::power

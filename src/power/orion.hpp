@@ -1,0 +1,70 @@
+#pragma once
+// ORION-2.0-style analytical router power model (paper Sec 4.4, ref [12]).
+//
+// Unlike tech_params.hpp's fitted constants, this model derives per-event
+// energies from first principles the way architectural power models do:
+// switched capacitance per component from transistor/wire geometry, then
+// E = alpha * C * V^2. Its characteristic failure mode -- assumed device
+// sizes several times larger than a tuned custom implementation -- is what
+// produces the paper's ~5x absolute over-estimation while tracking relative
+// differences, and we model the same mechanism explicitly via
+// `transistor_size_factor`.
+
+#include "noc/energy_events.hpp"
+#include "power/energy_model.hpp"
+
+namespace noc::power {
+
+struct OrionConfig {
+  // Microarchitecture (paper defaults).
+  int flit_bits = 64;
+  int num_ports = 5;
+  int vcs_per_port = 6;
+  int buffers_per_port = 10;
+  double vdd = 1.1;
+  double clock_ghz = 1.0;
+  double link_mm = 1.0;
+
+  // Process (45nm-ish defaults).
+  double c_gate_ff_per_um = 1.0;   // gate cap per um of transistor width
+  double c_wire_ff_per_mm = 230.0; // routed wire capacitance
+  double min_width_um = 0.12;     // reference transistor width
+
+  /// The sizing assumption that drives ORION's absolute error: how much
+  /// wider ORION assumes devices are than the chip's custom circuits.
+  double transistor_size_factor = 5.0;
+  /// Stack-up of ORION's conservative defaults beyond raw device width:
+  /// worst-case wire loads, decoder/precharge inclusion, margined clock
+  /// trees. Together with the size factor this reproduces the paper's
+  /// measured 4.8-5.3x absolute over-estimation (Sec 4.4) while leaving
+  /// relative comparisons intact.
+  double overdesign_factor = 6.6;
+
+  double switching_activity = 0.5;  // PRBS-like data
+};
+
+class OrionModel {
+ public:
+  explicit OrionModel(const OrionConfig& cfg = {});
+
+  // Derived per-event energies (pJ).
+  double buffer_write_energy_pj() const;
+  double buffer_read_energy_pj() const;
+  double crossbar_energy_pj() const;   // one input->output traversal
+  double link_energy_pj() const;       // one flit over link_mm
+  double arbiter_energy_pj() const;    // one arbitration
+  double clock_power_per_router_mw() const;
+  double leakage_per_router_mw() const;
+
+  /// Full network power from simulator event counts.
+  PowerBreakdown estimate(const EnergyCounters& events, int num_routers) const;
+
+  const OrionConfig& config() const { return cfg_; }
+
+ private:
+  double e_dyn_pj(double c_ff) const;  // alpha * C * V^2
+
+  OrionConfig cfg_;
+};
+
+}  // namespace noc::power

@@ -1,0 +1,3 @@
+// Channel is a header-only template; this translation unit exists to host
+// future non-template channel helpers and to keep the build graph explicit.
+#include "sim/channel.hpp"

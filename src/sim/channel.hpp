@@ -1,0 +1,68 @@
+#pragma once
+// Point-to-point synchronous channels (pipelined wires).
+//
+// A Channel<T> models a set of wires with a fixed latency in cycles:
+// messages sent during tick t become visible to the receiver's tick at
+// t + latency. Latency 0 is allowed for the NIC->router lookahead shortcut
+// (the NIC is physically adjacent to its router and its injection request
+// feeds mSA-II combinationally); correctness then relies on the global
+// phase order executing the sender before the receiver in the same tick.
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/tickable.hpp"
+
+namespace noc {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(int latency = 1) : latency_(latency) {
+    NOC_EXPECTS(latency >= 0);
+  }
+
+  int latency() const { return latency_; }
+
+  /// Send a message during tick `now`; it arrives at `now + latency`.
+  void send(Cycle now, T msg) {
+    if (latency_ == 0) {
+      arrivals_.push_back(std::move(msg));
+    } else {
+      in_flight_.emplace_back(now + latency_, std::move(msg));
+    }
+  }
+
+  /// Called once at the start of every tick (before any component runs):
+  /// moves messages whose arrival time is `now` into the arrival buffer.
+  void begin_cycle(Cycle now) {
+    arrivals_.clear();
+    while (!in_flight_.empty() && in_flight_.front().first <= now) {
+      NOC_ASSERT(in_flight_.front().first == now);  // never skip a delivery
+      arrivals_.push_back(std::move(in_flight_.front().second));
+      in_flight_.pop_front();
+    }
+  }
+
+  /// Messages arriving this tick, in send order.
+  const std::vector<T>& arrivals() const { return arrivals_; }
+
+  /// Take all arrivals (consuming them so repeated reads are safe).
+  std::vector<T> take_arrivals() {
+    std::vector<T> out;
+    out.swap(arrivals_);
+    return out;
+  }
+
+  bool idle() const { return in_flight_.empty() && arrivals_.empty(); }
+  size_t in_flight_count() const { return in_flight_.size(); }
+
+ private:
+  int latency_;
+  std::deque<std::pair<Cycle, T>> in_flight_;
+  std::vector<T> arrivals_;
+};
+
+}  // namespace noc

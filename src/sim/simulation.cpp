@@ -1,0 +1,24 @@
+#include "sim/simulation.hpp"
+
+namespace noc {
+
+void Simulation::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    system_.step(now_);
+    ++now_;
+  }
+}
+
+bool Simulation::run_until(const std::function<bool()>& pred,
+                           Cycle max_cycles) {
+  const Cycle end = now_ + max_cycles;
+  while (now_ < end) {
+    if (pred()) return true;
+    system_.step(now_);
+    ++now_;
+  }
+  return pred();
+}
+
+}  // namespace noc

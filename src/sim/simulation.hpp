@@ -1,0 +1,37 @@
+#pragma once
+// Top-level simulation driver: owns the cycle counter and steps a stepped
+// system (the Network) through warmup / measurement / drain phases.
+
+#include <functional>
+
+#include "sim/tickable.hpp"
+
+namespace noc {
+
+/// Anything that can be stepped one cycle at a time (the Network implements
+/// this with its internal multi-phase ordering).
+class Steppable {
+ public:
+  virtual ~Steppable() = default;
+  virtual void step(Cycle now) = 0;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(Steppable& system) : system_(system) {}
+
+  Cycle now() const { return now_; }
+
+  /// Run `cycles` more cycles.
+  void run(Cycle cycles);
+
+  /// Run until `pred()` returns true or `max_cycles` more cycles elapse.
+  /// Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& pred, Cycle max_cycles);
+
+ private:
+  Steppable& system_;
+  Cycle now_ = 0;
+};
+
+}  // namespace noc

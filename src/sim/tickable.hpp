@@ -1,0 +1,25 @@
+#pragma once
+// Synchronous simulation primitives.
+//
+// The NoC is modeled as a fully synchronous design: every component
+// implements Tickable and is stepped once per clock cycle in a fixed phase
+// order chosen so that all cross-component communication flows through
+// Channel objects with >= 1 cycle of latency (or explicitly-ordered 0-cycle
+// lookahead wires). This gives cycle-accurate register-transfer semantics
+// without a delta-cycle event queue.
+
+#include <cstdint>
+
+namespace noc {
+
+using Cycle = int64_t;
+
+class Tickable {
+ public:
+  virtual ~Tickable() = default;
+
+  /// Advance one clock cycle. `now` is the cycle being executed.
+  virtual void tick(Cycle now) = 0;
+};
+
+}  // namespace noc

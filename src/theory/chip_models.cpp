@@ -1,0 +1,107 @@
+#include "theory/chip_models.hpp"
+
+#include "theory/mesh_limits.hpp"
+
+namespace noc::theory {
+
+double ChipModel::delay_per_hop_min_ns() const {
+  return min_stages_per_hop / clock_ghz;
+}
+
+double ChipModel::delay_per_hop_max_ns() const {
+  return max_stages_per_hop / clock_ghz;
+}
+
+double ChipModel::zero_load_unicast_cycles() const {
+  return unicast_avg_hops(k) * stages_per_hop;
+}
+
+double ChipModel::zero_load_broadcast_cycles() const {
+  const double far = broadcast_avg_hops(k);
+  if (multicast_support) return far * stages_per_hop;
+  // The source NIC serializes k^2 - 1 unicast copies, one per cycle; the
+  // last copy then still has to reach the furthest destination.
+  const double serialization = static_cast<double>(k) * k - 1.0;
+  return serialization + far * stages_per_hop;
+}
+
+double ChipModel::bisection_bandwidth_gbps() const {
+  // k links cross the bisection in one direction, per parallel network.
+  return k * channel_bits * clock_ghz * parallel_networks;
+}
+
+double ChipModel::channel_load_unicast_coeff() const {
+  return static_cast<double>(k) * k;
+}
+
+double ChipModel::channel_load_broadcast_coeff() const {
+  const double n = static_cast<double>(k) * k;
+  return multicast_support ? n : n * n;
+}
+
+ChipModel intel_teraflops() {
+  ChipModel m;
+  m.name = "Intel Teraflops";
+  m.node_process = "65nm (8x10 die, modeled 8x8)";
+  m.k = 8;
+  m.clock_ghz = 5.0;
+  m.channel_bits = 39;
+  m.parallel_networks = 1;
+  m.stages_per_hop = 5;  // five-pipeline-stage router
+  m.min_stages_per_hop = 5;
+  m.max_stages_per_hop = 5;
+  m.multicast_support = false;
+  return m;
+}
+
+ChipModel tilera_tile64() {
+  ChipModel m;
+  m.name = "Tilera TILE64";
+  m.node_process = "90nm";
+  m.k = 8;
+  m.clock_ghz = 0.75;
+  m.channel_bits = 32;
+  m.parallel_networks = 5;  // UDN/IDN/MDN/TDN/static
+  m.stages_per_hop = 1.5;   // 1 cycle straight-through, 2 turning
+  m.min_stages_per_hop = 1;
+  m.max_stages_per_hop = 2;
+  m.multicast_support = false;
+  return m;
+}
+
+ChipModel swift_noc() {
+  ChipModel m;
+  m.name = "SWIFT";
+  m.node_process = "90nm (2x2 die, modeled 8x8)";
+  m.k = 8;
+  m.clock_ghz = 0.225;
+  m.channel_bits = 64;
+  m.parallel_networks = 1;
+  m.stages_per_hop = 2;  // token-flow-control pipeline without a token
+  m.min_stages_per_hop = 2;
+  m.max_stages_per_hop = 4;
+  m.multicast_support = false;
+  return m;
+}
+
+ChipModel this_work(int k) {
+  ChipModel m;
+  m.name = k == 4 ? "This work (4x4)" : "This work (as 8x8)";
+  m.node_process = "45nm SOI";
+  m.k = k;
+  m.clock_ghz = 1.0;
+  m.channel_bits = 64;
+  m.parallel_networks = 1;
+  m.stages_per_hop = 1;  // single-cycle virtual-bypassed hop
+  m.min_stages_per_hop = 1;
+  m.max_stages_per_hop = 3;  // buffered path when the bypass loses
+  m.multicast_support = true;
+  return m;
+}
+
+std::vector<ChipModel> table2_chips() {
+  return {intel_teraflops(), tilera_tile64(), swift_noc(), this_work(8),
+          this_work(4)};
+}
+
+}  // namespace noc::theory

@@ -1,0 +1,48 @@
+#pragma once
+// Analytical models of prior mesh-NoC chip prototypes (paper Table 2 /
+// Appendix B): Intel Teraflops, Tilera TILE64, SWIFT, and this work (both
+// scaled to 8x8 for comparability and as the fabricated 4x4).
+//
+// Zero-load latency = serialization (for NIC-duplicated broadcasts,
+// k^2 - 1 copies leave one per cycle) + hops x pipeline-stages-per-hop.
+// "Channel load" follows the paper's aggregate-injected-flit-equivalents
+// definition: unicast k^2 R; broadcast k^4 R without multicast support,
+// k^2 R with it (reproduces every printed entry).
+
+#include <string>
+#include <vector>
+
+namespace noc::theory {
+
+struct ChipModel {
+  std::string name;
+  std::string node_process;   // e.g. "65nm"
+  int k = 8;                  // mesh radix used for the comparison
+  double clock_ghz = 1.0;
+  double channel_bits = 64;   // per network
+  int parallel_networks = 1;  // TILE64 has 5 independent meshes
+  double stages_per_hop = 1;  // average router pipeline depth per hop
+  double min_stages_per_hop = 1;  // best case (straight-through / bypass)
+  double max_stages_per_hop = 1;  // worst case (turning / buffered)
+  bool multicast_support = false;
+
+  // --- Table 2 rows ---
+  double delay_per_hop_min_ns() const;
+  double delay_per_hop_max_ns() const;
+  double zero_load_unicast_cycles() const;
+  double zero_load_broadcast_cycles() const;
+  double bisection_bandwidth_gbps() const;
+  /// Coefficients of R in the channel-load rows.
+  double channel_load_unicast_coeff() const;    // k^2
+  double channel_load_broadcast_coeff() const;  // k^4 or k^2
+};
+
+/// The five comparison columns of Table 2, in print order.
+std::vector<ChipModel> table2_chips();
+
+ChipModel intel_teraflops();
+ChipModel tilera_tile64();
+ChipModel swift_noc();
+ChipModel this_work(int k);  // k = 8 (scaled) or 4 (fabricated)
+
+}  // namespace noc::theory

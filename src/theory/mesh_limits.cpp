@@ -1,0 +1,95 @@
+#include "theory/mesh_limits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace noc::theory {
+
+double unicast_avg_hops(int k) {
+  NOC_EXPECTS(k >= 2);
+  return 2.0 * (k + 1) / 3.0;
+}
+
+double broadcast_avg_hops(int k) {
+  NOC_EXPECTS(k >= 2);
+  if (k % 2 == 0) return (3.0 * k - 1.0) / 2.0;
+  return static_cast<double>((k - 1) * (3 * k + 1)) / (2.0 * k);
+}
+
+double unicast_avg_hops_exact(int k) {
+  // Direct enumeration (independent of the simulator's 64-node destination
+  // masks, so arbitrary k works).
+  NOC_EXPECTS(k >= 2);
+  long total = 0, pairs = 0;
+  for (int x1 = 0; x1 < k; ++x1)
+    for (int y1 = 0; y1 < k; ++y1)
+      for (int x2 = 0; x2 < k; ++x2)
+        for (int y2 = 0; y2 < k; ++y2) {
+          if (x1 == x2 && y1 == y2) continue;
+          total += std::abs(x1 - x2) + std::abs(y1 - y2);
+          ++pairs;
+        }
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+double broadcast_avg_hops_exact(int k) {
+  NOC_EXPECTS(k >= 2);
+  long total = 0;
+  for (int x = 0; x < k; ++x)
+    for (int y = 0; y < k; ++y)
+      total += std::max(x, k - 1 - x) + std::max(y, k - 1 - y);
+  return static_cast<double>(total) / (static_cast<double>(k) * k);
+}
+
+double unicast_bisection_load(int k, double R) { return k * R / 4.0; }
+double unicast_ejection_load(double R) { return R; }
+double broadcast_bisection_load(int k, double R) {
+  return static_cast<double>(k) * k * R / 4.0;
+}
+double broadcast_ejection_load(int k, double R) {
+  return static_cast<double>(k) * k * R;
+}
+
+double unicast_max_injection_rate(int k) {
+  // max R such that max(L_bisection, L_ejection) <= 1 flit/cycle.
+  return std::min(1.0, 4.0 / k);
+}
+
+double broadcast_max_injection_rate(int k) {
+  return 1.0 / (static_cast<double>(k) * k);
+}
+
+double aggregate_throughput_limit_gbps(int k, double flit_bits,
+                                       double clock_ghz) {
+  return static_cast<double>(k) * k * flit_bits * clock_ghz;
+}
+
+double unicast_energy_limit(int k, double e_xbar, double e_link) {
+  const double h = unicast_avg_hops(k);
+  // H crossbars en route + the ejection crossbar + H links (Table 1).
+  return h * e_xbar + e_xbar + h * e_link;
+}
+
+double broadcast_energy_limit(int k, double e_xbar, double e_link) {
+  const double n = static_cast<double>(k) * k;
+  return n * e_xbar + (n - 1.0) * e_link;
+}
+
+double zero_load_latency_limit_unicast(int k, int packet_len) {
+  return unicast_avg_hops(k) + 2.0 + (packet_len - 1);
+}
+
+double zero_load_latency_limit_broadcast(int k, int packet_len) {
+  return broadcast_avg_hops(k) + 2.0 + (packet_len - 1);
+}
+
+double zero_load_latency_limit_mixed(int k) {
+  return 0.50 * zero_load_latency_limit_broadcast(k, 1) +
+         0.25 * zero_load_latency_limit_unicast(k, 1) +
+         0.25 * zero_load_latency_limit_unicast(k, 5);
+}
+
+}  // namespace noc::theory

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Channel, OneCycleLatency) {
+  Channel<int> ch(1);
+  ch.begin_cycle(0);
+  ch.send(0, 42);
+  EXPECT_TRUE(ch.arrivals().empty());
+  ch.begin_cycle(1);
+  ASSERT_EQ(ch.arrivals().size(), 1u);
+  EXPECT_EQ(ch.arrivals()[0], 42);
+  ch.begin_cycle(2);
+  EXPECT_TRUE(ch.arrivals().empty());
+}
+
+TEST(Channel, ZeroLatencyVisibleSameCycle) {
+  Channel<int> ch(0);
+  ch.begin_cycle(5);
+  ch.send(5, 7);
+  ASSERT_EQ(ch.arrivals().size(), 1u);
+  EXPECT_EQ(ch.arrivals()[0], 7);
+  ch.begin_cycle(6);
+  EXPECT_TRUE(ch.arrivals().empty());
+}
+
+TEST(Channel, MultiCycleLatencyPreservesOrder) {
+  Channel<int> ch(3);
+  ch.begin_cycle(0);
+  ch.send(0, 1);
+  ch.send(0, 2);
+  ch.begin_cycle(1);
+  ch.send(1, 3);
+  ch.begin_cycle(2);
+  EXPECT_TRUE(ch.arrivals().empty());
+  ch.begin_cycle(3);
+  ASSERT_EQ(ch.arrivals().size(), 2u);
+  EXPECT_EQ(ch.arrivals()[0], 1);
+  EXPECT_EQ(ch.arrivals()[1], 2);
+  ch.begin_cycle(4);
+  ASSERT_EQ(ch.arrivals().size(), 1u);
+  EXPECT_EQ(ch.arrivals()[0], 3);
+}
+
+TEST(Channel, TakeArrivalsConsumes) {
+  Channel<int> ch(1);
+  ch.begin_cycle(0);
+  ch.send(0, 9);
+  ch.begin_cycle(1);
+  auto got = ch.take_arrivals();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(ch.arrivals().empty());
+}
+
+TEST(Channel, IdleTracking) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.idle());
+  ch.begin_cycle(0);
+  ch.send(0, 1);
+  EXPECT_FALSE(ch.idle());
+  ch.begin_cycle(1);
+  EXPECT_FALSE(ch.idle());
+  ch.begin_cycle(2);
+  EXPECT_FALSE(ch.idle());  // arrival pending consumption
+  ch.begin_cycle(3);
+  EXPECT_TRUE(ch.idle());
+}
+
+struct Counter : Steppable {
+  Cycle last = -1;
+  int steps = 0;
+  void step(Cycle now) override {
+    last = now;
+    ++steps;
+  }
+};
+
+TEST(Simulation, RunAdvancesCycles) {
+  Counter c;
+  Simulation sim(c);
+  sim.run(10);
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(c.steps, 10);
+  EXPECT_EQ(c.last, 9);
+}
+
+TEST(Simulation, RunUntilPredicate) {
+  Counter c;
+  Simulation sim(c);
+  EXPECT_TRUE(sim.run_until([&] { return c.steps >= 5; }, 100));
+  EXPECT_EQ(c.steps, 5);
+  EXPECT_FALSE(sim.run_until([&] { return false; }, 10));
+}
+
+}  // namespace
+}  // namespace noc

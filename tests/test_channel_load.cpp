@@ -1,0 +1,73 @@
+// The simulator's measured channel loads must track Table 1's formulas at
+// low-to-moderate load (perfect-routing assumptions hold best there).
+#include <gtest/gtest.h>
+
+#include "noc/experiment.hpp"
+#include "theory/mesh_limits.hpp"
+
+namespace noc {
+namespace {
+
+TEST(ChannelLoad, BroadcastEjectionMatchesKSquaredR) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  const double R = 0.02;  // flits/node/cycle, well below the 1/16 limit
+  auto pt = measure_point(cfg, R, {.warmup = 2000, .window = 20000});
+  // L_ejection = k^2 R = 0.32. Every ejection link carries every broadcast.
+  const double expect = theory::broadcast_ejection_load(4, R);
+  EXPECT_NEAR(pt.max_ejection_load, expect, 0.05 * expect + 0.01);
+}
+
+TEST(ChannelLoad, UnicastEjectionMatchesR) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  const double R = 0.2;
+  auto pt = measure_point(cfg, R, {.warmup = 2000, .window = 20000});
+  // L_ejection = R on average; the max over 16 links sits a bit above.
+  EXPECT_NEAR(pt.max_ejection_load, R, 0.35 * R);
+}
+
+TEST(ChannelLoad, UnicastBisectionNearKRover4) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  const double R = 0.3;
+  auto pt = measure_point(cfg, R, {.warmup = 2000, .window = 20000});
+  const double expect = theory::unicast_bisection_load(4, R);  // kR/4 = 0.3
+  // XY routing does not balance perfectly (the paper's stated reason the
+  // chip sits below the theoretical limit), so allow asymmetry upward.
+  EXPECT_GT(pt.max_bisection_load, 0.6 * expect);
+  EXPECT_LT(pt.max_bisection_load, 1.8 * expect);
+}
+
+TEST(ChannelLoad, BroadcastBisectionBelowEjection) {
+  // Appendix A: broadcast throughput is ejection-limited, not
+  // bisection-limited -- the tree shares bandwidth across the cut.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  auto pt = measure_point(cfg, 0.03, {.warmup = 2000, .window = 20000});
+  EXPECT_LT(pt.max_bisection_load, pt.max_ejection_load);
+}
+
+TEST(ChannelLoad, DuplicatingBaselineMultipliesInjectionLoad) {
+  // Without router multicast the source NIC injects k^2-1 copies: the
+  // injection links see ~15x the logical broadcast flit rate.
+  NetworkConfig prop = NetworkConfig::proposed(4);
+  NetworkConfig base = NetworkConfig::baseline_3stage(4);
+  prop.traffic.pattern = base.traffic.pattern = TrafficPattern::BroadcastOnly;
+  const double R = 0.01;
+  auto pp = measure_point(prop, R, {.warmup = 2000, .window = 20000});
+  auto bp = measure_point(base, R, {.warmup = 2000, .window = 20000});
+  // Proposed ejects 16 flits per logical bcast but injects 1; the baseline
+  // injects 15. Compare network link traversals per delivered flit.
+  const double prop_links =
+      static_cast<double>(pp.energy.link_traversals) /
+      static_cast<double>(pp.energy.cycles);
+  const double base_links =
+      static_cast<double>(bp.energy.link_traversals) /
+      static_cast<double>(bp.energy.cycles);
+  // Tree: 15 links per bcast. Duplication: ~2.5 avg hops x 15 copies = ~37.
+  EXPECT_GT(base_links, 2.0 * prop_links);
+}
+
+}  // namespace
+}  // namespace noc

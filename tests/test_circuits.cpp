@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "circuits/area_model.hpp"
+#include "circuits/eye.hpp"
+#include "circuits/montecarlo.hpp"
+#include "circuits/rsd.hpp"
+#include "circuits/sense_amp.hpp"
+#include "circuits/timing_model.hpp"
+#include "circuits/wire.hpp"
+#include "circuits/xbar_circuit.hpp"
+
+namespace noc::ckt {
+namespace {
+
+TEST(Wire, DelayGrowsSuperlinearlyWithLength) {
+  WireParams w;
+  const double d1 = wire_delay_ps(w, 1.0, 300.0);
+  const double d2 = wire_delay_ps(w, 2.0, 300.0);
+  EXPECT_GT(d2, 2.0 * d1 * 0.9);
+  EXPECT_GT(d2 - d1, d1 - wire_delay_ps(w, 0.0, 300.0));  // convex in L
+}
+
+TEST(Rsd, MeasuredDataRates) {
+  // Paper Sec 4.3: single-cycle ST+LT at 5.4 GHz (1mm) and 2.6 GHz (2mm).
+  TriStateRsd rsd;
+  EXPECT_NEAR(rsd.max_data_rate_ghz(1.0), 5.4, 0.15);
+  EXPECT_NEAR(rsd.max_data_rate_ghz(2.0), 2.6, 0.15);
+}
+
+TEST(Rsd, HeadlineEnergyRatio) {
+  // Paper Fig 7: up to 3.2x less energy than a full-swing repeater at 1mm.
+  EXPECT_NEAR(fullswing_vs_lowswing_ratio(1.0, 0.30), 3.2, 0.35);
+}
+
+TEST(Rsd, EnergyMonotoneInSwingAndLength) {
+  TriStateRsd rsd;
+  double prev = 0;
+  for (double s : {0.15, 0.20, 0.30, 0.45, 0.60}) {
+    const double e = rsd.energy_per_bit_fj(1.0, s);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+  EXPECT_GT(rsd.energy_per_bit_fj(2.0), rsd.energy_per_bit_fj(1.0));
+}
+
+TEST(SenseAmpModel, ThreeSigmaAt300mV) {
+  // The chip picked 300mV for >= 3-sigma reliability (Sec 4.3).
+  SenseAmp sa;
+  EXPECT_NEAR(sa.sigma_margin(0.30), 3.0, 1e-9);
+  EXPECT_LT(sa.failure_probability(0.30), 0.003);
+  EXPECT_GT(sa.failure_probability(0.10), 0.10);
+}
+
+TEST(SenseAmpModel, FailureProbabilityDecreasesWithSwing) {
+  SenseAmp sa;
+  double prev = 1.0;
+  for (double s : {0.10, 0.15, 0.20, 0.30, 0.45}) {
+    const double p = sa.failure_probability(s);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(MonteCarlo, TracksAnalyticFailureProbability) {
+  MonteCarloConfig cfg;
+  cfg.runs = 20000;
+  for (double s : {0.10, 0.15, 0.20}) {
+    const auto pt = evaluate_swing(s, cfg);
+    EXPECT_NEAR(pt.failure_prob_mc, pt.failure_prob_analytic,
+                0.02 + 0.2 * pt.failure_prob_analytic)
+        << "swing " << s;
+  }
+}
+
+TEST(MonteCarlo, TradeoffIsMonotone) {
+  // Fig 10: energy rises with swing while failure probability falls.
+  auto pts = swing_tradeoff_sweep({0.10, 0.20, 0.30, 0.40, 0.50});
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].energy_per_bit_fj, pts[i - 1].energy_per_bit_fj);
+    EXPECT_LE(pts[i].failure_prob_mc, pts[i - 1].failure_prob_mc + 0.01);
+  }
+}
+
+TEST(MonteCarlo, ChipChoosesTheChips300mV) {
+  EXPECT_NEAR(choose_min_swing_for_sigma(3.0), 0.30, 0.026);
+}
+
+TEST(Eye, RepeatedHasLargerMarginButCostsMore) {
+  // Paper Fig 12 / App C: 1mm-repeated has the larger eye; repeaterless is
+  // ~28% cheaper and one cycle faster.
+  auto pts = eye_vs_resistance_variation({-0.3, 0.0, 0.3});
+  for (const auto& p : pts)
+    EXPECT_GT(p.eye_repeated_mv, p.eye_repeaterless_mv);
+  const double e_rep = repeated_energy_per_bit_fj();
+  const double e_direct = repeaterless_energy_per_bit_fj();
+  EXPECT_NEAR((e_rep - e_direct) / e_rep, 0.28, 0.10);
+  EXPECT_EQ(repeated_extra_cycles(), 1);
+}
+
+TEST(Eye, MarginShrinksWithWireResistance) {
+  auto pts = eye_vs_resistance_variation({-0.2, 0.0, 0.2, 0.4});
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].eye_repeated_mv, pts[i - 1].eye_repeated_mv);
+    EXPECT_LT(pts[i].eye_repeaterless_mv, pts[i - 1].eye_repeaterless_mv);
+  }
+}
+
+TEST(XbarCircuit, PowerLinearInMulticastCount) {
+  // Paper Fig 11: dynamic power grows linearly with multicast count.
+  const double p1 = xbar_dynamic_power_uw(1);
+  const double p2 = xbar_dynamic_power_uw(2);
+  const double p3 = xbar_dynamic_power_uw(3);
+  const double p5 = xbar_dynamic_power_uw(5);
+  EXPECT_NEAR(p2 - p1, p3 - p2, 1e-9);  // equal increments
+  EXPECT_NEAR(p5 - p1, 4 * (p2 - p1), 1e-9);
+}
+
+TEST(XbarCircuit, EnergyPerDeliveredBitImprovesWithFanout) {
+  // The fixed input cost amortizes: multicast delivery is cheaper per bit.
+  EXPECT_LT(xbar_energy_per_delivered_bit_fj(5),
+            xbar_energy_per_delivered_bit_fj(1));
+}
+
+TEST(Timing, Table3Values) {
+  // Pre-layout: 549ps baseline vs 593ps proposed (1.08x).
+  const auto base = baseline_critical_path();
+  const auto prop = proposed_critical_path();
+  EXPECT_NEAR(base.pre_layout_ps, 549.0, 2.0);
+  EXPECT_NEAR(prop.pre_layout_ps, 593.0, 2.0);
+  EXPECT_NEAR(prelayout_overhead(), 1.08, 0.01);
+  // Post-layout: 658ps vs 793ps (1.21x).
+  EXPECT_NEAR(base.post_layout_ps, 658.0, 5.0);
+  EXPECT_NEAR(prop.post_layout_ps, 793.0, 5.0);
+  EXPECT_NEAR(postlayout_overhead(), 1.21, 0.015);
+  // Measured silicon: 961ps -> 1.04 GHz.
+  EXPECT_NEAR(prop.measured_ps, 961.0, 6.0);
+  EXPECT_NEAR(prop.fmax_ghz(), 1.04, 0.01);
+}
+
+TEST(Timing, LookaheadComponentsExplainOverhead) {
+  const auto base = baseline_critical_path();
+  const auto prop = proposed_critical_path();
+  EXPECT_EQ(prop.components.size(), base.components.size() + 2);
+  EXPECT_GT(prop.pre_layout_ps, base.pre_layout_ps);
+  // The wire share of the overhead grows after layout (8% -> 21%).
+  EXPECT_GT(postlayout_overhead(), prelayout_overhead());
+}
+
+TEST(Area, Table4Values) {
+  const auto r = router_area();
+  // Paper: 26,840 um^2 synthesized full-swing crossbar.
+  EXPECT_NEAR(r.xbar_fullswing_um2, 26840.0, 200.0);
+  // 83,200 um^2 low-swing (3.1x).
+  EXPECT_NEAR(r.xbar_lowswing_um2, 83200.0, 800.0);
+  EXPECT_NEAR(r.xbar_overhead(), 3.1, 0.05);
+  // Routers: 227,230 vs 318,600 um^2 (1.4x).
+  EXPECT_NEAR(r.router_fullswing_um2, 227230.0, 3500.0);
+  EXPECT_NEAR(r.router_lowswing_um2, 318600.0, 5000.0);
+  EXPECT_NEAR(r.router_overhead(), 1.4, 0.03);
+  // Virtual bypassing costs ~5% of the router (Sec 1 lessons).
+  EXPECT_NEAR(r.bypass_overhead_um2 / r.router_fullswing_um2, 0.05, 1e-9);
+}
+
+TEST(Area, OverheadDilutesAtHigherIntegration) {
+  // 3.1x at the crossbar, 1.4x at the router -- the paper's dilution story.
+  const auto r = router_area();
+  EXPECT_LT(r.router_overhead(), r.xbar_overhead());
+}
+
+}  // namespace
+}  // namespace noc::ckt

@@ -1,0 +1,122 @@
+// Event-count consistency: the microarchitectural identities the power
+// model depends on (Fig 6/8 are only as good as these invariants).
+#include <gtest/gtest.h>
+
+#include "noc/experiment.hpp"
+
+namespace noc {
+namespace {
+
+PointResult run_point(NetworkConfig cfg, TrafficPattern pat, double offered) {
+  cfg.traffic.pattern = pat;
+  return measure_point(cfg, offered, {.warmup = 1500, .window = 6000});
+}
+
+TEST(EnergyCounters, XbarTraversalsSplitIntoLinksAndEjections) {
+  for (auto pat :
+       {TrafficPattern::UniformRequest, TrafficPattern::BroadcastOnly,
+        TrafficPattern::MixedPaper}) {
+    auto pt = run_point(NetworkConfig::proposed(4), pat, 0.03);
+    const auto& e = pt.energy;
+    // Every crossbar grant drives either an inter-router link or the
+    // ejection wire; NIC link events = injections + ejections.
+    EXPECT_GE(e.xbar_traversals, e.link_traversals);
+    const int64_t ejections = e.xbar_traversals - e.link_traversals;
+    EXPECT_GE(e.nic_link_traversals, ejections);
+    EXPECT_GE(ejections, 0);
+  }
+}
+
+TEST(EnergyCounters, BufferReadsTrackWrites) {
+  // For unicast traffic each buffered flit is written once and read once;
+  // the measurement window can cut the pipeline mid-flight, so allow slack
+  // of one flit per VC network-wide (16 routers x 5 ports x 6 VCs).
+  for (auto mk : {&NetworkConfig::proposed, &NetworkConfig::baseline_3stage,
+                  &NetworkConfig::baseline_4stage}) {
+    auto pt = run_point(mk(4), TrafficPattern::UniformRequest, 0.1);
+    EXPECT_LE(pt.energy.buffer_reads, pt.energy.buffer_writes + 16 * 5 * 6);
+    EXPECT_NEAR(static_cast<double>(pt.energy.buffer_reads),
+                static_cast<double>(pt.energy.buffer_writes),
+                0.02 * static_cast<double>(pt.energy.buffer_writes) + 500);
+  }
+}
+
+TEST(EnergyCounters, BaselineNeverBypasses) {
+  auto pt = run_point(NetworkConfig::baseline_3stage(4),
+                      TrafficPattern::MixedPaper, 0.05);
+  EXPECT_EQ(pt.energy.bypasses, 0);
+  EXPECT_EQ(pt.energy.partial_bypasses, 0);
+  EXPECT_EQ(pt.energy.lookaheads_sent, 0);
+  EXPECT_GT(pt.energy.buffered_hops, 0);
+}
+
+TEST(EnergyCounters, ProposedBuffersLessThanNoBypass) {
+  // Fig 6 C->D mechanism: bypass removes buffer writes at equal traffic.
+  auto d = run_point(NetworkConfig::proposed(4),
+                     TrafficPattern::BroadcastOnly, 0.03);
+  auto c = run_point(NetworkConfig::lowswing_multicast(4),
+                     TrafficPattern::BroadcastOnly, 0.03);
+  EXPECT_LT(d.energy.buffer_writes, c.energy.buffer_writes / 2);
+}
+
+TEST(EnergyCounters, MulticastSlashesDatapathEvents) {
+  // Fig 6 B->C mechanism: the tree shares links; per delivered flit the
+  // duplicating baseline burns several times the link traversals.
+  auto c = run_point(NetworkConfig::lowswing_multicast(4),
+                     TrafficPattern::BroadcastOnly, 0.02);
+  auto b = run_point(NetworkConfig::baseline_3stage(4),
+                     TrafficPattern::BroadcastOnly, 0.02);
+  const double c_per_recv = static_cast<double>(c.energy.link_traversals) /
+                            static_cast<double>(c.recv_flits_per_cycle);
+  const double b_per_recv = static_cast<double>(b.energy.link_traversals) /
+                            static_cast<double>(b.recv_flits_per_cycle);
+  EXPECT_GT(b_per_recv, 2.0 * c_per_recv);
+}
+
+TEST(EnergyCounters, TreeLinkCountMatchesSpanningTree) {
+  // At low load each broadcast crosses exactly k^2-1 router-router links.
+  auto pt = run_point(NetworkConfig::proposed(4),
+                      TrafficPattern::BroadcastOnly, 0.005);
+  const double links_per_bcast =
+      static_cast<double>(pt.energy.link_traversals) /
+      (static_cast<double>(pt.energy.nic_link_traversals) / 17.0);
+  EXPECT_NEAR(links_per_bcast, 15.0, 0.2);
+}
+
+TEST(EnergyCounters, DeltaSinceIsExact) {
+  EnergyCounters a;
+  a.buffer_writes = 10;
+  a.cycles = 100;
+  EnergyCounters b = a;
+  b.buffer_writes = 25;
+  b.cycles = 160;
+  b.bypasses = 3;
+  const EnergyCounters d = b.delta_since(a);
+  EXPECT_EQ(d.buffer_writes, 15);
+  EXPECT_EQ(d.cycles, 60);
+  EXPECT_EQ(d.bypasses, 3);
+}
+
+TEST(EnergyCounters, AccumulateIsInverseOfDelta) {
+  EnergyCounters a;
+  a.xbar_traversals = 5;
+  a.sa1_arbitrations = 2;
+  EnergyCounters b;
+  b.xbar_traversals = 7;
+  b.sa2_arbitrations = 4;
+  EnergyCounters sum = a;
+  sum += b;
+  EXPECT_EQ(sum.xbar_traversals, 12);
+  EXPECT_EQ(sum.delta_since(b).xbar_traversals, a.xbar_traversals);
+}
+
+TEST(EnergyCounters, BypassRateBounds) {
+  EnergyCounters e;
+  EXPECT_DOUBLE_EQ(e.bypass_rate(), 0.0);
+  e.bypasses = 3;
+  e.buffered_hops = 1;
+  EXPECT_DOUBLE_EQ(e.bypass_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace noc

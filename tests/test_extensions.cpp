@@ -1,0 +1,123 @@
+// Extensions beyond the paper's figures: YX-tree routing (to probe the
+// paper's "XY routing imbalance" explanation) and the chip's 0.8V second
+// operating voltage (Fig 2 lists 1.1V and 0.8V supplies).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "noc/experiment.hpp"
+#include "noc/routing.hpp"
+#include "power/energy_model.hpp"
+#include "power/tech_params.hpp"
+
+namespace noc {
+namespace {
+
+TEST(YxRouting, PartitionDisjointAndComplete) {
+  MeshGeometry g(4);
+  for (NodeId here = 0; here < g.num_nodes(); ++here) {
+    const RouteSet rs = yx_tree_route(g, here, g.all_nodes_mask());
+    DestMask seen = 0;
+    for (int p = 0; p < kNumPorts; ++p) {
+      EXPECT_EQ(seen & rs.port_dests[static_cast<size_t>(p)], 0u);
+      seen |= rs.port_dests[static_cast<size_t>(p)];
+    }
+    EXPECT_EQ(seen, g.all_nodes_mask());
+  }
+}
+
+TEST(YxRouting, ResolvesYBeforeX) {
+  MeshGeometry g(4);
+  // From (0,0) to (2,2): YX goes North first.
+  const RouteSet rs =
+      yx_tree_route(g, g.id(0, 0), MeshGeometry::node_mask(g.id(2, 2)));
+  EXPECT_NE(rs[PortDir::North], 0u);
+  EXPECT_EQ(rs[PortDir::East], 0u);
+}
+
+TEST(YxRouting, MirrorsXyTree) {
+  // YX at (x,y) toward dests == XY at (y,x) toward transposed dests.
+  MeshGeometry g(4);
+  const NodeId here = g.id(1, 2);
+  const DestMask dests = MeshGeometry::node_mask(g.id(3, 0)) |
+                         MeshGeometry::node_mask(g.id(0, 3));
+  const RouteSet yx = yx_tree_route(g, here, dests);
+  DestMask dests_t = 0;
+  for (NodeId n : g.nodes_in(dests)) {
+    const Coord c = g.coord(n);
+    dests_t |= MeshGeometry::node_mask(g.id(c.y, c.x));
+  }
+  const RouteSet xy = xy_tree_route(g, g.id(2, 1), dests_t);
+  EXPECT_EQ(std::popcount(yx.request_vector()),
+            std::popcount(xy.request_vector()));
+  // N<->E and S<->W swap under transposition.
+  EXPECT_EQ(yx[PortDir::North] != 0, xy[PortDir::East] != 0);
+  EXPECT_EQ(yx[PortDir::South] != 0, xy[PortDir::West] != 0);
+}
+
+TEST(YxRouting, NetworkDeliversEverything) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutingMode::YXTree;
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.10;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(4000);
+  for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+    net.nic(n).traffic().set_offered_load(0.0);
+  EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 30000));
+  EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
+}
+
+TEST(YxRouting, TransposeFavorsOneOrder) {
+  // Transpose traffic loads XY and YX asymmetrically -- routing order is
+  // a real design lever, which is the point of the ablation.
+  const MeasureOptions fast{.warmup = 1000, .window = 4000};
+  NetworkConfig xy = NetworkConfig::proposed(4);
+  NetworkConfig yx = NetworkConfig::proposed(4);
+  yx.router.routing = RoutingMode::YXTree;
+  xy.traffic.pattern = yx.traffic.pattern = TrafficPattern::Transpose;
+  const auto sx = find_saturation(xy, fast);
+  const auto sy = find_saturation(yx, fast);
+  // Same zero-load (both minimal); throughputs within 2x of each other and
+  // both deliver.
+  EXPECT_NEAR(sx.zero_load_latency, sy.zero_load_latency, 1.0);
+  EXPECT_GT(sx.saturation_gbps, 0.0);
+  EXPECT_GT(sy.saturation_gbps, 0.0);
+}
+
+TEST(VoltageScaling, PowerDropsQuadraticallyAt08V) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  auto pt = measure_point(cfg, 0.02, {.warmup = 1000, .window = 4000});
+  const auto tech = power::calibrated_tech45();
+  const auto p11 =
+      power::compute_power_at_voltage(pt.energy, 16, tech, true, 1.0, 1.1);
+  const auto p08 =
+      power::compute_power_at_voltage(pt.energy, 16, tech, true, 1.0, 0.8);
+  EXPECT_LT(p08.total_mw(), p11.total_mw());
+  // Buffers are pure-VDD dynamic: exactly (0.8/1.1)^2.
+  EXPECT_NEAR(p08.buffers_mw / p11.buffers_mw, 0.8 * 0.8 / (1.1 * 1.1), 1e-9);
+  // Leakage scales sub-quadratically.
+  EXPECT_GT(p08.leakage_mw / p11.leakage_mw,
+            p08.buffers_mw / p11.buffers_mw);
+  // Nominal voltage reproduces the base model.
+  const auto base = power::compute_power(pt.energy, 16, tech, true);
+  EXPECT_NEAR(
+      power::compute_power_at_voltage(pt.energy, 16, tech, true, 1.0, 1.1)
+          .total_mw(),
+      base.total_mw(), 1e-9);
+}
+
+TEST(VoltageScaling, FmaxDerates) {
+  EXPECT_NEAR(power::fmax_at_voltage(1.1), 1.04, 1e-9);
+  const double f08 = power::fmax_at_voltage(0.8);
+  EXPECT_LT(f08, 1.04);
+  EXPECT_GT(f08, 0.3);
+  // Monotone in voltage.
+  EXPECT_LT(power::fmax_at_voltage(0.7), f08);
+  EXPECT_GT(power::fmax_at_voltage(1.2), 1.04);
+}
+
+}  // namespace
+}  // namespace noc

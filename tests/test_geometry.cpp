@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "noc/geometry.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Geometry, IdCoordRoundTrip) {
+  MeshGeometry g(4);
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    EXPECT_EQ(g.id(g.coord(n)), n);
+}
+
+TEST(Geometry, RowMajorLayout) {
+  MeshGeometry g(4);
+  EXPECT_EQ(g.id(0, 0), 0);
+  EXPECT_EQ(g.id(3, 0), 3);
+  EXPECT_EQ(g.id(0, 1), 4);
+  EXPECT_EQ(g.id(3, 3), 15);
+}
+
+TEST(Geometry, Manhattan) {
+  MeshGeometry g(4);
+  EXPECT_EQ(g.manhattan(g.id(0, 0), g.id(3, 3)), 6);
+  EXPECT_EQ(g.manhattan(g.id(1, 2), g.id(1, 2)), 0);
+  EXPECT_EQ(g.manhattan(g.id(2, 1), g.id(0, 1)), 2);
+}
+
+TEST(Geometry, FurthestDistanceCorners) {
+  MeshGeometry g(4);
+  EXPECT_EQ(g.furthest_distance(g.id(0, 0)), 6);  // opposite corner
+  EXPECT_EQ(g.furthest_distance(g.id(1, 1)), 4);  // center-ish
+  EXPECT_EQ(g.furthest_distance(g.id(3, 0)), 6);
+}
+
+TEST(Geometry, AllNodesMask) {
+  MeshGeometry g(4);
+  EXPECT_EQ(g.all_nodes_mask(), 0xFFFFull);
+  MeshGeometry g2(2);
+  EXPECT_EQ(g2.all_nodes_mask(), 0xFull);
+}
+
+TEST(Geometry, NodesInMask) {
+  MeshGeometry g(4);
+  const DestMask m = MeshGeometry::node_mask(3) | MeshGeometry::node_mask(9);
+  const auto nodes = g.nodes_in(m);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], 3);
+  EXPECT_EQ(nodes[1], 9);
+}
+
+class GeometryKTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometryKTest, FurthestIsMaxOverNodes) {
+  MeshGeometry g(GetParam());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    int want = 0;
+    for (NodeId d = 0; d < g.num_nodes(); ++d)
+      want = std::max(want, g.manhattan(s, d));
+    EXPECT_EQ(g.furthest_distance(s), want);
+  }
+}
+
+TEST_P(GeometryKTest, ExactAveragesWithinBounds) {
+  MeshGeometry g(GetParam());
+  const double uni = g.exact_avg_unicast_hops();
+  const double bc = g.exact_avg_broadcast_hops();
+  EXPECT_GT(uni, 0.0);
+  EXPECT_LE(uni, 2.0 * (GetParam() - 1));
+  EXPECT_GE(bc, uni);  // furthest >= average
+  EXPECT_LE(bc, 2.0 * (GetParam() - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeometryKTest, ::testing::Values(2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace noc

@@ -1,0 +1,136 @@
+// System-level latency/throughput properties corresponding to the paper's
+// headline claims (Figs 5 and 13), at test-sized simulation lengths.
+#include <gtest/gtest.h>
+
+#include "noc/experiment.hpp"
+#include "theory/mesh_limits.hpp"
+
+namespace noc {
+namespace {
+
+MeasureOptions fast{.warmup = 1500, .window = 6000};
+
+TEST(ZeroLoad, ProposedTracksExactTheory) {
+  // Unicast: exact average hops 2.5 + 2 NIC links; allow light contention.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  const double zl = zero_load_latency(cfg, fast);
+  EXPECT_GT(zl, theory::unicast_avg_hops_exact(4) + 2.0 - 0.05);
+  EXPECT_LT(zl, theory::unicast_avg_hops_exact(4) + 2.0 + 1.0);
+}
+
+TEST(ZeroLoad, ProposedBroadcastTracksExactTheory) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  const double zl = zero_load_latency(cfg, fast);
+  EXPECT_GT(zl, theory::broadcast_avg_hops_exact(4) + 2.0 - 0.05);
+  EXPECT_LT(zl, theory::broadcast_avg_hops_exact(4) + 2.0 + 1.0);
+}
+
+TEST(ZeroLoad, PipelineOrdering) {
+  // 1-cycle bypassed < 3-stage < 4-stage, under identical traffic.
+  for (auto pat :
+       {TrafficPattern::UniformRequest, TrafficPattern::MixedPaper}) {
+    NetworkConfig p = NetworkConfig::proposed(4);
+    NetworkConfig b3 = NetworkConfig::baseline_3stage(4);
+    NetworkConfig b4 = NetworkConfig::baseline_4stage(4);
+    p.traffic.pattern = b3.traffic.pattern = b4.traffic.pattern = pat;
+    const double zp = zero_load_latency(p, fast);
+    const double z3 = zero_load_latency(b3, fast);
+    const double z4 = zero_load_latency(b4, fast);
+    EXPECT_LT(zp, z3);
+    EXPECT_LT(z3, z4);
+  }
+}
+
+TEST(ZeroLoad, IdenticalPrbsArtifactInflatesLatency) {
+  // The chip artifact of Sec 4.1: synchronized generators contend even at
+  // low load; removing them (paper: RTL sims with distinct generators)
+  // recovers near-limit latency.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  const double independent = zero_load_latency(cfg, fast);
+  cfg.traffic.identical_prbs = true;
+  const double identical = zero_load_latency(cfg, fast);
+  EXPECT_GT(identical, independent + 3.0);
+}
+
+TEST(ZeroLoad, BaselineBroadcastPaysSerialization) {
+  // NIC duplication serializes k^2-1 copies: baseline broadcast zero-load
+  // latency must exceed the 15-cycle injection serialization alone.
+  NetworkConfig b = NetworkConfig::baseline_3stage(4);
+  b.traffic.pattern = TrafficPattern::BroadcastOnly;
+  EXPECT_GT(zero_load_latency(b, fast), 15.0);
+}
+
+TEST(Latency, MonotoneInOfferedLoad) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  auto curve = sweep_curve(cfg, {0.02, 0.08, 0.14, 0.18}, fast);
+  for (size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].avg_latency, curve[i - 1].avg_latency * 0.98)
+        << "latency should not decrease with load";
+}
+
+TEST(Throughput, ReceivedTracksOfferedBelowSaturation) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  for (double offered : {0.01, 0.02, 0.03}) {
+    auto pt = measure_point(cfg, offered, fast);
+    const double expect_fpc = offered * 16 * 16;  // 16 deliveries/bcast flit
+    EXPECT_NEAR(pt.recv_flits_per_cycle, expect_fpc, 0.08 * expect_fpc);
+  }
+}
+
+TEST(Throughput, NeverExceedsEjectionLimit) {
+  // 16 NICs x 1 flit/cycle = 16 flits/cycle = 1024 Gb/s, Table 1.
+  for (auto pat :
+       {TrafficPattern::BroadcastOnly, TrafficPattern::MixedPaper}) {
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.traffic.pattern = pat;
+    const double limit = 1.0 / deliveries_per_offered_flit(cfg);
+    auto pt = measure_point(cfg, 1.05 * limit, fast);  // overdrive
+    EXPECT_LE(pt.recv_flits_per_cycle, 16.0 + 1e-9);
+    EXPECT_LE(pt.recv_gbps, theory::aggregate_throughput_limit_gbps(4) + 1e-6);
+  }
+}
+
+TEST(Throughput, ProposedBeatsBaselineSaturation) {
+  // Fig 5 / Fig 13 headline: higher saturation throughput for the proposed
+  // design under both mixed and broadcast traffic.
+  for (auto pat :
+       {TrafficPattern::MixedPaper, TrafficPattern::BroadcastOnly}) {
+    NetworkConfig p = NetworkConfig::proposed(4);
+    NetworkConfig b = NetworkConfig::baseline_3stage(4);
+    p.traffic.pattern = b.traffic.pattern = pat;
+    const auto sp = find_saturation(p, fast);
+    const auto sb = find_saturation(b, fast);
+    EXPECT_GT(sp.saturation_gbps, 1.3 * sb.saturation_gbps)
+        << traffic_pattern_name(pat);
+  }
+}
+
+TEST(Throughput, BypassRateFallsWithLoad) {
+  // Sec 3.2: lookahead conflicts at high load force buffering.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  auto low = measure_point(cfg, 0.02, fast);
+  auto high = measure_point(cfg, 0.17, fast);
+  EXPECT_GT(low.bypass_rate, 0.85);
+  EXPECT_LT(high.bypass_rate, low.bypass_rate);
+}
+
+TEST(Throughput, SmallerRequestClassSustainsTurnaround) {
+  // The paper chose 4 REQ VCs >= the 3-cycle turnaround; shrinking the REQ
+  // class to 2 VCs must cost broadcast saturation throughput.
+  NetworkConfig full = NetworkConfig::proposed(4);
+  NetworkConfig small = NetworkConfig::proposed(4);
+  small.router.vc.vcs_per_mc[0] = 2;
+  full.traffic.pattern = small.traffic.pattern = TrafficPattern::BroadcastOnly;
+  const auto sf = find_saturation(full, fast);
+  const auto ss = find_saturation(small, fast);
+  EXPECT_GT(sf.saturation_gbps, ss.saturation_gbps);
+}
+
+}  // namespace
+}  // namespace noc

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace noc {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowIsInRange) {
+  Xoshiro256 rng(5);
+  for (uint64_t bound : {1ull, 2ull, 16ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  const int n = 16, trials = 160000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(n)];
+  const double expected = trials / static_cast<double>(n);
+  for (int c : counts) EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(11);
+  const int trials = 100000;
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    for (int i = 0; i < trials; ++i)
+      if (rng.bernoulli(p)) ++hits;
+    EXPECT_NEAR(hits / static_cast<double>(trials), p, 0.01);
+  }
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(31);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace noc

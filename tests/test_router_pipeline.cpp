@@ -1,0 +1,159 @@
+// Pipeline-depth exactness: the defining latency property of each design.
+// A single packet in an otherwise empty network must see:
+//   Proposed : 1 cycle/hop  -> latency = hops + 2 NIC links
+//   ThreeStage: 3 cycles per router + 1 injection link
+//   FourStage : 4 cycles per router + 1 injection link
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace noc {
+namespace {
+
+/// Inject one unicast packet from src to dst in an idle network and return
+/// its generation->delivery latency.
+double one_packet_latency(NetworkConfig cfg, NodeId src, NodeId dst,
+                          int length = 1,
+                          MsgClass mc = MsgClass::Request) {
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(5);  // settle
+  Packet p;
+  p.id = 777;
+  p.src = src;
+  p.dest_mask = MeshGeometry::node_mask(dst);
+  p.mc = mc;
+  p.length = length;
+  p.gen_cycle = sim.now();
+  net.metrics().begin_window(sim.now());
+  net.nic(src).submit_packet(p);
+  const bool done =
+      sim.run_until([&] { return net.metrics().completed_packets() > 0; },
+                    300);
+  EXPECT_TRUE(done);
+  net.metrics().end_window(sim.now());
+  return net.metrics().avg_packet_latency();
+}
+
+class HopLatencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopLatencyTest, ProposedSingleCyclePerHop) {
+  const int hops = GetParam();
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  MeshGeometry g(4);
+  // Walk east then north to get exactly `hops` hops.
+  const NodeId src = g.id(0, 0);
+  const NodeId dst = hops <= 3 ? g.id(hops, 0) : g.id(3, hops - 3);
+  // Exactly one cycle per hop plus the two NIC link cycles: the
+  // theoretical latency limit of Table 1 / Fig 5.
+  EXPECT_EQ(one_packet_latency(cfg, src, dst), hops + 2);
+}
+
+TEST_P(HopLatencyTest, ThreeStageBaselinePerHop) {
+  const int hops = GetParam();
+  NetworkConfig cfg = NetworkConfig::baseline_3stage(4);
+  MeshGeometry g(4);
+  const NodeId src = g.id(0, 0);
+  const NodeId dst = hops <= 3 ? g.id(hops, 0) : g.id(3, hops - 3);
+  // 3 cycles in each of (hops+1) routers; the last router's fused ST+LT
+  // lands the flit at the NIC, so only the injection link adds a cycle.
+  EXPECT_EQ(one_packet_latency(cfg, src, dst), 3 * (hops + 1) + 1);
+}
+
+TEST_P(HopLatencyTest, FourStageBaselinePerHop) {
+  const int hops = GetParam();
+  NetworkConfig cfg = NetworkConfig::baseline_4stage(4);
+  MeshGeometry g(4);
+  const NodeId src = g.id(0, 0);
+  const NodeId dst = hops <= 3 ? g.id(hops, 0) : g.id(3, hops - 3);
+  EXPECT_EQ(one_packet_latency(cfg, src, dst), 4 * (hops + 1) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, HopLatencyTest, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Pipeline, MultiFlitAddsSerialization) {
+  // A 5-flit response adds exactly 4 cycles of serialization on the
+  // bypassed path (flits stream one per cycle behind the head).
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  MeshGeometry g(4);
+  const double l1 = one_packet_latency(cfg, g.id(0, 0), g.id(2, 0), 1,
+                                       MsgClass::Response);
+  const double l5 = one_packet_latency(cfg, g.id(0, 0), g.id(2, 0), 5,
+                                       MsgClass::Response);
+  EXPECT_EQ(l5 - l1, 4);
+}
+
+TEST(Pipeline, BroadcastReachesFurthestInHopsPlusTwo) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(5);
+  MeshGeometry g(4);
+  Packet p;
+  p.id = 888;
+  p.src = g.id(0, 0);  // corner: furthest node is 6 hops away
+  p.dest_mask = g.all_nodes_mask();
+  p.gen_cycle = sim.now();
+  net.metrics().begin_window(sim.now());
+  net.nic(p.src).submit_packet(p);
+  EXPECT_TRUE(sim.run_until(
+      [&] { return net.metrics().completed_packets() > 0; }, 300));
+  net.metrics().end_window(sim.now());
+  // Single-cycle hops through the XY tree: furthest(0,0)=6, +2 NIC links.
+  EXPECT_EQ(net.metrics().avg_packet_latency(), 6 + 2);
+}
+
+TEST(Pipeline, BypassRateIsOneAtZeroLoad) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(5);
+  MeshGeometry g(4);
+  Packet p;
+  p.id = 1;
+  p.src = g.id(0, 0);
+  p.dest_mask = MeshGeometry::node_mask(g.id(3, 3));
+  p.gen_cycle = sim.now();
+  net.nic(p.src).submit_packet(p);
+  sim.run(50);
+  // Every router hop of a solo flit bypasses; nothing is ever buffered.
+  EXPECT_EQ(net.energy().buffered_hops, 0);
+  EXPECT_EQ(net.energy().buffer_writes, 0);
+  EXPECT_EQ(net.energy().bypasses, 7);  // 6 hops -> 7 routers traversed
+}
+
+TEST(Pipeline, LookaheadContentionForcesBuffering) {
+  // Two flits arriving at the same router wanting the same output in the
+  // same cycle: one bypasses, the other is buffered onto the 3-stage path.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(5);
+  MeshGeometry g(4);
+  // Two equidistant packets whose lookaheads request the Local output of
+  // router (3,1) in the same cycle: one bypasses into ejection, the other
+  // is forced onto the buffered path (paper Sec 3.2 caveat).
+  Packet a, b;
+  a.id = 1;
+  a.src = g.id(1, 1);  // 2 hops west of (3,1)
+  a.dest_mask = MeshGeometry::node_mask(g.id(3, 1));
+  a.gen_cycle = sim.now();
+  b.id = 2;
+  b.src = g.id(3, 3);  // 2 hops north of (3,1)
+  b.dest_mask = MeshGeometry::node_mask(g.id(3, 1));
+  b.gen_cycle = sim.now();
+  net.nic(a.src).submit_packet(a);
+  net.nic(b.src).submit_packet(b);
+  sim.run(60);
+  EXPECT_EQ(net.metrics().total_completed(), 2);
+  EXPECT_GE(net.energy().buffered_hops, 1);  // the loser got buffered
+  EXPECT_GE(net.energy().bypasses, 1);
+}
+
+}  // namespace
+}  // namespace noc

@@ -1,0 +1,144 @@
+// XY-tree routing properties: coverage (every destination reached exactly
+// once), deadlock-freedom by dimension order (no Y->X turns), minimality.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <queue>
+
+#include "common/rng.hpp"
+#include "noc/routing.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Ports, OppositeIsInvolution) {
+  for (int i = 0; i < kNumPorts; ++i)
+    EXPECT_EQ(opposite(opposite(port_dir(i))), port_dir(i));
+}
+
+TEST(Routing, UnicastXYGoesXFirst) {
+  MeshGeometry g(4);
+  // From (0,0) to (2,2): must head East until the column matches.
+  EXPECT_EQ(xy_route(g, g.id(0, 0), g.id(2, 2)), PortDir::East);
+  EXPECT_EQ(xy_route(g, g.id(1, 0), g.id(2, 2)), PortDir::East);
+  EXPECT_EQ(xy_route(g, g.id(2, 0), g.id(2, 2)), PortDir::North);
+  EXPECT_EQ(xy_route(g, g.id(2, 1), g.id(2, 2)), PortDir::North);
+  EXPECT_EQ(xy_route(g, g.id(2, 2), g.id(2, 2)), PortDir::Local);
+}
+
+TEST(Routing, RequestVectorIs5Bits) {
+  MeshGeometry g(4);
+  const RouteSet rs = xy_tree_route(g, g.id(1, 1), g.all_nodes_mask());
+  EXPECT_EQ(rs.request_vector() & ~0x1Fu, 0u);
+  EXPECT_EQ(rs.fanout(), 5);  // interior node broadcasts to all 5 ports
+}
+
+TEST(Routing, PartitionIsDisjointAndComplete) {
+  MeshGeometry g(4);
+  for (NodeId here = 0; here < g.num_nodes(); ++here) {
+    const DestMask all = g.all_nodes_mask();
+    const RouteSet rs = xy_tree_route(g, here, all);
+    DestMask seen = 0;
+    for (int p = 0; p < kNumPorts; ++p) {
+      EXPECT_EQ(seen & rs.port_dests[p], 0u) << "overlap at node " << here;
+      seen |= rs.port_dests[p];
+    }
+    EXPECT_EQ(seen, all);
+  }
+}
+
+// Simulate tree expansion hop by hop; verify coverage, no duplicates, and
+// dimension order (a flit that has turned into Y never goes back to X).
+struct TreeWalkResult {
+  int deliveries = 0;
+  int duplicate_deliveries = 0;
+  bool y_to_x_turn = false;
+  int max_hops = 0;
+  int link_traversals = 0;
+};
+
+TreeWalkResult walk_tree(const MeshGeometry& g, NodeId src, DestMask dests) {
+  TreeWalkResult res;
+  std::vector<int> delivered(static_cast<size_t>(g.num_nodes()), 0);
+  struct Item {
+    NodeId at;
+    DestMask mask;
+    bool moved_y;
+    int hops;
+  };
+  std::queue<Item> q;
+  q.push({src, dests, false, 0});
+  while (!q.empty()) {
+    Item it = q.front();
+    q.pop();
+    const RouteSet rs = xy_tree_route(g, it.at, it.mask);
+    for (int p = 0; p < kNumPorts; ++p) {
+      const DestMask m = rs.port_dests[static_cast<size_t>(p)];
+      if (m == 0) continue;
+      const PortDir d = port_dir(p);
+      if (d == PortDir::Local) {
+        EXPECT_EQ(m, MeshGeometry::node_mask(it.at));
+        ++res.deliveries;
+        if (delivered[static_cast<size_t>(it.at)]++) ++res.duplicate_deliveries;
+        continue;
+      }
+      const bool is_x = d == PortDir::East || d == PortDir::West;
+      if (it.moved_y && is_x) res.y_to_x_turn = true;
+      ++res.link_traversals;
+      const Coord nc = neighbor_coord(g.coord(it.at), d);
+      EXPECT_TRUE(g.valid(nc)) << "route left the mesh";
+      q.push({g.id(nc), m, it.moved_y || !is_x, it.hops + 1});
+      res.max_hops = std::max(res.max_hops, it.hops + 1);
+    }
+  }
+  return res;
+}
+
+class TreeWalkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeWalkTest, BroadcastCoversAllNodesOnce) {
+  MeshGeometry g(GetParam());
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    const auto res = walk_tree(g, src, g.all_nodes_mask());
+    EXPECT_EQ(res.deliveries, g.num_nodes());
+    EXPECT_EQ(res.duplicate_deliveries, 0);
+    EXPECT_FALSE(res.y_to_x_turn) << "dimension order violated";
+    EXPECT_EQ(res.max_hops, g.furthest_distance(src)) << "non-minimal tree";
+    // A spanning tree of k^2 nodes uses exactly k^2 - 1 links.
+    EXPECT_EQ(res.link_traversals, g.num_nodes() - 1);
+  }
+}
+
+TEST_P(TreeWalkTest, UnicastIsMinimalXY) {
+  MeshGeometry g(GetParam());
+  for (NodeId s = 0; s < g.num_nodes(); ++s)
+    for (NodeId d = 0; d < g.num_nodes(); ++d) {
+      const auto res = walk_tree(g, s, MeshGeometry::node_mask(d));
+      EXPECT_EQ(res.deliveries, 1);
+      EXPECT_EQ(res.max_hops, g.manhattan(s, d));
+      EXPECT_FALSE(res.y_to_x_turn);
+    }
+}
+
+TEST_P(TreeWalkTest, ArbitraryMulticastSetsCovered) {
+  MeshGeometry g(GetParam());
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto src =
+        static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    DestMask m = 0;
+    const int count = 1 + static_cast<int>(rng.next_below(g.num_nodes()));
+    for (int i = 0; i < count; ++i)
+      m |= MeshGeometry::node_mask(
+          static_cast<NodeId>(rng.next_below(g.num_nodes())));
+    const auto res = walk_tree(g, src, m);
+    EXPECT_EQ(res.deliveries, std::popcount(m));
+    EXPECT_EQ(res.duplicate_deliveries, 0);
+    EXPECT_FALSE(res.y_to_x_turn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeWalkTest, ::testing::Values(2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace noc

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+
+#include "noc/traffic.hpp"
+
+namespace noc {
+namespace {
+
+TrafficConfig base_cfg(TrafficPattern p, double rate = 0.2) {
+  TrafficConfig c;
+  c.pattern = p;
+  c.offered_flits_per_node_cycle = rate;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Traffic, BernoulliRateIsRespected) {
+  MeshGeometry g(4);
+  TrafficGenerator gen(g, base_cfg(TrafficPattern::UniformRequest, 0.25), 3);
+  int packets = 0;
+  const int cycles = 40000;
+  for (Cycle t = 0; t < cycles; ++t)
+    if (gen.generate(t)) ++packets;
+  EXPECT_NEAR(packets / static_cast<double>(cycles), 0.25, 0.02);
+}
+
+TEST(Traffic, MixedPaperComposition) {
+  MeshGeometry g(4);
+  TrafficGenerator gen(g, base_cfg(TrafficPattern::MixedPaper, 0.4), 5);
+  int bcast = 0, ureq = 0, uresp = 0, total = 0;
+  for (Cycle t = 0; t < 60000; ++t) {
+    auto p = gen.generate(t);
+    if (!p) continue;
+    ++total;
+    if (std::popcount(p->dest_mask) > 1) {
+      ++bcast;
+      EXPECT_EQ(p->mc, MsgClass::Request);
+      EXPECT_EQ(p->length, 1);
+    } else if (p->mc == MsgClass::Response) {
+      ++uresp;
+      EXPECT_EQ(p->length, 5);
+    } else {
+      ++ureq;
+      EXPECT_EQ(p->length, 1);
+    }
+  }
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(bcast / static_cast<double>(total), 0.50, 0.03);
+  EXPECT_NEAR(ureq / static_cast<double>(total), 0.25, 0.03);
+  EXPECT_NEAR(uresp / static_cast<double>(total), 0.25, 0.03);
+  // Offered flit accounting: avg 2 flits per logical packet.
+  EXPECT_DOUBLE_EQ(gen.avg_flits_per_packet(), 2.0);
+}
+
+TEST(Traffic, BroadcastMaskIncludesSelfByDefault) {
+  MeshGeometry g(4);
+  TrafficGenerator gen(g, base_cfg(TrafficPattern::BroadcastOnly, 0.5), 6);
+  for (Cycle t = 0; t < 100; ++t) {
+    if (auto p = gen.generate(t)) {
+      EXPECT_EQ(p->dest_mask, g.all_nodes_mask());
+      EXPECT_EQ(std::popcount(p->dest_mask), 16);
+    }
+  }
+}
+
+TEST(Traffic, BroadcastMaskWithoutSelf) {
+  MeshGeometry g(4);
+  auto cfg = base_cfg(TrafficPattern::BroadcastOnly, 0.5);
+  cfg.include_self_in_broadcast = false;
+  TrafficGenerator gen(g, cfg, 6);
+  for (Cycle t = 0; t < 100; ++t) {
+    if (auto p = gen.generate(t)) {
+      EXPECT_EQ(std::popcount(p->dest_mask), 15);
+      EXPECT_EQ(p->dest_mask & MeshGeometry::node_mask(6), 0u);
+    }
+  }
+}
+
+TEST(Traffic, UnicastNeverTargetsSelfAndIsRoughlyUniform) {
+  MeshGeometry g(4);
+  TrafficGenerator gen(g, base_cfg(TrafficPattern::UniformRequest, 0.9), 9);
+  std::map<NodeId, int> dests;
+  int total = 0;
+  for (Cycle t = 0; t < 30000; ++t) {
+    if (auto p = gen.generate(t)) {
+      const NodeId d = g.nodes_in(p->dest_mask).front();
+      EXPECT_NE(d, 9);
+      ++dests[d];
+      ++total;
+    }
+  }
+  EXPECT_EQ(dests.size(), 15u);
+  for (auto& [d, c] : dests)
+    EXPECT_NEAR(c / static_cast<double>(total), 1.0 / 15.0, 0.02);
+}
+
+TEST(Traffic, IdenticalPrbsSynchronizesInjections) {
+  MeshGeometry g(4);
+  auto cfg = base_cfg(TrafficPattern::MixedPaper, 0.1);
+  cfg.identical_prbs = true;
+  TrafficGenerator a(g, cfg, 0), b(g, cfg, 11);
+  for (Cycle t = 0; t < 5000; ++t) {
+    auto pa = a.generate(t), pb = b.generate(t);
+    EXPECT_EQ(pa.has_value(), pb.has_value()) << "cycle " << t;
+    if (pa && pb) {
+      // Same packet type chip-wide...
+      EXPECT_EQ(pa->mc, pb->mc);
+      EXPECT_EQ(std::popcount(pa->dest_mask) > 1,
+                std::popcount(pb->dest_mask) > 1);
+    }
+  }
+}
+
+TEST(Traffic, IndependentSeedsDesynchronize) {
+  MeshGeometry g(4);
+  auto cfg = base_cfg(TrafficPattern::UniformRequest, 0.1);
+  TrafficGenerator a(g, cfg, 0), b(g, cfg, 11);
+  int same = 0, events = 0;
+  for (Cycle t = 0; t < 20000; ++t) {
+    const bool ia = a.generate(t).has_value();
+    const bool ib = b.generate(t).has_value();
+    if (ia || ib) ++events;
+    if (ia && ib) ++same;
+  }
+  // Coincidence rate should be ~R^2/(2R - R^2) ~ 5%, not ~100%.
+  EXPECT_LT(same / static_cast<double>(events), 0.15);
+}
+
+TEST(Traffic, PermutationPatterns) {
+  MeshGeometry g(4);
+  for (auto pat : {TrafficPattern::Transpose, TrafficPattern::BitComplement,
+                   TrafficPattern::Tornado, TrafficPattern::NearestNeighbor}) {
+    TrafficGenerator gen(g, base_cfg(pat, 0.9), 6);
+    for (Cycle t = 0; t < 200; ++t) {
+      if (auto p = gen.generate(t)) {
+        EXPECT_EQ(std::popcount(p->dest_mask), 1);
+        EXPECT_EQ(p->dest_mask & MeshGeometry::node_mask(6), 0u)
+            << traffic_pattern_name(pat) << " targeted self";
+      }
+    }
+  }
+}
+
+TEST(Traffic, TransposeDiagonalStaysSilent) {
+  MeshGeometry g(4);
+  // Node (1,1) = id 5 is on the diagonal: transpose maps it to itself.
+  TrafficGenerator gen(g, base_cfg(TrafficPattern::Transpose, 0.9), 5);
+  for (Cycle t = 0; t < 500; ++t) EXPECT_FALSE(gen.generate(t).has_value());
+}
+
+TEST(Traffic, PacketIdsAreUniquePerNodeAndMonotone) {
+  MeshGeometry g(4);
+  TrafficGenerator gen(g, base_cfg(TrafficPattern::UniformRequest, 0.9), 2);
+  PacketId last = 0;
+  for (Cycle t = 0; t < 1000; ++t) {
+    if (auto p = gen.generate(t)) {
+      EXPECT_GT(p->id, last);
+      last = p->id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noc
