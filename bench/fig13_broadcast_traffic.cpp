@@ -12,6 +12,7 @@ using noc::Table;
 
 int main() {
   const MeasureOptions opt{.warmup = 3000, .window = 12000};
+  const ExperimentRunner runner{ExperimentOptions{.measure = opt}};
   NetworkConfig prop = NetworkConfig::proposed(4);
   NetworkConfig base = NetworkConfig::baseline_3stage(4);
   prop.traffic.pattern = base.traffic.pattern = TrafficPattern::BroadcastOnly;
@@ -27,8 +28,10 @@ int main() {
   Table t("Average packet latency vs offered load (identical-PRBS NICs)");
   t.set_columns({"Offered (flits/node/cyc)", "Received (Gb/s)",
                  "Proposed lat (cyc)", "Baseline lat (cyc)", "Bypass rate"});
-  auto pc = sweep_curve(prop, loads, opt);
-  auto bc = sweep_curve(base, loads, opt);
+  // Both curves as one parallel batch of independent points.
+  const auto curves = runner.sweep_all({prop, base}, loads);
+  const auto& pc = curves[0];
+  const auto& bc = curves[1];
   for (size_t i = 0; i < loads.size(); ++i) {
     const bool base_sane = bc[i].avg_latency < 1500;
     t.add_row({Table::fmt(loads[i], 4), Table::fmt(pc[i].recv_gbps, 0),
@@ -38,8 +41,9 @@ int main() {
   }
   t.print();
 
-  auto sp = find_saturation(prop, opt);
-  auto sb = find_saturation(base, opt);
+  auto sats = runner.find_saturations({prop, base});
+  auto sp = sats[0];
+  auto sb = sats[1];
   const double limit_gbps = theory::aggregate_throughput_limit_gbps(4);
 
   Table h("Fig 13 headline numbers");

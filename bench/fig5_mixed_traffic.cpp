@@ -15,6 +15,9 @@ using noc::Table;
 
 int main() {
   const MeasureOptions opt{.warmup = 3000, .window = 12000};
+  // Fan every (config, load) point across all cores; results are
+  // bit-identical to the serial sweep (each point owns its network + RNG).
+  const ExperimentRunner runner{ExperimentOptions{.measure = opt}};
   NetworkConfig prop = NetworkConfig::proposed(4);
   NetworkConfig base = NetworkConfig::baseline_3stage(4);
   prop.traffic.pattern = base.traffic.pattern = TrafficPattern::MixedPaper;
@@ -37,8 +40,10 @@ int main() {
   t.set_columns({"Offered (flits/node/cyc)", "Received (Gb/s)",
                  "Proposed lat (cyc)", "Baseline lat (cyc)", "Bypass rate",
                  "Latency reduction"});
-  auto pc = sweep_curve(prop, loads, opt);
-  auto bc = sweep_curve(base, loads, opt);
+  // One batch over both configs' curves: 2x loads.size() independent points.
+  const auto curves = runner.sweep_all({prop, base}, loads);
+  const auto& pc = curves[0];
+  const auto& bc = curves[1];
   for (size_t i = 0; i < loads.size(); ++i) {
     const bool base_sane = bc[i].avg_latency < 1500;
     t.add_row({Table::fmt(loads[i], 4), Table::fmt(pc[i].recv_gbps, 0),
@@ -51,9 +56,10 @@ int main() {
   }
   t.print();
 
-  // Headline numbers.
-  auto sp = find_saturation(prop, opt);
-  auto sb = find_saturation(base, opt);
+  // Headline numbers: both adaptive saturation searches in parallel.
+  auto sats = runner.find_saturations({prop, base});
+  auto sp = sats[0];
+  auto sb = sats[1];
 
   NetworkConfig clean = prop;
   clean.traffic.identical_prbs = false;

@@ -1,14 +1,28 @@
 // Simulator performance microbenchmarks (google-benchmark). Not a paper
 // figure -- this guards the cycle-accurate model's own speed so the sweep
 // benches stay laptop-scale.
+//
+// Besides the console table, the run always writes BENCH_perf.json (google
+// benchmark's JSON schema) into the working directory so the perf
+// trajectory can be tracked across PRs. Each scenario reports:
+//   items_per_second  -- node-cycles simulated per second
+//   cycles_per_sec    -- Network::step calls per second (1e9 / ns-per-step)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "noc/experiment.hpp"
 #include "noc/network.hpp"
 #include "sim/simulation.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 
 using namespace noc;
+
+constexpr int kCyclesPerIter = 100;
 
 void run_cycles(benchmark::State& state, NetworkConfig cfg, double offered) {
   cfg.traffic.offered_flits_per_node_cycle = offered;
@@ -16,11 +30,14 @@ void run_cycles(benchmark::State& state, NetworkConfig cfg, double offered) {
   Simulation sim(net);
   sim.run(500);  // warm the pipelines
   for (auto _ : state) {
-    sim.run(100);
+    sim.run(kCyclesPerIter);
     benchmark::DoNotOptimize(net.metrics().total_completed());
   }
-  state.SetItemsProcessed(state.iterations() * 100 *
+  state.SetItemsProcessed(state.iterations() * kCyclesPerIter *
                           net.geom().num_nodes());
+  state.counters["cycles_per_sec"] =
+      benchmark::Counter(kCyclesPerIter,
+                         benchmark::Counter::kIsIterationInvariantRate);
   state.counters["completed"] =
       static_cast<double>(net.metrics().total_completed());
 }
@@ -62,6 +79,52 @@ void BM_NetworkConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkConstruction)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
 
+/// Multi-point sweep through ExperimentRunner: the workload the parallel
+/// engine accelerates. Thread count is the benchmark argument (1 = serial
+/// fallback), so the speedup is visible directly in the JSON.
+void BM_ParallelSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  const std::vector<double> loads = {0.05, 0.10, 0.15, 0.20,
+                                     0.25, 0.30, 0.35, 0.40};
+  ExperimentOptions opt;
+  opt.measure = MeasureOptions{.warmup = 300, .window = 700};
+  opt.threads = threads;
+  const ExperimentRunner runner{opt};
+  for (auto _ : state) {
+    auto results = runner.sweep(cfg, loads);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(loads.size()));
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)  // serial fallback
+    ->Arg(std::max(2, ThreadPool::hardware_threads()))  // pooled path
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Console for humans, BENCH_perf.json for the cross-PR perf tracker:
+  // default the library's file-output flags unless the caller overrides.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_perf.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int our_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&our_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(our_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,9 @@
 // Design-space exploration with the experiment harness: mesh radix,
 // pipeline, and traffic pattern sweeps -- the early-stage study ORION-class
 // models target (paper Sec 4.4), run on the cycle-accurate model instead.
+//
+// Every sweep fans its independent saturation searches across all cores via
+// ExperimentRunner; results are bit-identical to running them one by one.
 #include <cstdio>
 
 #include "common/table.hpp"
@@ -12,15 +15,23 @@ using noc::Table;
 
 int main() {
   const MeasureOptions opt{.warmup = 1500, .window = 6000};
+  const ExperimentRunner runner{ExperimentOptions{.measure = opt}};
 
   // 1. Mesh radix sweep: how the proposed router scales past the chip.
   Table k_sweep("Mesh radix sweep, uniform 1-flit requests");
   k_sweep.set_columns({"k", "Zero-load lat (cyc)", "Theory H+2",
                        "Sat throughput (Gb/s)", "Ejection-limit (Gb/s)"});
-  for (int k : {2, 3, 4, 5, 6, 8}) {
+  const int radices[] = {2, 3, 4, 5, 6, 8};
+  std::vector<NetworkConfig> k_cfgs;
+  for (int k : radices) {
     NetworkConfig cfg = NetworkConfig::proposed(k);
     cfg.traffic.pattern = TrafficPattern::UniformRequest;
-    auto s = find_saturation(cfg, opt);
+    k_cfgs.push_back(cfg);
+  }
+  auto k_sats = runner.find_saturations(k_cfgs);
+  for (size_t i = 0; i < k_cfgs.size(); ++i) {
+    const int k = radices[i];
+    const auto& s = k_sats[i];
     k_sweep.add_row(
         {Table::fmt_int(k), Table::fmt(s.zero_load_latency, 2),
          Table::fmt(theory::unicast_avg_hops_exact(k) + 2.0, 2),
@@ -34,15 +45,21 @@ int main() {
   // 2. Pattern sweep at the chip's size: adversarial permutations.
   Table pat("Traffic-pattern sweep, proposed 4x4");
   pat.set_columns({"Pattern", "Zero-load lat (cyc)", "Sat throughput (Gb/s)"});
-  for (auto p : {TrafficPattern::UniformRequest, TrafficPattern::Transpose,
-                 TrafficPattern::BitComplement, TrafficPattern::Tornado,
-                 TrafficPattern::NearestNeighbor,
-                 TrafficPattern::BroadcastOnly}) {
+  const TrafficPattern patterns[] = {
+      TrafficPattern::UniformRequest, TrafficPattern::Transpose,
+      TrafficPattern::BitComplement,  TrafficPattern::Tornado,
+      TrafficPattern::NearestNeighbor, TrafficPattern::BroadcastOnly};
+  std::vector<NetworkConfig> pat_cfgs;
+  for (auto p : patterns) {
     NetworkConfig cfg = NetworkConfig::proposed(4);
     cfg.traffic.pattern = p;
-    auto s = find_saturation(cfg, opt);
-    pat.add_row({traffic_pattern_name(p), Table::fmt(s.zero_load_latency, 2),
-                 Table::fmt(s.saturation_gbps, 0)});
+    pat_cfgs.push_back(cfg);
+  }
+  auto pat_sats = runner.find_saturations(pat_cfgs);
+  for (size_t i = 0; i < pat_cfgs.size(); ++i) {
+    pat.add_row({traffic_pattern_name(patterns[i]),
+                 Table::fmt(pat_sats[i].zero_load_latency, 2),
+                 Table::fmt(pat_sats[i].saturation_gbps, 0)});
   }
   pat.print();
   std::printf("\n");
@@ -59,11 +76,15 @@ int main() {
       {"3-stage unicast baseline", NetworkConfig::baseline_3stage(4)},
       {"4-stage textbook baseline", NetworkConfig::baseline_4stage(4)},
   };
+  std::vector<NetworkConfig> pipe_cfgs;
   for (auto& r : rows) {
     r.cfg.traffic.pattern = TrafficPattern::MixedPaper;
-    auto s = find_saturation(r.cfg, opt);
-    pipe.add_row({r.name, Table::fmt(s.zero_load_latency, 2),
-                  Table::fmt(s.saturation_gbps, 0)});
+    pipe_cfgs.push_back(r.cfg);
+  }
+  auto pipe_sats = runner.find_saturations(pipe_cfgs);
+  for (size_t i = 0; i < pipe_cfgs.size(); ++i) {
+    pipe.add_row({rows[i].name, Table::fmt(pipe_sats[i].zero_load_latency, 2),
+                  Table::fmt(pipe_sats[i].saturation_gbps, 0)});
   }
   pipe.print();
 

@@ -1,0 +1,142 @@
+#pragma once
+// U64FlatMap<V>: open-addressing hash map with uint64_t keys.
+//
+// Replaces std::unordered_map on the metrics hot path (one insert per
+// generated packet, one erase per completed packet). Node-based maps
+// allocate per insert; this map stores slots in flat arrays, uses linear
+// probing with backward-shift deletion (no tombstones, so churn never
+// forces a rehash), and only allocates when the element count exceeds the
+// high-water mark -- allocation-free in steady state.
+//
+// Keys are arbitrary 64-bit values (0 included); occupancy is tracked in a
+// separate byte array rather than a reserved key.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+template <typename V>
+class U64FlatMap {
+ public:
+  explicit U64FlatMap(size_t initial_capacity = 64) {
+    allocate_slots(round_up(initial_capacity));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Grow so that `n` elements fit without rehashing.
+  void reserve(size_t n) {
+    const size_t need = round_up(n * 4 / 3 + 1);
+    if (need > keys_.size()) rehash(need);
+  }
+
+  V* find(uint64_t key) {
+    size_t i = mix(key) & mask_;
+    while (full_[i]) {
+      if (keys_[i] == key) return &vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* find(uint64_t key) const {
+    return const_cast<U64FlatMap*>(this)->find(key);
+  }
+
+  /// Returns (value slot, inserted). A new slot holds a value-initialized V.
+  std::pair<V*, bool> find_or_insert(uint64_t key) {
+    if ((size_ + 1) * 4 > keys_.size() * 3) rehash(keys_.size() * 2);
+    size_t i = mix(key) & mask_;
+    while (full_[i]) {
+      if (keys_[i] == key) return {&vals_[i], false};
+      i = (i + 1) & mask_;
+    }
+    full_[i] = 1;
+    keys_[i] = key;
+    vals_[i] = V{};
+    ++size_;
+    return {&vals_[i], true};
+  }
+
+  /// Erase `key`; returns false if absent. Backward-shift deletion keeps
+  /// probe chains intact without tombstones.
+  bool erase(uint64_t key) {
+    size_t i = mix(key) & mask_;
+    while (full_[i]) {
+      if (keys_[i] == key) {
+        erase_slot(i);
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+ private:
+  static size_t round_up(size_t n) {
+    size_t cap = 16;
+    while (cap < n) cap *= 2;
+    return cap;
+  }
+
+  /// SplitMix64 finalizer: full-avalanche mix for sequential packet ids.
+  static size_t mix(uint64_t k) {
+    k += 0x9e3779b97f4a7c15ULL;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(k ^ (k >> 31));
+  }
+
+  void allocate_slots(size_t cap) {
+    keys_.assign(cap, 0);
+    vals_.assign(cap, V{});
+    full_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  void rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    std::vector<uint8_t> old_full = std::move(full_);
+    allocate_slots(new_cap);
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (!old_full[i]) continue;
+      auto [slot, inserted] = find_or_insert(old_keys[i]);
+      NOC_ASSERT(inserted);
+      *slot = std::move(old_vals[i]);
+    }
+  }
+
+  void erase_slot(size_t hole) {
+    full_[hole] = 0;
+    --size_;
+    // Shift back any element whose probe chain crossed the hole.
+    size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!full_[j]) return;
+      const size_t ideal = mix(keys_[j]) & mask_;
+      // Movable iff the hole lies on j's probe path: distance(ideal -> j)
+      // must be at least distance(hole -> j).
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        keys_[hole] = keys_[j];
+        vals_[hole] = std::move(vals_[j]);
+        full_[hole] = 1;
+        full_[j] = 0;
+        hole = j;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> vals_;
+  std::vector<uint8_t> full_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace noc

@@ -24,6 +24,8 @@ Prbs::Prbs(Poly poly, uint32_t seed) : poly_(poly) {
       order_ = 31;
       tap_ = 28;
       break;
+    default:
+      NOC_EXPECTS(false && "unknown PRBS polynomial");
   }
   const uint32_t mask = (order_ == 31) ? 0x7fffffffu : ((1u << order_) - 1u);
   state_ = seed & mask;

@@ -1,0 +1,78 @@
+#pragma once
+// VecDeque<T>: a growable circular-buffer FIFO.
+//
+// std::deque allocates and frees fixed-size blocks as its window slides,
+// so even a bounded-occupancy queue keeps hitting the allocator. VecDeque
+// stores elements in one contiguous ring that only reallocates when the
+// high-water occupancy grows -- after warmup the NIC packet queues built on
+// it are allocation-free (the simulator's steady-state no-allocation
+// invariant, docs/PERF.md).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+template <typename T>
+class VecDeque {
+ public:
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > slots_.size()) regrow(round_up(n));
+  }
+
+  void push_back(T v) {
+    if (count_ == slots_.size()) regrow(round_up(count_ + 1));
+    slots_[(head_ + count_) % slots_.size()] = std::move(v);
+    ++count_;
+  }
+
+  T pop_front() {
+    NOC_EXPECTS(count_ > 0);
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return v;
+  }
+
+  T& front() {
+    NOC_EXPECTS(count_ > 0);
+    return slots_[head_];
+  }
+  const T& front() const {
+    NOC_EXPECTS(count_ > 0);
+    return slots_[head_];
+  }
+
+ private:
+  static size_t round_up(size_t n) {
+    size_t cap = 8;
+    while (cap < n) cap *= 2;
+    return cap;
+  }
+
+  void regrow(size_t new_cap) {
+    std::vector<T> fresh(new_cap);
+    for (size_t i = 0; i < count_; ++i)
+      fresh[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    slots_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace noc

@@ -1,5 +1,7 @@
 #include "noc/arbiters.hpp"
 
+#include <bit>
+
 #include "common/assert.hpp"
 
 namespace noc {
@@ -9,12 +11,11 @@ RoundRobinArbiter::RoundRobinArbiter(int n) : n_(n) {
 }
 
 int RoundRobinArbiter::peek(uint32_t requests) const {
-  if (requests == 0) return -1;
-  for (int off = 0; off < n_; ++off) {
-    const int i = (next_ + off) % n_;
-    if (requests & (uint32_t{1} << i)) return i;
-  }
-  return -1;
+  const uint32_t r = requests & valid_mask();
+  if (r == 0) return -1;
+  // First requester at or after the pointer, wrapping.
+  const uint32_t at_or_after = r & (~uint32_t{0} << next_);
+  return std::countr_zero(at_or_after != 0 ? at_or_after : r);
 }
 
 int RoundRobinArbiter::arbitrate(uint32_t requests) {
@@ -23,40 +24,31 @@ int RoundRobinArbiter::arbitrate(uint32_t requests) {
   return winner;
 }
 
-MatrixArbiter::MatrixArbiter(int n)
-    : n_(n), w_(static_cast<size_t>(n * n), false) {
+MatrixArbiter::MatrixArbiter(int n) : n_(n) {
   NOC_EXPECTS(n >= 1 && n <= 32);
   // Initial priority: lower index beats higher index.
   for (int i = 0; i < n; ++i)
-    for (int j = i + 1; j < n; ++j) w_[static_cast<size_t>(i * n + j)] = true;
+    beats_[static_cast<size_t>(i)] = (~uint32_t{0} << (i + 1)) & valid_mask();
 }
 
 int MatrixArbiter::peek(uint32_t requests) const {
-  if (requests == 0) return -1;
-  for (int i = 0; i < n_; ++i) {
-    if (!(requests & (uint32_t{1} << i))) continue;
-    bool wins = true;
-    for (int j = 0; j < n_ && wins; ++j) {
-      if (j == i || !(requests & (uint32_t{1} << j))) continue;
-      if (!beats(i, j)) wins = false;
-    }
-    if (wins) return i;
+  const uint32_t r = requests & valid_mask();
+  if (r == 0) return -1;
+  for (uint32_t scan = r; scan != 0; scan &= scan - 1) {
+    const int i = std::countr_zero(scan);
+    const uint32_t others = r & ~(uint32_t{1} << i);
+    if ((others & ~beats_[static_cast<size_t>(i)]) == 0) return i;
   }
   // With a consistent matrix exactly one requester wins; defensive fallback.
-  for (int i = 0; i < n_; ++i)
-    if (requests & (uint32_t{1} << i)) return i;
-  return -1;
+  return std::countr_zero(r);
 }
 
 int MatrixArbiter::arbitrate(uint32_t requests) {
   const int winner = peek(requests);
   if (winner < 0) return -1;
   // Demote the winner below all others.
-  for (int j = 0; j < n_; ++j) {
-    if (j == winner) continue;
-    w_[static_cast<size_t>(winner * n_ + j)] = false;
-    w_[static_cast<size_t>(j * n_ + winner)] = true;
-  }
+  for (int j = 0; j < n_; ++j) beats_[static_cast<size_t>(j)] |= uint32_t{1} << winner;
+  beats_[static_cast<size_t>(winner)] = 0;
   return winner;
 }
 

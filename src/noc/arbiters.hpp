@@ -4,10 +4,13 @@
 //    starvation-free" (paper Sec 3.1).
 //  - mSA-II: per-output-port matrix arbiter across the 5 input ports
 //    (paper Sec 3.1), least-recently-served priority.
+//
+// Both are pure bit-twiddling over inline state (a rotation pointer, a
+// 32x32 priority bitmatrix) -- no heap, no per-decision loops beyond a
+// population scan -- because they run several times per router per cycle.
 
-#include <cstddef>
+#include <array>
 #include <cstdint>
-#include <vector>
 
 namespace noc {
 
@@ -28,11 +31,15 @@ class RoundRobinArbiter {
   int pointer() const { return next_; }
 
  private:
+  uint32_t valid_mask() const {
+    return n_ == 32 ? ~uint32_t{0} : (uint32_t{1} << n_) - 1;
+  }
+
   int n_;
   int next_ = 0;
 };
 
-/// Matrix arbiter over n requesters: w[i][j] == true means i beats j.
+/// Matrix arbiter over n requesters: row i's bit j set means i beats j.
 /// The winner is demoted below everyone it beat (least-recently-served),
 /// which is starvation-free for persistent requesters.
 class MatrixArbiter {
@@ -47,10 +54,12 @@ class MatrixArbiter {
   int size() const { return n_; }
 
  private:
-  bool beats(int i, int j) const { return w_[static_cast<size_t>(i * n_ + j)]; }
+  uint32_t valid_mask() const {
+    return n_ == 32 ? ~uint32_t{0} : (uint32_t{1} << n_) - 1;
+  }
 
   int n_;
-  std::vector<bool> w_;
+  std::array<uint32_t, 32> beats_{};  // beats_[i] bit j: i beats j
 };
 
 }  // namespace noc

@@ -1,16 +1,15 @@
 #include "noc/buffers.hpp"
 
-#include <algorithm>
 #include <climits>
 
 namespace noc {
 
-void InputVc::open_packet(const Flit& head, std::vector<Branch> branches) {
+void InputVc::open_packet(const Flit& head, const BranchList& branches) {
   NOC_EXPECTS(!busy_);
   NOC_EXPECTS(is_head(head.type));
   NOC_EXPECTS(!branches.empty());
   busy_ = true;
-  branches_ = std::move(branches);
+  branches_ = branches;
   front_seq_ = 0;
   accepted_flits = 0;
   packet_len = head.packet_len;
@@ -28,26 +27,24 @@ void InputVc::close_packet() {
 
 void InputVc::push(const Flit& f) {
   NOC_EXPECTS(busy_);
-  NOC_EXPECTS(static_cast<int>(fifo_.size()) < depth_);
+  NOC_EXPECTS(fifo_.size() < depth_);
   if (fifo_.empty()) front_seq_ = f.seq;
-  NOC_ASSERT(f.seq == front_seq_ + static_cast<int>(fifo_.size()));
+  NOC_ASSERT(f.seq == front_seq_ + fifo_.size());
   fifo_.push_back(f);
 }
 
 const Flit& InputVc::flit_at_seq(int seq) const {
   NOC_EXPECTS(has_seq(seq));
-  return fifo_[static_cast<size_t>(seq - front_seq_)];
+  return fifo_.at(seq - front_seq_);
 }
 
 bool InputVc::has_seq(int seq) const {
-  return seq >= front_seq_ &&
-         seq < front_seq_ + static_cast<int>(fifo_.size());
+  return seq >= front_seq_ && seq < front_seq_ + fifo_.size();
 }
 
 Flit InputVc::pop_front() {
   NOC_EXPECTS(!fifo_.empty());
-  Flit f = fifo_.front();
-  fifo_.pop_front();
+  Flit f = fifo_.pop_front();
   ++front_seq_;
   return f;
 }
@@ -55,37 +52,46 @@ Flit InputVc::pop_front() {
 int InputVc::current_seq() const {
   int s = INT_MAX;
   for (const auto& b : branches_)
-    if (!b.tail_sent) s = std::min(s, b.next_seq);
+    if (!b.tail_sent && b.next_seq < s) s = b.next_seq;
   return s;
 }
 
 bool InputVc::all_branches_done() const {
-  return std::all_of(branches_.begin(), branches_.end(),
-                     [](const Branch& b) { return b.tail_sent; });
+  for (const auto& b : branches_)
+    if (!b.tail_sent) return false;
+  return true;
 }
 
 void DownstreamState::configure(const VcConfig& cfg) {
+  NOC_EXPECTS(cfg.total_vcs() <= kMaxTotalVcs);
+  for (int m = 0; m < kNumMsgClasses; ++m)
+    NOC_EXPECTS(cfg.depth_per_mc[m] <= kMaxVcDepth);
   cfg_ = cfg;
-  credits_.assign(static_cast<size_t>(cfg.total_vcs()), 0);
+  credits_.fill(0);
+  for (auto& q : free_vcs_) q.clear();
+  free_mask_ = 0;
   for (int vc = 0; vc < cfg.total_vcs(); ++vc) {
     credits_[static_cast<size_t>(vc)] = cfg.depth_of_vc(vc);
-    free_vcs_[static_cast<int>(cfg.mc_of_vc(vc))].push_back(vc);
+    free_vcs_[static_cast<int>(cfg.mc_of_vc(vc))].push_back(
+        static_cast<int8_t>(vc));
+    free_mask_ |= uint32_t{1} << vc;
   }
 }
 
 int DownstreamState::allocate_vc(MsgClass mc) {
   auto& q = free_vcs_[static_cast<int>(mc)];
   if (q.empty()) return -1;
-  const int vc = q.front();
-  q.pop_front();
+  const int vc = q.pop_front();
+  free_mask_ &= ~(uint32_t{1} << vc);
   return vc;
 }
 
 void DownstreamState::release_vc(int vc) {
   NOC_EXPECTS(vc >= 0 && vc < cfg_.total_vcs());
-  auto& q = free_vcs_[static_cast<int>(cfg_.mc_of_vc(vc))];
-  NOC_ASSERT(std::find(q.begin(), q.end(), vc) == q.end());
-  q.push_back(vc);
+  NOC_ASSERT((free_mask_ & (uint32_t{1} << vc)) == 0);
+  free_vcs_[static_cast<int>(cfg_.mc_of_vc(vc))].push_back(
+      static_cast<int8_t>(vc));
+  free_mask_ |= uint32_t{1} << vc;
 }
 
 bool DownstreamState::has_free_vc(MsgClass mc) const {
@@ -93,7 +99,7 @@ bool DownstreamState::has_free_vc(MsgClass mc) const {
 }
 
 int DownstreamState::free_vc_count(MsgClass mc) const {
-  return static_cast<int>(free_vcs_[static_cast<int>(mc)].size());
+  return free_vcs_[static_cast<int>(mc)].size();
 }
 
 void DownstreamState::consume_credit(int vc) {

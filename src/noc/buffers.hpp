@@ -6,15 +6,27 @@
 // (10 x 64b latches per port). Upstream side (an output port, or a NIC's
 // injection stage) tracks per-VC credits and a free-VC queue per message
 // class for VC allocation.
+//
+// All state here lives in fixed-capacity inline containers (bounds below):
+// the hardware's latch FIFOs and free-VC queues are statically sized, and
+// mirroring that keeps the per-cycle datapath free of heap allocation
+// (docs/PERF.md).
 
-#include <deque>
-#include <vector>
+#include <array>
+#include <cstdint>
 
 #include "common/assert.hpp"
+#include "common/inline_vec.hpp"
+#include "common/ring_buffer.hpp"
 #include "noc/flit.hpp"
 #include "noc/routing.hpp"
 
 namespace noc {
+
+/// Static bounds for the inline VC state. The paper's router uses depths
+/// 1 and 3 over 6 VCs; the bounds leave headroom for ablation configs.
+constexpr int kMaxVcDepth = 8;
+constexpr int kMaxTotalVcs = 16;
 
 /// VC organization shared by every input port in the network.
 struct VcConfig {
@@ -51,20 +63,26 @@ struct Branch {
   bool needs_vc() const { return ds_vc < 0; }
 };
 
+/// A packet forks to at most one branch per output port.
+using BranchList = InlineVec<Branch, kNumPorts>;
+
 /// State of one input VC: the flit FIFO plus the active packet's branch
 /// bookkeeping. The branch state is also used by fully-bypassed packets
 /// whose flits never enter the FIFO (DESIGN.md Sec 3).
 class InputVc {
  public:
-  void configure(int depth) { depth_ = depth; }
+  void configure(int depth) {
+    NOC_EXPECTS(depth >= 1 && depth <= kMaxVcDepth);
+    depth_ = depth;
+  }
 
   bool busy() const { return busy_; }
   bool empty() const { return fifo_.empty(); }
-  int occupancy() const { return static_cast<int>(fifo_.size()); }
+  int occupancy() const { return fifo_.size(); }
   int depth() const { return depth_; }
 
   /// Allocate this VC to a packet and install its branches.
-  void open_packet(const Flit& head, std::vector<Branch> branches);
+  void open_packet(const Flit& head, const BranchList& branches);
 
   /// Release the VC after the tail has been sent on every branch.
   void close_packet();
@@ -81,8 +99,8 @@ class InputVc {
   Flit pop_front();
   int front_seq() const { return front_seq_; }
 
-  std::vector<Branch>& branches() { return branches_; }
-  const std::vector<Branch>& branches() const { return branches_; }
+  BranchList& branches() { return branches_; }
+  const BranchList& branches() const { return branches_; }
 
   /// Smallest next_seq over unfinished branches == the seq currently being
   /// serviced; INT_MAX when all branches are done.
@@ -97,8 +115,8 @@ class InputVc {
   int packet_len = 0;
 
  private:
-  std::deque<Flit> fifo_;
-  std::vector<Branch> branches_;
+  RingBuffer<Flit, kMaxVcDepth> fifo_;
+  BranchList branches_;
   int depth_ = 1;
   int front_seq_ = 0;
   bool busy_ = false;
@@ -127,8 +145,11 @@ class DownstreamState {
 
  private:
   VcConfig cfg_;
-  std::vector<int> credits_;
-  std::deque<int> free_vcs_[kNumMsgClasses];
+  std::array<int, kMaxTotalVcs> credits_{};
+  /// FIFO free-VC queues (allocation order matters for determinism) plus a
+  /// membership bitmask for O(1) duplicate-release checking.
+  RingBuffer<int8_t, kMaxTotalVcs> free_vcs_[kNumMsgClasses];
+  uint32_t free_mask_ = 0;
 };
 
 }  // namespace noc

@@ -1,12 +1,12 @@
-#include "noc/flit.hpp"
+#include "noc/debug.hpp"
 
 #include <cstdio>
 
 namespace noc {
 
-std::string Flit::describe() const {
+std::string describe(const Flit& f) {
   const char* ty = "?";
-  switch (type) {
+  switch (f.type) {
     case FlitType::Head: ty = "H"; break;
     case FlitType::Body: ty = "B"; break;
     case FlitType::Tail: ty = "T"; break;
@@ -15,10 +15,10 @@ std::string Flit::describe() const {
   char buf[160];
   std::snprintf(buf, sizeof buf,
                 "flit{pkt=%llu src=%d dm=%llx bm=%llx mc=%d %s seq=%d/%d vc=%d}",
-                static_cast<unsigned long long>(packet_id), src,
-                static_cast<unsigned long long>(dest_mask),
-                static_cast<unsigned long long>(branch_mask),
-                static_cast<int>(mc), ty, seq, packet_len, vc);
+                static_cast<unsigned long long>(f.packet_id), f.src,
+                static_cast<unsigned long long>(f.dest_mask),
+                static_cast<unsigned long long>(f.branch_mask),
+                static_cast<int>(f.mc), ty, f.seq, f.packet_len, f.vc);
   return buf;
 }
 

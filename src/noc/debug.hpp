@@ -1,0 +1,14 @@
+#pragma once
+// Human-readable descriptions of datapath objects, kept out of the hot-path
+// headers so flit.hpp (included by every router TU) stays free of <string>
+// and the formatting code is only linked where debugging actually needs it.
+
+#include <string>
+
+#include "noc/flit.hpp"
+
+namespace noc {
+
+std::string describe(const Flit& f);
+
+}  // namespace noc

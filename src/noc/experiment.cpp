@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/units.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace noc {
 
@@ -115,6 +116,56 @@ std::vector<PointResult> sweep_curve(NetworkConfig cfg,
   std::vector<PointResult> out;
   out.reserve(offered.size());
   for (double r : offered) out.push_back(measure_point(cfg, r, opt));
+  return out;
+}
+
+int ExperimentRunner::threads() const {
+  return opt_.threads > 0 ? opt_.threads : ThreadPool::hardware_threads();
+}
+
+std::vector<PointResult> ExperimentRunner::run(
+    const std::vector<SweepPoint>& points) const {
+  std::vector<PointResult> out(points.size());
+  // Each index is a fully independent simulation writing only its own slot:
+  // the schedule cannot affect any result.
+  parallel_for(threads(), static_cast<int>(points.size()), [&](int i) {
+    const auto idx = static_cast<size_t>(i);
+    out[idx] = measure_point(points[idx].cfg, points[idx].offered,
+                             opt_.measure);
+  });
+  return out;
+}
+
+std::vector<PointResult> ExperimentRunner::sweep(
+    const NetworkConfig& cfg, const std::vector<double>& offered) const {
+  std::vector<SweepPoint> pts;
+  pts.reserve(offered.size());
+  for (double r : offered) pts.push_back(SweepPoint{cfg, r});
+  return run(pts);
+}
+
+std::vector<std::vector<PointResult>> ExperimentRunner::sweep_all(
+    const std::vector<NetworkConfig>& cfgs,
+    const std::vector<double>& offered) const {
+  std::vector<SweepPoint> pts;
+  pts.reserve(cfgs.size() * offered.size());
+  for (const auto& cfg : cfgs)
+    for (double r : offered) pts.push_back(SweepPoint{cfg, r});
+  const auto flat = run(pts);
+  std::vector<std::vector<PointResult>> curves(cfgs.size());
+  for (size_t c = 0; c < cfgs.size(); ++c)
+    curves[c].assign(flat.begin() + static_cast<long>(c * offered.size()),
+                     flat.begin() + static_cast<long>((c + 1) * offered.size()));
+  return curves;
+}
+
+std::vector<SaturationResult> ExperimentRunner::find_saturations(
+    const std::vector<NetworkConfig>& cfgs) const {
+  std::vector<SaturationResult> out(cfgs.size());
+  parallel_for(threads(), static_cast<int>(cfgs.size()), [&](int i) {
+    const auto idx = static_cast<size_t>(i);
+    out[idx] = find_saturation(cfgs[idx], opt_.measure);
+  });
   return out;
 }
 

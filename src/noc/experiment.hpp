@@ -7,6 +7,13 @@
 // bypass statistics at one offered load. Saturation follows the paper's
 // definition (Sec 4.1 footnote): the injection rate at which average packet
 // latency reaches 3x the no-load latency.
+//
+// ExperimentRunner fans independent sweep points across worker threads.
+// Every point owns its complete simulation state -- a Network, a Simulation
+// clock, and per-NIC RNG streams derived deterministically from the point's
+// config seed -- so points share nothing and the parallel schedule cannot
+// change any result: outputs are bit-identical to the serial path in any
+// thread count and any completion order (docs/PERF.md).
 
 #include <vector>
 
@@ -49,7 +56,8 @@ struct SaturationResult {
 SaturationResult find_saturation(NetworkConfig cfg,
                                  const MeasureOptions& opt = {});
 
-/// Latency-throughput curve over the given offered loads.
+/// Latency-throughput curve over the given offered loads (serial; see
+/// ExperimentRunner::sweep for the multi-threaded equivalent).
 std::vector<PointResult> sweep_curve(NetworkConfig cfg,
                                      const std::vector<double>& offered,
                                      const MeasureOptions& opt = {});
@@ -57,5 +65,55 @@ std::vector<PointResult> sweep_curve(NetworkConfig cfg,
 /// Deliveries (ejected flits) per offered logical flit for a pattern; the
 /// ejection-limited saturation offered load is 1 / this value.
 double deliveries_per_offered_flit(const NetworkConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Parallel sweep engine.
+
+struct ExperimentOptions {
+  MeasureOptions measure;
+  /// Worker threads for independent sweep points. 0 = all hardware threads;
+  /// 1 = serial (no pool).
+  int threads = 0;
+};
+
+/// One independent measurement: a full network config at one offered load.
+struct SweepPoint {
+  NetworkConfig cfg;
+  double offered = 0;
+};
+
+/// Fans independent sweep points (and whole saturation searches) across a
+/// thread pool. Results are bit-identical to the serial free functions.
+class ExperimentRunner {
+ public:
+  ExperimentRunner() = default;
+  explicit ExperimentRunner(const ExperimentOptions& opt) : opt_(opt) {}
+
+  /// Resolved worker count (>= 1).
+  int threads() const;
+  const ExperimentOptions& options() const { return opt_; }
+
+  /// Measure every point; results align index-for-index with `points`.
+  std::vector<PointResult> run(const std::vector<SweepPoint>& points) const;
+
+  /// Latency-throughput curve: the parallel equivalent of sweep_curve.
+  std::vector<PointResult> sweep(const NetworkConfig& cfg,
+                                 const std::vector<double>& offered) const;
+
+  /// One curve per config over the same load list, every (config, load)
+  /// point batched as a single parallel run. curves[c][i] is cfgs[c] at
+  /// offered[i].
+  std::vector<std::vector<PointResult>> sweep_all(
+      const std::vector<NetworkConfig>& cfgs,
+      const std::vector<double>& offered) const;
+
+  /// One adaptive saturation search per config, searches in parallel (each
+  /// search itself is inherently sequential).
+  std::vector<SaturationResult> find_saturations(
+      const std::vector<NetworkConfig>& cfgs) const;
+
+ private:
+  ExperimentOptions opt_;
+};
 
 }  // namespace noc

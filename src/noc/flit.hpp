@@ -7,7 +7,6 @@
 // the packet, and timestamps for the latency statistics.
 
 #include <cstdint>
-#include <string>
 
 #include "noc/geometry.hpp"
 #include "sim/tickable.hpp"
@@ -58,9 +57,10 @@ struct Flit {
   Cycle gen_cycle = 0;
   /// Cycle the head flit entered the network (left the NIC).
   Cycle inject_cycle = 0;
-
-  std::string describe() const;
 };
+
+// Human-readable formatting lives in noc/debug.hpp: the hot-path Flit TU
+// must not pull in <string> (docs/PERF.md).
 
 /// Credit / VC-free signal returned upstream (paper Fig 1 "credit signals").
 struct Credit {

@@ -16,33 +16,33 @@ Metrics::Metrics(const MeshGeometry& geom)
 void Metrics::on_logical_packet(PacketId logical_id, PacketKind kind,
                                 Cycle gen, int deliveries) {
   NOC_EXPECTS(deliveries > 0);
-  auto [it, inserted] = open_.try_emplace(logical_id);
+  auto [slot, inserted] = open_.find_or_insert(logical_id);
   if (inserted) {
-    it->second.gen = gen;
-    it->second.kind = kind;
-    it->second.remaining = deliveries;
+    slot->gen = gen;
+    slot->kind = kind;
+    slot->remaining = deliveries;
     ++total_generated_;
   } else {
     // NIC-duplicated broadcast: copies accumulate onto one logical record.
-    it->second.remaining += deliveries;
+    slot->remaining += deliveries;
   }
 }
 
 void Metrics::on_flit_received(PacketId logical_id, const Flit& f, Cycle now) {
   if (in_window_) ++window_flits_received_;
   if (!is_tail(f.type)) return;
-  auto it = open_.find(logical_id);
-  NOC_ASSERT(it != open_.end());
-  NOC_ASSERT(it->second.remaining > 0);
-  if (--it->second.remaining == 0) {
+  OpenPacket* op = open_.find(logical_id);
+  NOC_ASSERT(op != nullptr);
+  NOC_ASSERT(op->remaining > 0);
+  if (--op->remaining == 0) {
     ++total_completed_;
     if (in_window_) {
-      const auto lat = static_cast<double>(now - it->second.gen);
+      const auto lat = static_cast<double>(now - op->gen);
       latency_all_.add(lat);
-      latency_by_kind_[static_cast<int>(it->second.kind)].add(lat);
+      latency_by_kind_[static_cast<int>(op->kind)].add(lat);
       ++window_packets_completed_;
     }
-    open_.erase(it);
+    open_.erase(logical_id);
   }
 }
 

@@ -9,9 +9,9 @@
 // destination NIC.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "noc/flit.hpp"
 #include "noc/geometry.hpp"
@@ -87,7 +87,9 @@ class Metrics {
   };
 
   const MeshGeometry& geom_;
-  std::unordered_map<PacketId, OpenPacket> open_;
+  /// Flat open-addressing map: insert/erase churn is allocation-free once
+  /// the pre-reserved capacity covers the in-flight packet high-water mark.
+  U64FlatMap<OpenPacket> open_{4096};
 
   bool in_window_ = false;
   Cycle window_start_ = 0;

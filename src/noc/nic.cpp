@@ -16,6 +16,11 @@ Nic::Nic(NodeId node, const MeshGeometry& geom, const RouterConfig& router_cfg,
       rx_vcs_(static_cast<size_t>(router_cfg.vc.total_vcs())),
       rx_rr_(router_cfg.vc.total_vcs()) {
   ds_.configure(router_cfg.vc);
+  // Pre-size the packet queues past any below-saturation high-water mark
+  // (NIC broadcast duplication bursts k^2-1 copies at once), so steady-state
+  // injection never regrows the ring (docs/PERF.md). Saturated runs with
+  // unbounded queue growth still regrow -- by doubling, so rarely.
+  for (auto& q : queue_) q.reserve(256);
 }
 
 PacketKind Nic::classify(const Packet& pkt) const {
@@ -65,7 +70,11 @@ void Nic::submit_packet(Packet pkt) {
       }
     }
     uint64_t copy_idx = 0;
-    for (NodeId d : geom_.nodes_in(pkt.dest_mask & ~self_bit)) {
+    // Iterate destination bits directly (ascending node id, like
+    // MeshGeometry::nodes_in) without materializing a vector.
+    for (DestMask rest = pkt.dest_mask & ~self_bit; rest != 0;
+         rest &= rest - 1) {
+      const NodeId d = std::countr_zero(rest);
       Packet copy = pkt;
       copy.logical_id = pkt.effective_logical_id();
       copy.id = (pkt.id ^ 0x5a5a5a5aULL) + (++copy_idx << 56);
@@ -84,14 +93,14 @@ bool Nic::try_activate(MsgClass mc) {
   const int vc = ds_.allocate_vc(mc);
   if (vc < 0) return false;
   if (energy_) ++energy_->vc_allocations;
-  Packet pkt = std::move(queue_[m].front());
-  queue_[m].pop_front();
-  std::vector<uint64_t> payloads(static_cast<size_t>(pkt.length));
-  for (auto& w : payloads) w = gen_.next_payload();
+  Packet pkt = queue_[m].pop_front();
+  uint64_t payloads[kMaxPacketFlits];
+  NOC_ASSERT(pkt.length <= kMaxPacketFlits);
+  for (int i = 0; i < pkt.length; ++i) payloads[i] = gen_.next_payload();
   ActiveTx tx;
-  tx.flits = segment_packet(pkt, payloads);
+  segment_packet_into(pkt, payloads, pkt.length, tx.flits);
   tx.vc = vc;
-  active_[m] = std::move(tx);
+  active_[m] = tx;
   return true;
 }
 
@@ -167,8 +176,7 @@ void Nic::tick_eject(Cycle now) {
     if (!rx_vcs_[v].empty()) occupied |= uint32_t{1} << v;
   if (occupied == 0) return;
   const int v = rx_rr_.arbitrate(occupied);
-  Flit f = rx_vcs_[static_cast<size_t>(v)].front();
-  rx_vcs_[static_cast<size_t>(v)].pop_front();
+  Flit f = rx_vcs_[static_cast<size_t>(v)].pop_front();
   if (ch_.credit_to_router != nullptr) {
     Credit c;
     c.vc = v;

@@ -17,11 +17,10 @@
 // per-VC buffers and drain at 1 flit/cycle -- the ejection bandwidth that
 // bounds broadcast throughput in Table 1.
 
-#include <deque>
-#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/vec_deque.hpp"
 #include "noc/buffers.hpp"
 #include "noc/energy_events.hpp"
 #include "noc/metrics.hpp"
@@ -62,8 +61,8 @@ class Nic {
 
  private:
   struct ActiveTx {
-    std::vector<Flit> flits;
-    size_t next = 0;
+    FlitList flits;
+    int next = 0;
     int vc = -1;
     bool done() const { return next >= flits.size(); }
   };
@@ -84,12 +83,13 @@ class Nic {
   Channels ch_;
 
   DownstreamState ds_;  // router Local input port credits / free VCs
-  std::deque<Packet> queue_[kNumMsgClasses];
+  VecDeque<Packet> queue_[kNumMsgClasses];
   std::optional<ActiveTx> active_[kNumMsgClasses];
   RoundRobinArbiter mc_rr_{kNumMsgClasses};
 
-  // Ejection buffers, one FIFO per VC of the router's Local output.
-  std::vector<std::deque<Flit>> rx_vcs_;
+  // Ejection buffers, one FIFO per VC of the router's Local output. Bounded
+  // by the VC depth (credit protocol), so fixed rings suffice.
+  std::vector<RingBuffer<Flit, kMaxVcDepth>> rx_vcs_;
   RoundRobinArbiter rx_rr_{1};
 };
 

@@ -4,12 +4,11 @@
 
 namespace noc {
 
-std::vector<Flit> segment_packet(const Packet& p,
-                                 const std::vector<uint64_t>& payloads) {
-  NOC_EXPECTS(p.length >= 1);
+void segment_packet_into(const Packet& p, const uint64_t* payloads,
+                         int npayloads, FlitList& out) {
+  NOC_EXPECTS(p.length >= 1 && p.length <= kMaxPacketFlits);
   NOC_EXPECTS(p.dest_mask != 0);
-  std::vector<Flit> flits;
-  flits.reserve(static_cast<size_t>(p.length));
+  out.clear();
   for (int i = 0; i < p.length; ++i) {
     Flit f;
     f.packet_id = p.id;
@@ -21,7 +20,7 @@ std::vector<Flit> segment_packet(const Packet& p,
     f.seq = i;
     f.packet_len = p.length;
     f.gen_cycle = p.gen_cycle;
-    f.payload = i < static_cast<int>(payloads.size()) ? payloads[i] : 0;
+    f.payload = i < npayloads ? payloads[i] : 0;
     if (p.length == 1) {
       f.type = FlitType::HeadTail;
     } else if (i == 0) {
@@ -31,9 +30,16 @@ std::vector<Flit> segment_packet(const Packet& p,
     } else {
       f.type = FlitType::Body;
     }
-    flits.push_back(f);
+    out.push_back(f);
   }
-  return flits;
+}
+
+std::vector<Flit> segment_packet(const Packet& p,
+                                 const std::vector<uint64_t>& payloads) {
+  FlitList flits;
+  segment_packet_into(p, payloads.data(), static_cast<int>(payloads.size()),
+                      flits);
+  return std::vector<Flit>(flits.begin(), flits.end());
 }
 
 }  // namespace noc

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/inline_vec.hpp"
 #include "noc/flit.hpp"
 
 namespace noc {
@@ -32,8 +33,17 @@ inline int default_packet_length(MsgClass mc) {
   return mc == MsgClass::Request ? kRequestPacketLen : kResponsePacketLen;
 }
 
-/// Segment a packet into its flits. `payload_seed` feeds per-flit payload
-/// words (callers typically use a PRBS stream).
+/// Upper bound on flits per packet (paper max is the 5-flit response).
+constexpr int kMaxPacketFlits = 8;
+using FlitList = InlineVec<Flit, kMaxPacketFlits>;
+
+/// Segment a packet into `out` without allocating (the NIC's injection
+/// path). `payloads`/`npayloads` feed per-flit payload words (callers
+/// typically use a PRBS stream); missing words default to 0.
+void segment_packet_into(const Packet& p, const uint64_t* payloads,
+                         int npayloads, FlitList& out);
+
+/// Convenience wrapper returning a heap vector (tests / offline tools).
 std::vector<Flit> segment_packet(const Packet& p,
                                  const std::vector<uint64_t>& payloads = {});
 

@@ -94,7 +94,7 @@ void Router::apply_credits(Cycle) {
 void Router::open_packet_state(int port, const Flit& head) {
   NOC_EXPECTS(is_head(head.type));
   const RouteSet rs = tree_route(cfg_.routing, geom_, node_, head.branch_mask);
-  std::vector<Branch> branches;
+  BranchList branches;
   for (int o = 0; o < kNumPorts; ++o) {
     const DestMask m = rs.port_dests[static_cast<size_t>(o)];
     if (m == 0) continue;
@@ -106,7 +106,7 @@ void Router::open_packet_state(int port, const Flit& head) {
   NOC_ASSERT(!branches.empty());
   if (!cfg_.multicast) NOC_ASSERT(branches.size() == 1);
   in_[static_cast<size_t>(port)].vcs[static_cast<size_t>(head.vc)].open_packet(
-      head, std::move(branches));
+      head, branches);
 }
 
 void Router::forward_copy(Cycle now, const Flit& f, const GrantOut& go) {
@@ -318,8 +318,8 @@ void Router::process_lookaheads(Cycle now,
       if (ivc.current_seq() != la.flit.seq) continue;
 
       // Which branches can be granted right now?
-      std::vector<Branch*> want;
-      std::vector<GrantOut> grantable;
+      InlineVec<Branch*, kNumPorts> want;
+      GrantList grantable;
       for (auto& b : ivc.branches()) {
         if (b.tail_sent || b.next_seq != la.flit.seq) continue;
         want.push_back(&b);
@@ -395,7 +395,7 @@ void Router::arbitrate_buffered(Cycle now,
   }
 
   // Output-port arbitration (mSA-II): matrix arbiter per output.
-  std::array<std::vector<GrantOut>, kNumPorts> granted;  // per input
+  std::array<GrantList, kNumPorts> granted{};  // per input
   for (int o = 0; o < kNumPorts; ++o) {
     if (out_claimed[static_cast<size_t>(o)]) continue;
     uint32_t requests = 0;

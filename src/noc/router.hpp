@@ -26,8 +26,8 @@
 
 #include <array>
 #include <optional>
-#include <vector>
 
+#include "common/inline_vec.hpp"
 #include "noc/arbiters.hpp"
 #include "noc/buffers.hpp"
 #include "noc/energy_events.hpp"
@@ -121,13 +121,17 @@ class Router {
     DestMask dests = 0;
   };
 
+  /// At most one grant per output port per cycle; inline storage keeps the
+  /// per-cycle grant vectors off the heap (docs/PERF.md).
+  using GrantList = InlineVec<GrantOut, kNumPorts>;
+
   /// Switch-traversal latch: a buffered flit granted by mSA-II, traversing
   /// ST(+LT) this tick.
   struct StLatch {
     bool valid = false;
     int vc = -1;
     int seq = 0;
-    std::vector<GrantOut> outs;
+    GrantList outs;
   };
 
   /// Pre-allocated crossbar passage for a flit arriving this tick.
@@ -136,7 +140,7 @@ class Router {
     int vc = -1;
     int seq = 0;
     bool full = false;  // all requested branches granted
-    std::vector<GrantOut> outs;
+    GrantList outs;
   };
 
   struct InputPort {

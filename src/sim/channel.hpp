@@ -7,8 +7,14 @@
 // (the NIC is physically adjacent to its router and its injection request
 // feeds mSA-II combinationally); correctness then relies on the global
 // phase order executing the sender before the receiver in the same tick.
+//
+// Storage is a ring of latency+1 slot vectors indexed by cycle modulo the
+// ring size: send() appends to the slot that becomes visible at now+latency,
+// begin_cycle() clears the slot about to be reused and exposes the current
+// one. Slot vectors keep their capacity across cycles, so a warmed-up
+// channel never allocates (docs/PERF.md). begin_cycle must be called for
+// every consecutive cycle, which the Network's step loop guarantees.
 
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -20,7 +26,8 @@ namespace noc {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(int latency = 1) : latency_(latency) {
+  explicit Channel(int latency = 1)
+      : latency_(latency), slots_(static_cast<size_t>(latency + 1)) {
     NOC_EXPECTS(latency >= 0);
   }
 
@@ -28,41 +35,51 @@ class Channel {
 
   /// Send a message during tick `now`; it arrives at `now + latency`.
   void send(Cycle now, T msg) {
-    if (latency_ == 0) {
-      arrivals_.push_back(std::move(msg));
-    } else {
-      in_flight_.emplace_back(now + latency_, std::move(msg));
-    }
+    slots_[slot_index(now + latency_)].push_back(std::move(msg));
   }
 
   /// Called once at the start of every tick (before any component runs):
-  /// moves messages whose arrival time is `now` into the arrival buffer.
+  /// recycles the slot whose messages were exposed latency+1 ticks ago (it
+  /// becomes this tick's send target) and exposes this tick's arrivals.
   void begin_cycle(Cycle now) {
-    arrivals_.clear();
-    while (!in_flight_.empty() && in_flight_.front().first <= now) {
-      NOC_ASSERT(in_flight_.front().first == now);  // never skip a delivery
-      arrivals_.push_back(std::move(in_flight_.front().second));
-      in_flight_.pop_front();
-    }
+    NOC_EXPECTS(prev_ < 0 || now == prev_ + 1);  // a gap would drop messages
+    prev_ = now;
+    slots_[slot_index(now + latency_)].clear();
+    cur_ = slot_index(now);
   }
 
   /// Messages arriving this tick, in send order.
-  const std::vector<T>& arrivals() const { return arrivals_; }
+  const std::vector<T>& arrivals() const { return slots_[cur_]; }
 
   /// Take all arrivals (consuming them so repeated reads are safe).
   std::vector<T> take_arrivals() {
     std::vector<T> out;
-    out.swap(arrivals_);
+    out.swap(slots_[cur_]);
     return out;
   }
 
-  bool idle() const { return in_flight_.empty() && arrivals_.empty(); }
-  size_t in_flight_count() const { return in_flight_.size(); }
+  bool idle() const {
+    for (const auto& s : slots_)
+      if (!s.empty()) return false;
+    return true;
+  }
+
+  size_t in_flight_count() const {
+    size_t n = 0;
+    for (size_t i = 0; i < slots_.size(); ++i)
+      if (i != cur_) n += slots_[i].size();
+    return n;
+  }
 
  private:
+  size_t slot_index(Cycle c) const {
+    return static_cast<size_t>(c % (latency_ + 1));
+  }
+
   int latency_;
-  std::deque<std::pair<Cycle, T>> in_flight_;
-  std::vector<T> arrivals_;
+  std::vector<std::vector<T>> slots_;
+  size_t cur_ = 0;
+  Cycle prev_ = -1;
 };
 
 }  // namespace noc

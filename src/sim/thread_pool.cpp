@@ -1,0 +1,98 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+ThreadPool::ThreadPool(int threads) {
+  NOC_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(int threads, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = std::min(threads, n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto drain = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(workers);
+    for (int w = 0; w < workers; ++w) pool.submit(drain);
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace noc

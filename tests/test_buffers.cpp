@@ -41,7 +41,7 @@ TEST(InputVc, OpenPushPopClose) {
   p.length = 3;
   p.mc = MsgClass::Response;
   auto flits = segment_packet(p);
-  std::vector<Branch> br(1);
+  BranchList br(1);
   br[0].out = PortDir::East;
   br[0].dests = p.dest_mask;
   vc.open_packet(flits[0], br);
@@ -67,7 +67,7 @@ TEST(InputVc, CurrentSeqIsMinOverUnfinishedBranches) {
   InputVc vc;
   vc.configure(1);
   Flit h = make_head(1);
-  std::vector<Branch> br(3);
+  BranchList br(3);
   br[0].out = PortDir::East;
   br[1].out = PortDir::North;
   br[2].out = PortDir::Local;

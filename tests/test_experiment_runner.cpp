@@ -1,0 +1,164 @@
+// The parallel sweep engine: thread pool semantics and the hard guarantee
+// that ExperimentRunner output is bit-identical to the serial path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "noc/experiment.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace noc {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(8, 257, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackAndEmptyRange) {
+  int calls = 0;
+  parallel_for(1, 5, [&](int) { ++calls; });  // no pool: plain loop
+  EXPECT_EQ(calls, 5);
+  parallel_for(4, 0, [&](int) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(3, 20,
+                   [](int i) {
+                     if (i % 7 == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+void expect_identical(const PointResult& a, const PointResult& b) {
+  // The simulation is deterministic, so every field must match exactly --
+  // including the raw event counters, which catch any divergence the
+  // aggregate statistics could mask.
+  EXPECT_EQ(a.offered_fpc, b.offered_fpc);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.recv_flits_per_cycle, b.recv_flits_per_cycle);
+  EXPECT_EQ(a.recv_gbps, b.recv_gbps);
+  EXPECT_EQ(a.bypass_rate, b.bypass_rate);
+  EXPECT_EQ(a.completed_packets, b.completed_packets);
+  EXPECT_EQ(a.max_ejection_load, b.max_ejection_load);
+  EXPECT_EQ(a.max_bisection_load, b.max_bisection_load);
+  EXPECT_EQ(a.energy.xbar_traversals, b.energy.xbar_traversals);
+  EXPECT_EQ(a.energy.link_traversals, b.energy.link_traversals);
+  EXPECT_EQ(a.energy.nic_link_traversals, b.energy.nic_link_traversals);
+  EXPECT_EQ(a.energy.buffer_writes, b.energy.buffer_writes);
+  EXPECT_EQ(a.energy.buffer_reads, b.energy.buffer_reads);
+  EXPECT_EQ(a.energy.sa1_arbitrations, b.energy.sa1_arbitrations);
+  EXPECT_EQ(a.energy.sa2_arbitrations, b.energy.sa2_arbitrations);
+  EXPECT_EQ(a.energy.vc_allocations, b.energy.vc_allocations);
+  EXPECT_EQ(a.energy.lookaheads_sent, b.energy.lookaheads_sent);
+  EXPECT_EQ(a.energy.bypasses, b.energy.bypasses);
+  EXPECT_EQ(a.energy.partial_bypasses, b.energy.partial_bypasses);
+  EXPECT_EQ(a.energy.buffered_hops, b.energy.buffered_hops);
+}
+
+TEST(ExperimentRunner, ParallelSweepIsBitIdenticalToSerial) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.seed = 7;
+  const MeasureOptions measure{.warmup = 400, .window = 1500};
+  const std::vector<double> loads = {0.04, 0.10, 0.16};
+
+  const auto serial = sweep_curve(cfg, loads, measure);
+
+  // More workers than points, on any machine: the schedule must not matter.
+  const ExperimentRunner runner{
+      ExperimentOptions{.measure = measure, .threads = 3}};
+  const auto parallel = runner.sweep(cfg, loads);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i)
+    expect_identical(parallel[i], serial[i]);
+}
+
+TEST(ExperimentRunner, SweepAllMatchesPerConfigSerialCurves) {
+  NetworkConfig prop = NetworkConfig::proposed(4);
+  prop.traffic.pattern = TrafficPattern::MixedPaper;
+  NetworkConfig base = NetworkConfig::baseline_3stage(4);
+  base.traffic.pattern = TrafficPattern::MixedPaper;
+  const MeasureOptions measure{.warmup = 300, .window = 1000};
+  const std::vector<double> loads = {0.03, 0.08};
+
+  const ExperimentRunner runner{
+      ExperimentOptions{.measure = measure, .threads = 3}};
+  const auto curves = runner.sweep_all({prop, base}, loads);
+  ASSERT_EQ(curves.size(), 2u);
+  const std::vector<NetworkConfig> cfgs = {prop, base};
+  for (size_t c = 0; c < cfgs.size(); ++c) {
+    const auto serial = sweep_curve(cfgs[c], loads, measure);
+    ASSERT_EQ(curves[c].size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+      expect_identical(curves[c][i], serial[i]);
+  }
+}
+
+TEST(ExperimentRunner, MixedConfigBatchMatchesPointMeasurements) {
+  NetworkConfig prop = NetworkConfig::proposed(4);
+  prop.traffic.pattern = TrafficPattern::UniformRequest;
+  NetworkConfig base = NetworkConfig::baseline_3stage(4);
+  base.traffic.pattern = TrafficPattern::UniformRequest;
+  const MeasureOptions measure{.warmup = 300, .window = 1000};
+
+  const ExperimentRunner runner{
+      ExperimentOptions{.measure = measure, .threads = 2}};
+  const auto results =
+      runner.run({SweepPoint{prop, 0.10}, SweepPoint{base, 0.05}});
+  ASSERT_EQ(results.size(), 2u);
+  expect_identical(results[0], measure_point(prop, 0.10, measure));
+  expect_identical(results[1], measure_point(base, 0.05, measure));
+}
+
+TEST(ExperimentRunner, FindSaturationsMatchesSerialSearch) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::BroadcastOnly;
+  const MeasureOptions measure{.warmup = 500, .window = 1500};
+
+  const ExperimentRunner runner{
+      ExperimentOptions{.measure = measure, .threads = 2}};
+  const auto sats = runner.find_saturations({cfg, cfg});
+  const auto serial = find_saturation(cfg, measure);
+  ASSERT_EQ(sats.size(), 2u);
+  for (const auto& s : sats) {
+    EXPECT_EQ(s.zero_load_latency, serial.zero_load_latency);
+    EXPECT_EQ(s.saturation_offered, serial.saturation_offered);
+    EXPECT_EQ(s.saturation_gbps, serial.saturation_gbps);
+    expect_identical(s.at_saturation, serial.at_saturation);
+  }
+}
+
+TEST(ExperimentRunner, ThreadsResolution) {
+  EXPECT_GE(ExperimentRunner{}.threads(), 1);
+  const ExperimentRunner one{ExperimentOptions{.measure = {}, .threads = 1}};
+  EXPECT_EQ(one.threads(), 1);
+}
+
+}  // namespace
+}  // namespace noc
