@@ -3,6 +3,7 @@
 // case: the paper's point that broadcast-heavy coherence gains most.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
 #include "theory/mesh_limits.hpp"
@@ -10,9 +11,17 @@
 using namespace noc;
 using noc::Table;
 
-int main() {
-  const MeasureOptions opt{.warmup = 3000, .window = 12000};
-  const ExperimentRunner runner{ExperimentOptions{.measure = opt}};
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.help()) {
+    std::printf("usage: %s [--warmup N] [--window N] [--threads N]\n",
+                argv[0]);
+    return 0;
+  }
+  const MeasureOptions opt =
+      cli_measure_options(args, {.warmup = 3000, .window = 12000});
+  const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  if (!args.check_unused()) return 1;
   NetworkConfig prop = NetworkConfig::proposed(4);
   NetworkConfig base = NetworkConfig::baseline_3stage(4);
   prop.traffic.pattern = base.traffic.pattern = TrafficPattern::BroadcastOnly;

@@ -6,6 +6,7 @@
 // (paper: RTL sims show 0.04 cycles/hop of contention without it).
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
 #include "theory/mesh_limits.hpp"
@@ -13,11 +14,19 @@
 using namespace noc;
 using noc::Table;
 
-int main() {
-  const MeasureOptions opt{.warmup = 3000, .window = 12000};
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.help()) {
+    std::printf("usage: %s [--warmup N] [--window N] [--threads N]\n",
+                argv[0]);
+    return 0;
+  }
+  const MeasureOptions opt =
+      cli_measure_options(args, {.warmup = 3000, .window = 12000});
   // Fan every (config, load) point across all cores; results are
   // bit-identical to the serial sweep (each point owns its network + RNG).
-  const ExperimentRunner runner{ExperimentOptions{.measure = opt}};
+  const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  if (!args.check_unused()) return 1;
   NetworkConfig prop = NetworkConfig::proposed(4);
   NetworkConfig base = NetworkConfig::baseline_3stage(4);
   prop.traffic.pattern = base.traffic.pattern = TrafficPattern::MixedPaper;

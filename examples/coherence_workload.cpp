@@ -1,95 +1,90 @@
-// A cache-coherence-shaped workload driven through the public API without
-// the built-in traffic generators: each "miss" issues a broadcast probe
-// (1-flit request to all nodes) and a randomly chosen owner answers with a
-// 5-flit data response -- the message pattern the paper's router was
-// designed for (Sec 3: request/response message classes avoid protocol
-// deadlock; broadcasts serve snoopy coherence).
+// A cache-coherence-shaped workload -- the message pattern the paper's
+// router was designed for (Sec 3: request/response message classes avoid
+// protocol deadlock; broadcasts serve snoopy coherence) -- expressed with
+// the first-class ClosedLoopSource instead of a hand-rolled loop outside
+// the simulator: each miss issues a broadcast probe, the (deterministic)
+// owner answers with a 5-flit cache-line response after a directory
+// lookup, and at most `--mshr` misses are outstanding per node.
+//
+// Because the workload is a TrafficSource, the standard harness measures
+// it: measure_workload reports miss latency and sustained transaction
+// throughput, and ExperimentRunner sweeps the MSHR window across cores
+// with bit-identical-to-serial results.
+//
+// Flags: --mshr N --issue-prob P --dir-latency N --warmup N --window N
+//        --threads N
 #include <cstdio>
 
-#include "common/rng.hpp"
-#include "noc/network.hpp"
-#include "sim/simulation.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "noc/experiment.hpp"
 
 using namespace noc;
+using noc::Table;
 
-int main() {
-  NetworkConfig cfg = NetworkConfig::proposed(4);
-  cfg.traffic.offered_flits_per_node_cycle = 0.0;  // we drive it ourselves
-  Network net(cfg);
-  Simulation sim(net);
-  MeshGeometry geom(4);
-  Xoshiro256 rng(2026);
-
-  const double miss_rate_per_node = 0.01;  // probes per node per cycle
-  PacketId next_id = 1;
-  int probes = 0, responses = 0;
-
-  // Closed-ish loop: on each cycle nodes may issue a probe; two cycles
-  // later (directory lookup) the owner injects the data response.
-  struct PendingResponse {
-    Cycle due;
-    NodeId owner;
-    NodeId requester;
-  };
-  std::vector<PendingResponse> pending;
-
-  for (Cycle t = 0; t < 20000; ++t) {
-    for (NodeId n = 0; n < geom.num_nodes(); ++n) {
-      if (rng.bernoulli(miss_rate_per_node)) {
-        Packet probe;
-        probe.id = next_id++;
-        probe.src = n;
-        probe.dest_mask = geom.all_nodes_mask();  // snoop everyone
-        probe.mc = MsgClass::Request;
-        probe.length = kRequestPacketLen;
-        probe.gen_cycle = t;
-        net.nic(n).submit_packet(probe);
-        ++probes;
-        NodeId owner;
-        do {
-          owner = static_cast<NodeId>(rng.next_below(geom.num_nodes()));
-        } while (owner == n);
-        pending.push_back({t + 2, owner, n});
-      }
-    }
-    // Owners answer with cache-line data.
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (it->due <= t) {
-        Packet data;
-        data.id = next_id++;
-        data.src = it->owner;
-        data.dest_mask = MeshGeometry::node_mask(it->requester);
-        data.mc = MsgClass::Response;
-        data.length = kResponsePacketLen;
-        data.gen_cycle = t;
-        net.nic(it->owner).submit_packet(data);
-        ++responses;
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    if (t == 2000) net.metrics().begin_window(t);
-    net.step(t);
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.help()) {
+    std::printf(
+        "usage: %s [--mshr N] [--issue-prob P] [--dir-latency N]\n"
+        "          [--warmup N] [--window N] [--threads N]\n",
+        argv[0]);
+    return 0;
   }
-  net.metrics().end_window(20000);
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = static_cast<int>(args.get_int("mshr", 4));
+  // Default models a compute-bound core: a miss every ~50 cycles per node.
+  cfg.workload.closed.issue_prob = args.get_double("issue-prob", 0.02);
+  cfg.workload.closed.directory_latency = args.get_int("dir-latency", 2);
+  // Reject out-of-contract knobs with a message, not an assert abort.
+  if (const char* err = cfg.workload.closed.validate()) {
+    std::fprintf(stderr, "%s\n", err);
+    return 1;
+  }
+  const MeasureOptions opt =
+      cli_measure_options(args, {.warmup = 2000, .window = 18000});
+  const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  if (!args.check_unused()) return 1;
 
-  const Metrics& m = net.metrics();
+  const double nodes = cfg.k * cfg.k;
+  const PointResult r = measure_workload(cfg, opt);
+
   std::printf("== coherence workload on the proposed 4x4 NoC ==\n");
-  std::printf("probes issued            : %d (broadcast, 1 flit)\n", probes);
-  std::printf("data responses           : %d (unicast, 5 flits)\n", responses);
-  std::printf("probe latency (to last)  : %.2f cycles\n",
-              m.latency_stat(PacketKind::Broadcast).mean());
-  std::printf("data latency             : %.2f cycles\n",
-              m.latency_stat(PacketKind::UnicastResponse).mean());
-  std::printf("received throughput      : %.1f Gb/s\n",
-              m.received_flits_per_cycle() * 64.0);
-  std::printf("bypass rate              : %.1f%%\n",
-              100.0 * net.energy().bypass_rate());
+  std::printf("MSHR window              : %d outstanding misses/node\n",
+              r.closed_loop_window);
+  std::printf("miss transactions        : %lld completed in %lld cycles\n",
+              static_cast<long long>(r.transactions),
+              static_cast<long long>(opt.window));
+  std::printf("miss latency (probe->data): %.2f cycles avg, %.0f max\n",
+              r.avg_transaction_latency, r.max_transaction_latency);
+  std::printf("sustained miss rate      : %.4f misses/node/cycle\n",
+              r.transactions_per_cycle / nodes);
+  std::printf("received throughput      : %.1f Gb/s\n", r.recv_gbps);
+  std::printf("bypass rate              : %.1f%%\n", 100.0 * r.bypass_rate);
+
+  // The closed-loop analogue of a latency-throughput curve: saturate the
+  // window (issue_prob = 1) and sweep its size. All points run in parallel.
+  NetworkConfig sat = cfg;
+  sat.workload.closed.issue_prob = 1.0;
+  const std::vector<int> windows = {1, 2, 4, 8};
+  const auto curve = runner.window_sweep(sat, windows);
+
+  std::printf("\n");
+  Table t("Saturating closed loop vs MSHR window (issue_prob = 1)");
+  t.set_columns({"Window", "Misses/node/cyc", "Miss latency (cyc)",
+                 "Network lat (cyc)", "Recv (Gb/s)"});
+  for (const PointResult& p : curve)
+    t.add_row({Table::fmt_int(p.closed_loop_window),
+               Table::fmt(p.transactions_per_cycle / nodes, 4),
+               Table::fmt(p.avg_transaction_latency, 1),
+               Table::fmt(p.avg_latency, 1), Table::fmt(p.recv_gbps, 0)});
+  t.print();
+
   std::printf(
-      "\nA miss costs probe + data = %.1f cycles of network time on average --\n"
-      "the single-cycle broadcast tree is what keeps the probe leg flat.\n",
-      m.latency_stat(PacketKind::Broadcast).mean() +
-          m.latency_stat(PacketKind::UnicastResponse).mean());
+      "\nA miss costs probe + directory + data response end to end -- the\n"
+      "single-cycle broadcast tree keeps the probe leg flat, so miss latency\n"
+      "tracks the 5-flit response serialization until the window saturates\n"
+      "the ejection links.\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 // ExperimentRunner; results are bit-identical to running them one by one.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
 #include "theory/mesh_limits.hpp"
@@ -13,9 +14,17 @@
 using namespace noc;
 using noc::Table;
 
-int main() {
-  const MeasureOptions opt{.warmup = 1500, .window = 6000};
-  const ExperimentRunner runner{ExperimentOptions{.measure = opt}};
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.help()) {
+    std::printf("usage: %s [--warmup N] [--window N] [--threads N]\n",
+                argv[0]);
+    return 0;
+  }
+  const MeasureOptions opt =
+      cli_measure_options(args, {.warmup = 1500, .window = 6000});
+  const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  if (!args.check_unused()) return 1;
 
   // 1. Mesh radix sweep: how the proposed router scales past the chip.
   Table k_sweep("Mesh radix sweep, uniform 1-flit requests");

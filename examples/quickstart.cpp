@@ -1,7 +1,11 @@
 // Quickstart: build the paper's 16-node mesh, run mixed traffic, print the
 // headline latency/throughput/energy numbers. Start here.
+//
+// Flags: --pattern NAME (e.g. uniform, mixed, broadcast, transpose)
+//        --load R (flits/node/cycle)
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "noc/experiment.hpp"
 #include "power/energy_model.hpp"
 #include "power/tech_params.hpp"
@@ -9,12 +13,26 @@
 
 using namespace noc;
 
-int main() {
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.help()) {
+    std::printf("usage: %s [--pattern NAME] [--load R]\n", argv[0]);
+    return 0;
+  }
   // 1. Configure the fabricated design: 4x4 mesh, single-cycle virtual
   //    bypassing, router-level multicast, 4x1 REQ + 2x3 RESP VCs.
   NetworkConfig cfg = NetworkConfig::proposed(4);
   cfg.traffic.pattern = TrafficPattern::MixedPaper;  // Fig 5's traffic
-  cfg.traffic.offered_flits_per_node_cycle = 0.10;
+  cfg.traffic.offered_flits_per_node_cycle = args.get_double("load", 0.10);
+  if (const std::string p = args.get_str("pattern", ""); !p.empty()) {
+    const auto parsed = parse_traffic_pattern(p);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown traffic pattern: %s\n", p.c_str());
+      return 1;
+    }
+    cfg.traffic.pattern = *parsed;
+  }
+  if (!args.check_unused()) return 1;
 
   // 2. Run it: warm up, then measure for 10k cycles.
   Network net(cfg);
@@ -26,7 +44,9 @@ int main() {
 
   // 3. Read the results.
   const Metrics& m = net.metrics();
-  std::printf("== quickstart: proposed 4x4 NoC, mixed traffic @ 0.10 flits/node/cycle ==\n");
+  std::printf("== quickstart: proposed 4x4 NoC, %s traffic @ %.2f flits/node/cycle ==\n",
+              traffic_pattern_name(cfg.traffic.pattern),
+              cfg.traffic.offered_flits_per_node_cycle);
   std::printf("packets completed        : %lld\n",
               static_cast<long long>(m.completed_packets()));
   std::printf("avg packet latency       : %.2f cycles (theory limit %.2f)\n",

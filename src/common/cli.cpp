@@ -1,0 +1,116 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace noc {
+
+namespace {
+std::string strip_dashes(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size() && s[i] == '-') ++i;
+  return s.substr(i);
+}
+
+// Anything dash-prefixed that is not a negative number counts as a flag,
+// single or double dash -- so `-threads 8` registers (and fails the
+// unused-flag guard as a typo) instead of vanishing as a positional.
+bool looks_like_flag(const std::string& s) {
+  return s.size() >= 2 && s[0] == '-' && !(s[1] >= '0' && s[1] <= '9') &&
+         s[1] != '.';
+}
+}  // namespace
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (!looks_like_flag(arg)) continue;  // positional args are ignored
+    Flag f;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      f.name = strip_dashes(arg.substr(0, eq));
+      f.value = arg.substr(eq + 1);
+    } else {
+      f.name = strip_dashes(arg);
+      // `--flag value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && !looks_like_flag(argv[i + 1]))
+        f.value = argv[++i];
+    }
+    flags_.push_back(std::move(f));
+  }
+}
+
+const CliArgs::Flag* CliArgs::find(const std::string& flag) const {
+  const std::string name = strip_dashes(flag);
+  // Mark every occurrence used (a repeated flag is not a typo) and let the
+  // last one win, the usual command-line convention.
+  const Flag* hit = nullptr;
+  for (const Flag& f : flags_) {
+    if (f.name == name) {
+      f.used = true;
+      hit = &f;
+    }
+  }
+  return hit;
+}
+
+bool CliArgs::has(const std::string& flag) const {
+  return find(flag) != nullptr;
+}
+
+namespace {
+// A malformed numeric value must stop the run, not silently truncate
+// ("--window 12o00" -> 12) past the typo guard. These helpers back a
+// convenience CLI for benches/examples, so exiting here is fine.
+[[noreturn]] void bad_value(const std::string& flag,
+                            const std::string& value) {
+  std::fprintf(stderr, "invalid value for --%s: '%s'\n", flag.c_str(),
+               value.c_str());
+  std::exit(1);
+}
+}  // namespace
+
+int64_t CliArgs::get_int(const std::string& flag, int64_t dflt) const {
+  const Flag* f = find(flag);
+  if (f == nullptr) return dflt;
+  // A numeric flag given without a value ("--window" or "--window --next")
+  // is the same silent-misconfiguration class as a malformed value.
+  if (f->value.empty()) bad_value(f->name, f->value);
+  char* end = nullptr;
+  const int64_t v = std::strtoll(f->value.c_str(), &end, 10);
+  if (end == f->value.c_str() || *end != '\0') bad_value(f->name, f->value);
+  return v;
+}
+
+double CliArgs::get_double(const std::string& flag, double dflt) const {
+  const Flag* f = find(flag);
+  if (f == nullptr) return dflt;
+  if (f->value.empty()) bad_value(f->name, f->value);
+  char* end = nullptr;
+  const double v = std::strtod(f->value.c_str(), &end);
+  if (end == f->value.c_str() || *end != '\0') bad_value(f->name, f->value);
+  return v;
+}
+
+std::string CliArgs::get_str(const std::string& flag,
+                             const std::string& dflt) const {
+  const Flag* f = find(flag);
+  return f != nullptr && !f->value.empty() ? f->value : dflt;
+}
+
+bool CliArgs::check_unused() const {
+  bool clean = true;
+  for (const Flag& f : flags_) {
+    if (!f.used) {
+      std::fprintf(stderr, "unknown flag: --%s\n", f.name.c_str());
+      clean = false;
+    }
+  }
+  return clean;
+}
+
+}  // namespace noc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cli.hpp"
 #include "common/units.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -32,17 +33,22 @@ double deliveries_per_offered_flit(const NetworkConfig& cfg) {
 
 PointResult measure_point(NetworkConfig cfg, double offered,
                           const MeasureOptions& opt) {
-  cfg.traffic.offered_flits_per_node_cycle = offered;
+  // Only the open loop has an offered rate to set; closed-loop and trace
+  // workloads carry their own load knobs in the WorkloadSpec.
+  if (cfg.workload.kind == WorkloadKind::OpenLoop)
+    cfg.traffic.offered_flits_per_node_cycle = offered;
   Network net(cfg);
   Simulation sim(net);
   sim.run(opt.warmup);
-  net.metrics().begin_window(sim.now());
+  net.begin_measurement_window(sim.now());
   const EnergyCounters before = net.energy();
   sim.run(opt.window);
-  net.metrics().end_window(sim.now());
+  net.end_measurement_window(sim.now());
 
   PointResult r;
-  r.offered_fpc = offered;
+  // Offered rate only describes the open loop; other workloads report 0
+  // (their load lives in transactions / closed_loop_window).
+  r.offered_fpc = cfg.workload.kind == WorkloadKind::OpenLoop ? offered : 0.0;
   r.avg_latency = net.metrics().avg_packet_latency();
   r.recv_flits_per_cycle = net.metrics().received_flits_per_cycle();
   r.recv_gbps = flits_per_cycle_to_gbps(r.recv_flits_per_cycle);
@@ -51,7 +57,33 @@ PointResult measure_point(NetworkConfig cfg, double offered,
   r.max_bisection_load = net.metrics().max_bisection_link_load();
   r.energy = net.energy().delta_since(before);
   r.bypass_rate = r.energy.bypass_rate();
+
+  TrafficSource::WindowStats total;
+  for (NodeId n = 0; n < net.geom().num_nodes(); ++n) {
+    const auto s = net.source(n).window_stats();
+    total.transactions += s.transactions;
+    total.latency_sum += s.latency_sum;
+    total.latency_max = std::max(total.latency_max, s.latency_max);
+  }
+  r.transactions = total.transactions;
+  r.avg_transaction_latency =
+      total.transactions > 0
+          ? total.latency_sum / static_cast<double>(total.transactions)
+          : 0.0;
+  r.max_transaction_latency = total.latency_max;
+  r.transactions_per_cycle =
+      opt.window > 0
+          ? static_cast<double>(total.transactions) /
+                static_cast<double>(opt.window)
+          : 0.0;
+  if (cfg.workload.kind == WorkloadKind::ClosedLoop)
+    r.closed_loop_window = cfg.workload.closed.window;
   return r;
+}
+
+PointResult measure_workload(const NetworkConfig& cfg,
+                             const MeasureOptions& opt) {
+  return measure_point(cfg, cfg.traffic.offered_flits_per_node_cycle, opt);
 }
 
 double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt) {
@@ -62,6 +94,9 @@ double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt) {
 }
 
 SaturationResult find_saturation(NetworkConfig cfg, const MeasureOptions& opt) {
+  // Offered load is the search variable: only the open loop has one.
+  // Closed-loop workloads sweep their window instead (window_sweep).
+  NOC_EXPECTS(cfg.workload.kind == WorkloadKind::OpenLoop);
   SaturationResult res;
   res.zero_load_latency = zero_load_latency(cfg, opt);
   const double threshold = 3.0 * res.zero_load_latency;
@@ -113,6 +148,7 @@ SaturationResult find_saturation(NetworkConfig cfg, const MeasureOptions& opt) {
 std::vector<PointResult> sweep_curve(NetworkConfig cfg,
                                      const std::vector<double>& offered,
                                      const MeasureOptions& opt) {
+  NOC_EXPECTS(cfg.workload.kind == WorkloadKind::OpenLoop);
   std::vector<PointResult> out;
   out.reserve(offered.size());
   for (double r : offered) out.push_back(measure_point(cfg, r, opt));
@@ -138,6 +174,7 @@ std::vector<PointResult> ExperimentRunner::run(
 
 std::vector<PointResult> ExperimentRunner::sweep(
     const NetworkConfig& cfg, const std::vector<double>& offered) const {
+  NOC_EXPECTS(cfg.workload.kind == WorkloadKind::OpenLoop);
   std::vector<SweepPoint> pts;
   pts.reserve(offered.size());
   for (double r : offered) pts.push_back(SweepPoint{cfg, r});
@@ -147,6 +184,8 @@ std::vector<PointResult> ExperimentRunner::sweep(
 std::vector<std::vector<PointResult>> ExperimentRunner::sweep_all(
     const std::vector<NetworkConfig>& cfgs,
     const std::vector<double>& offered) const {
+  for (const auto& cfg : cfgs)
+    NOC_EXPECTS(cfg.workload.kind == WorkloadKind::OpenLoop);
   std::vector<SweepPoint> pts;
   pts.reserve(cfgs.size() * offered.size());
   for (const auto& cfg : cfgs)
@@ -167,6 +206,35 @@ std::vector<SaturationResult> ExperimentRunner::find_saturations(
     out[idx] = find_saturation(cfgs[idx], opt_.measure);
   });
   return out;
+}
+
+std::vector<PointResult> ExperimentRunner::window_sweep(
+    const NetworkConfig& cfg, const std::vector<int>& windows) const {
+  NOC_EXPECTS(cfg.workload.kind == WorkloadKind::ClosedLoop);
+  std::vector<SweepPoint> pts;
+  pts.reserve(windows.size());
+  for (int w : windows) {
+    SweepPoint p{cfg, 0.0};
+    p.cfg.workload.closed.window = w;
+    pts.push_back(std::move(p));
+  }
+  return run(pts);
+}
+
+MeasureOptions cli_measure_options(const CliArgs& args,
+                                   const MeasureOptions& defaults) {
+  MeasureOptions opt;
+  opt.warmup = args.get_int("warmup", defaults.warmup);
+  opt.window = args.get_int("window", defaults.window);
+  return opt;
+}
+
+ExperimentOptions cli_experiment_options(const CliArgs& args,
+                                         const MeasureOptions& defaults) {
+  ExperimentOptions opt;
+  opt.measure = cli_measure_options(args, defaults);
+  opt.threads = static_cast<int>(args.get_int("threads", 0));
+  return opt;
 }
 
 }  // namespace noc

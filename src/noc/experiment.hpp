@@ -8,6 +8,14 @@
 // definition (Sec 4.1 footnote): the injection rate at which average packet
 // latency reaches 3x the no-load latency.
 //
+// Workloads beyond open loop (closed-loop coherence, trace replay; see
+// noc/workload.hpp) are measured with the same machinery: measure_workload
+// runs whatever WorkloadSpec the config carries and additionally reports
+// transaction-level results (completed transactions, miss latency,
+// sustained transactions/cycle at the configured window).
+// ExperimentRunner::window_sweep is the closed-loop analogue of an
+// offered-load sweep: one independent point per MSHR window size.
+//
 // ExperimentRunner fans independent sweep points across worker threads.
 // Every point owns its complete simulation state -- a Network, a Simulation
 // clock, and per-NIC RNG streams derived deterministically from the point's
@@ -36,11 +44,27 @@ struct PointResult {
   double max_ejection_load = 0;
   double max_bisection_load = 0;
   EnergyCounters energy;        // window-scoped event counts
+
+  // Transaction-level results (zero for pure open-loop points). For
+  // closed-loop workloads: completed miss transactions and probe-to-response
+  // latency; for trace replay: records injected inside the window.
+  int64_t transactions = 0;
+  double avg_transaction_latency = 0;  // cycles, probe issue -> response tail
+  double max_transaction_latency = 0;
+  double transactions_per_cycle = 0;   // aggregate over all nodes
+  int closed_loop_window = 0;          // MSHR window this point ran at
 };
 
-/// Run one point at `offered` flits/node/cycle.
+/// Run one point at `offered` flits/node/cycle. For non-open-loop
+/// workloads the offered load is ignored (the workload's own knobs --
+/// window, issue probability, trace -- set the load); use measure_workload.
 PointResult measure_point(NetworkConfig cfg, double offered,
                           const MeasureOptions& opt = {});
+
+/// Measure whatever workload `cfg` carries (open-loop at its configured
+/// offered load, closed-loop at its window, trace replay).
+PointResult measure_workload(const NetworkConfig& cfg,
+                             const MeasureOptions& opt = {});
 
 /// Latency at (near) zero load.
 double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt = {});
@@ -112,8 +136,27 @@ class ExperimentRunner {
   std::vector<SaturationResult> find_saturations(
       const std::vector<NetworkConfig>& cfgs) const;
 
+  /// Closed-loop latency/throughput curve: one independent point per MSHR
+  /// window size (cfg.workload.kind must be ClosedLoop). The closed-loop
+  /// analogue of sweep(): results align index-for-index with `windows` and
+  /// are bit-identical at any thread count.
+  std::vector<PointResult> window_sweep(const NetworkConfig& cfg,
+                                        const std::vector<int>& windows) const;
+
  private:
   ExperimentOptions opt_;
 };
+
+// ---------------------------------------------------------------------------
+// Command-line conventions shared by benches/examples (common/cli.hpp):
+//   --warmup N --window N   measurement phases (cycles)
+//   --threads N             sweep workers (0 = all hardware threads)
+
+class CliArgs;
+
+MeasureOptions cli_measure_options(const CliArgs& args,
+                                   const MeasureOptions& defaults);
+ExperimentOptions cli_experiment_options(const CliArgs& args,
+                                         const MeasureOptions& defaults);
 
 }  // namespace noc

@@ -45,6 +45,11 @@ struct Flit {
   DestMask branch_mask = 0;
   MsgClass mc = MsgClass::Request;
   FlitType type = FlitType::HeadTail;
+  /// Workload-level correlation tag carried end-to-end (the hardware encodes
+  /// this in head-flit transaction-id fields). Closed-loop sources stamp a
+  /// probe's id here and echo it in the response so the requester can match
+  /// a delivery to the outstanding miss it completes. 0 = untagged.
+  uint64_t tag = 0;
   /// Position within the packet: 0 .. packet_len-1.
   int seq = 0;
   int packet_len = 1;

@@ -47,12 +47,22 @@ Network::Network(const NetworkConfig& cfg)
     : cfg_(cfg), geom_(cfg.k), metrics_(geom_) {
   const int n = geom_.num_nodes();
   routers_.reserve(static_cast<size_t>(n));
+  sources_.reserve(static_cast<size_t>(n));
   nics_.reserve(static_cast<size_t>(n));
+  // Resolve a file-backed trace once for all nodes.
+  std::shared_ptr<const Trace> trace;
+  if (cfg.workload.kind == WorkloadKind::Trace) {
+    trace = resolve_trace(cfg.workload.trace);
+    NOC_EXPECTS(trace != nullptr);
+  }
   for (NodeId node = 0; node < n; ++node) {
     routers_.push_back(std::make_unique<Router>(node, geom_, cfg.router,
                                                 &energy_, &metrics_));
-    nics_.push_back(std::make_unique<Nic>(node, geom_, cfg.router, cfg.traffic,
-                                          &energy_, &metrics_));
+    sources_.push_back(
+        make_traffic_source(geom_, cfg.traffic, cfg.workload, node, trace));
+    nics_.push_back(std::make_unique<Nic>(node, geom_, cfg.router,
+                                          sources_.back().get(), &energy_,
+                                          &metrics_));
   }
 
   const bool bypass = cfg.router.has_bypass();
@@ -132,12 +142,28 @@ void Network::step(Cycle now) {
   ++energy_.cycles;
 }
 
+void Network::record_trace(Trace* out) {
+  for (auto& nic : nics_) nic->set_trace_recorder(out);
+}
+
+void Network::begin_measurement_window(Cycle now) {
+  metrics_.begin_window(now);
+  for (auto& src : sources_) src->begin_window(now);
+}
+
+void Network::end_measurement_window(Cycle now) {
+  metrics_.end_window(now);
+  for (auto& src : sources_) src->end_window(now);
+}
+
 bool Network::quiescent() const {
   if (metrics_.open_packets() != 0) return false;
   for (const auto& r : routers_)
     if (!r->idle()) return false;
   for (const auto& nic : nics_)
     if (!nic->idle()) return false;
+  for (const auto& src : sources_)
+    if (!src->idle()) return false;
   for (const auto& ch : flit_channels_)
     if (!ch->idle()) return false;
   return true;

@@ -16,6 +16,7 @@
 #include "noc/nic.hpp"
 #include "noc/router.hpp"
 #include "noc/traffic.hpp"
+#include "noc/workload.hpp"
 #include "sim/simulation.hpp"
 
 namespace noc {
@@ -24,6 +25,10 @@ struct NetworkConfig {
   int k = 4;
   RouterConfig router;
   TrafficConfig traffic;
+  /// Which TrafficSource family drives the NICs (docs/WORKLOADS.md). The
+  /// default open loop reads `traffic` unchanged, so existing configs keep
+  /// their exact behaviour.
+  WorkloadSpec workload;
 
   /// The paper's four measured configurations (Fig 5/6/13).
   static NetworkConfig proposed(int k = 4);          // D: bypass + multicast
@@ -45,8 +50,22 @@ class Network : public Steppable {
   EnergyCounters& energy() { return energy_; }
   Router& router(NodeId n) { return *routers_[static_cast<size_t>(n)]; }
   Nic& nic(NodeId n) { return *nics_[static_cast<size_t>(n)]; }
+  TrafficSource& source(NodeId n) { return *sources_[static_cast<size_t>(n)]; }
 
-  /// True when no packet is anywhere in flight.
+  /// Capture every logical packet submitted at any NIC into `out`
+  /// (replayable through WorkloadKind::Trace). Pass nullptr to stop.
+  void record_trace(Trace* out);
+
+  /// Open the metrics window and reset every source's per-window stats
+  /// (transaction counts / latencies); close it again with
+  /// end_measurement_window. Sweeps use these instead of driving
+  /// metrics().begin_window directly so closed-loop statistics stay
+  /// window-scoped.
+  void begin_measurement_window(Cycle now);
+  void end_measurement_window(Cycle now);
+
+  /// True when no packet is anywhere in flight and no source holds pending
+  /// work (outstanding closed-loop misses, unreplayed trace records).
   bool quiescent() const;
 
  private:
@@ -63,6 +82,7 @@ class Network : public Steppable {
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
   std::vector<std::unique_ptr<Channel<Lookahead>>> la_channels_;
   std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::vector<std::unique_ptr<Nic>> nics_;
 };
 

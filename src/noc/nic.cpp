@@ -2,19 +2,21 @@
 
 #include <bit>
 
+#include "noc/workload.hpp"
+
 namespace noc {
 
 Nic::Nic(NodeId node, const MeshGeometry& geom, const RouterConfig& router_cfg,
-         const TrafficConfig& traffic_cfg, EnergyCounters* energy,
-         Metrics* metrics)
+         TrafficSource* source, EnergyCounters* energy, Metrics* metrics)
     : node_(node),
       geom_(geom),
       router_cfg_(router_cfg),
       energy_(energy),
       metrics_(metrics),
-      gen_(geom, traffic_cfg, node),
+      source_(source),
       rx_vcs_(static_cast<size_t>(router_cfg.vc.total_vcs())),
       rx_rr_(router_cfg.vc.total_vcs()) {
+  NOC_EXPECTS(source_ != nullptr);
   ds_.configure(router_cfg.vc);
   // Pre-size the packet queues past any below-saturation high-water mark
   // (NIC broadcast duplication bursts k^2-1 copies at once), so steady-state
@@ -43,6 +45,9 @@ void Nic::enqueue_for_send(Packet pkt) {
 void Nic::submit_packet(Packet pkt) {
   NOC_EXPECTS(pkt.src == node_);
   NOC_EXPECTS(pkt.dest_mask != 0);
+  if (trace_out_ != nullptr)
+    trace_out_->records.push_back(
+        {pkt.gen_cycle, node_, pkt.dest_mask, pkt.length, pkt.mc});
   account_new_packet(pkt, pkt.gen_cycle);
 
   const bool is_multicast = std::popcount(pkt.dest_mask) > 1;
@@ -58,6 +63,7 @@ void Nic::submit_packet(Packet pkt) {
       f.dest_mask = self_bit;
       f.branch_mask = self_bit;
       f.mc = pkt.mc;
+      f.tag = pkt.tag;
       f.packet_len = pkt.length;
       f.gen_cycle = pkt.gen_cycle;
       for (int s = 0; s < pkt.length; ++s) {
@@ -67,6 +73,7 @@ void Nic::submit_packet(Packet pkt) {
                  : s == pkt.length - 1 ? FlitType::Tail
                                        : FlitType::Body;
         if (metrics_) metrics_->on_flit_received(f.logical_id, f, pkt.gen_cycle);
+        source_->on_delivery(f, pkt.gen_cycle);
       }
     }
     uint64_t copy_idx = 0;
@@ -96,7 +103,7 @@ bool Nic::try_activate(MsgClass mc) {
   Packet pkt = queue_[m].pop_front();
   uint64_t payloads[kMaxPacketFlits];
   NOC_ASSERT(pkt.length <= kMaxPacketFlits);
-  for (int i = 0; i < pkt.length; ++i) payloads[i] = gen_.next_payload();
+  for (int i = 0; i < pkt.length; ++i) payloads[i] = source_->next_payload();
   ActiveTx tx;
   segment_packet_into(pkt, payloads, pkt.length, tx.flits);
   tx.vc = vc;
@@ -141,7 +148,7 @@ void Nic::tick_inject(Cycle now) {
   }
 
   // Traffic generation.
-  if (auto pkt = gen_.generate(now)) submit_packet(std::move(*pkt));
+  if (auto pkt = source_->generate(now)) submit_packet(std::move(*pkt));
 
   // Send at most one flit (64b link). Round-robin across message classes.
   uint32_t sendable = 0;
@@ -185,6 +192,7 @@ void Nic::tick_eject(Cycle now) {
     ch_.credit_to_router->send(now, c);
   }
   if (metrics_) metrics_->on_flit_received(f.logical_id, f, now);
+  source_->on_delivery(f, now);
 }
 
 bool Nic::idle() const {

@@ -2,7 +2,10 @@
 // Network Interface Controller (paper Sec 2.1/3): packetizes and injects
 // traffic into its router's Local input port and drains ejected flits.
 //
-// Injection side: per-message-class packet queues, VC allocation against the
+// Injection side: the NIC drives an abstract TrafficSource (open-loop
+// generator, closed-loop coherence engine, or trace replayer -- see
+// docs/WORKLOADS.md), asking it for at most one logical packet per cycle.
+// Packets go through per-message-class queues, VC allocation against the
 // router's Local input port (credit-based), one flit per cycle on the 64b
 // NIC->router link. In Proposed mode the NIC also raises the lookahead for
 // each flit so injected flits can bypass the first router; the lookahead
@@ -15,7 +18,9 @@
 //
 // Ejection side: flits arrive from the router's Local output into small
 // per-VC buffers and drain at 1 flit/cycle -- the ejection bandwidth that
-// bounds broadcast throughput in Table 1.
+// bounds broadcast throughput in Table 1. Every drained flit is reported
+// back to the TrafficSource so closed-loop workloads can react to
+// deliveries.
 
 #include <optional>
 #include <vector>
@@ -30,6 +35,8 @@
 
 namespace noc {
 
+struct Trace;  // noc/workload.hpp
+
 class Nic {
  public:
   struct Channels {
@@ -40,9 +47,9 @@ class Nic {
     Channel<Credit>* credit_to_router = nullptr;
   };
 
+  /// `source` must outlive the NIC (the Network owns both).
   Nic(NodeId node, const MeshGeometry& geom, const RouterConfig& router_cfg,
-      const TrafficConfig& traffic_cfg, EnergyCounters* energy,
-      Metrics* metrics);
+      TrafficSource* source, EnergyCounters* energy, Metrics* metrics);
 
   void connect(const Channels& ch) { ch_ = ch; }
 
@@ -55,9 +62,15 @@ class Nic {
   /// network directly through this).
   void submit_packet(Packet pkt);
 
+  /// When set, every logical packet submitted at this NIC is appended to
+  /// `out` as a TraceRecord (see Network::record_trace). Recording is off
+  /// the steady-state no-allocation path.
+  void set_trace_recorder(Trace* out) { trace_out_ = out; }
+
   bool idle() const;
   NodeId node() const { return node_; }
-  TrafficGenerator& traffic() { return gen_; }
+  TrafficSource& source() { return *source_; }
+  const TrafficSource& source() const { return *source_; }
 
  private:
   struct ActiveTx {
@@ -79,7 +92,8 @@ class Nic {
   RouterConfig router_cfg_;
   EnergyCounters* energy_;
   Metrics* metrics_;
-  TrafficGenerator gen_;
+  TrafficSource* source_;
+  Trace* trace_out_ = nullptr;
   Channels ch_;
 
   DownstreamState ds_;  // router Local input port credits / free VCs

@@ -17,6 +17,7 @@ void segment_packet_into(const Packet& p, const uint64_t* payloads,
     f.dest_mask = p.dest_mask;
     f.branch_mask = p.dest_mask;
     f.mc = p.mc;
+    f.tag = p.tag;
     f.seq = i;
     f.packet_len = p.length;
     f.gen_cycle = p.gen_cycle;

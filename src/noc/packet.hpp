@@ -21,9 +21,19 @@ struct Packet {
   /// logical broadcast this copy belongs to, used so latency is measured to
   /// the LAST delivered copy. 0 when the packet is its own logical packet.
   PacketId logical_id = 0;
+  /// Workload correlation tag copied into every flit (see Flit::tag).
+  uint64_t tag = 0;
 
   PacketId effective_logical_id() const { return logical_id ? logical_id : id; }
 };
+
+/// Globally-unique packet ids from (node, per-node counter): the node sits
+/// in the high bits so sources on different nodes can never collide, and
+/// ids are always non-zero -- which Flit::tag relies on as its untagged
+/// sentinel. Every TrafficSource family allocates ids through this.
+inline PacketId make_packet_id(NodeId node, uint64_t& next_local_id) {
+  return ((static_cast<PacketId>(node) + 1) << 40) | next_local_id++;
+}
 
 /// Paper packet sizes (Fig 2 table): 1-flit requests, 5-flit responses.
 constexpr int kRequestPacketLen = 1;

@@ -19,22 +19,37 @@ const char* traffic_pattern_name(TrafficPattern p) {
   return "?";
 }
 
+std::optional<TrafficPattern> parse_traffic_pattern(std::string_view name) {
+  constexpr TrafficPattern kAll[] = {
+      TrafficPattern::UniformRequest, TrafficPattern::MixedPaper,
+      TrafficPattern::BroadcastOnly,  TrafficPattern::Transpose,
+      TrafficPattern::BitComplement,  TrafficPattern::Tornado,
+      TrafficPattern::NearestNeighbor,
+  };
+  for (TrafficPattern p : kAll)
+    if (name == traffic_pattern_name(p)) return p;
+  // Short command-line aliases.
+  if (name == "uniform") return TrafficPattern::UniformRequest;
+  if (name == "mixed") return TrafficPattern::MixedPaper;
+  if (name == "broadcast") return TrafficPattern::BroadcastOnly;
+  if (name == "bitcomp") return TrafficPattern::BitComplement;
+  if (name == "neighbor") return TrafficPattern::NearestNeighbor;
+  return std::nullopt;
+}
+
 TrafficGenerator::TrafficGenerator(const MeshGeometry& geom,
                                    const TrafficConfig& cfg, NodeId node)
     : geom_(geom),
       cfg_(cfg),
       node_(node),
+      rate_(cfg.offered_flits_per_node_cycle),
       // Identical seeds across NICs reproduce the chip's synchronized-PRBS
       // artifact; otherwise each NIC gets an independent stream.
-      rng_(cfg.identical_prbs
-               ? cfg.seed
-               : cfg.seed ^ SplitMix64(static_cast<uint64_t>(node) + 1).next()),
+      rng_(cfg.identical_prbs ? cfg.seed : node_rng_seed(cfg.seed, node)),
       payload_prbs_(Prbs::Poly::PRBS31,
                     cfg.identical_prbs
                         ? static_cast<uint32_t>(cfg.seed | 1)
-                        : static_cast<uint32_t>((cfg.seed + 77u) *
-                                                (static_cast<uint32_t>(node) + 13u)) |
-                              1u) {
+                        : node_prbs_seed(cfg.seed, node)) {
   NOC_EXPECTS(cfg.offered_flits_per_node_cycle >= 0.0);
 }
 
@@ -77,8 +92,7 @@ uint64_t TrafficGenerator::next_payload() { return payload_prbs_.next_bits(64); 
 std::optional<Packet> TrafficGenerator::generate(Cycle now) {
   // At most one packet decision per cycle: offered loads beyond the source
   // capacity simply pin the injection process at saturation.
-  const double p_packet = std::min(
-      1.0, cfg_.offered_flits_per_node_cycle / avg_flits_per_packet());
+  const double p_packet = std::min(1.0, rate_ / avg_flits_per_packet());
   if (cfg_.identical_prbs) {
     // Fixed-interval deterministic injection, phase-aligned across all
     // NICs: the chip's identical free-running generators made every NIC
@@ -94,7 +108,7 @@ std::optional<Packet> TrafficGenerator::generate(Cycle now) {
   Packet pkt;
   pkt.src = node_;
   pkt.gen_cycle = now;
-  pkt.id = ((static_cast<PacketId>(node_) + 1) << 40) | next_local_id_++;
+  pkt.id = make_packet_id(node_, next_local_id_);
   pkt.mc = MsgClass::Request;
   pkt.length = kRequestPacketLen;
 

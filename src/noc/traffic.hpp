@@ -1,8 +1,19 @@
 #pragma once
 // Traffic generation (paper Sec 2.2 / 4.1).
 //
-// Each NIC injects packets according to a Bernoulli process of rate R.
-// Patterns:
+// The workload API is built around the abstract TrafficSource: one source
+// per NIC, driven once per cycle for injection and notified of every flit
+// drained at its node, so workloads can close the loop on deliveries (see
+// docs/WORKLOADS.md for the full contract). Three families implement it:
+//
+//  - OpenLoopSource (this header): Bernoulli injection of the classic
+//    synthetic patterns below, wrapping TrafficGenerator unchanged.
+//  - ClosedLoopSource (noc/workload.hpp): coherence-shaped miss/probe/
+//    response traffic with a bounded MSHR-style outstanding window.
+//  - TraceSource (noc/workload.hpp): replay of recorded (cycle, src,
+//    dest_mask, flits, class) records.
+//
+// Open-loop patterns:
 //  - UniformRequest : 1-flit requests to a uniform random other node.
 //  - MixedPaper     : the paper's Fig 5 mix -- 50% broadcast requests,
 //                     25% unicast requests, 25% unicast 5-flit responses.
@@ -16,6 +27,7 @@
 // bypassing at low loads on silicon.
 
 #include <optional>
+#include <string_view>
 
 #include "common/prbs.hpp"
 #include "common/rng.hpp"
@@ -36,6 +48,22 @@ enum class TrafficPattern {
 
 const char* traffic_pattern_name(TrafficPattern p);
 
+/// Inverse of traffic_pattern_name. Also accepts the short aliases used on
+/// bench/example command lines ("uniform", "mixed", "broadcast", ...).
+std::optional<TrafficPattern> parse_traffic_pattern(std::string_view name);
+
+/// Shared (seed, node) stream derivations: every TrafficSource family draws
+/// its RNG and payload-PRBS streams through these, so per-node streams stay
+/// independent but reproducible -- and equivalent across source families.
+inline uint64_t node_rng_seed(uint64_t seed, NodeId node) {
+  return seed ^ SplitMix64(static_cast<uint64_t>(node) + 1).next();
+}
+inline uint32_t node_prbs_seed(uint64_t seed, NodeId node) {
+  return static_cast<uint32_t>((seed + 77u) *
+                               (static_cast<uint32_t>(node) + 13u)) |
+         1u;
+}
+
 struct TrafficConfig {
   TrafficPattern pattern = TrafficPattern::MixedPaper;
   /// Offered load in *logical* flits per node per cycle (a broadcast packet
@@ -51,6 +79,65 @@ struct TrafficConfig {
   double frac_broadcast_request = 0.50;
   double frac_unicast_request = 0.25;
   double frac_unicast_response = 0.25;
+};
+
+/// Abstract per-node traffic source: the NIC's only view of the workload.
+///
+/// Contract (docs/WORKLOADS.md):
+///  - Determinism: a source's behaviour is a pure function of
+///    (config, seed, node) and the delivery events it observes, so
+///    simulations are bit-identical at any ExperimentRunner thread count.
+///  - Allocation: generate / on_delivery / next_payload must not touch the
+///    heap once the network is warmed up (pre-size state in the
+///    constructor; use the inline containers in src/common/).
+///  - generate() is called once per cycle before the routers tick and may
+///    emit at most one logical packet.
+///  - on_delivery() is called for every flit drained at this node's NIC
+///    (including locally-delivered broadcast self-copies), after the flit
+///    has been counted by Metrics.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Possibly emit one logical packet this cycle.
+  virtual std::optional<Packet> generate(Cycle now) = 0;
+
+  /// 64-bit payload word for the next injected flit (PRBS stream).
+  virtual uint64_t next_payload() = 0;
+
+  /// A flit addressed to this node was drained at the NIC.
+  virtual void on_delivery(const Flit& flit, Cycle now) {
+    (void)flit;
+    (void)now;
+  }
+
+  /// Change the injection rate mid-run. Open loop: offered flits per node
+  /// per cycle (0 stops injection; used to drain at the end of a run).
+  /// Closed loop: per-cycle probability of starting a new transaction when
+  /// the window has room (clamped to [0,1]). Trace sources ignore it.
+  virtual void set_rate(double rate) { (void)rate; }
+
+  /// True when the source holds no pending obligations (outstanding
+  /// transactions, scheduled responses, unreplayed records). Open-loop
+  /// sources are always idle: a Bernoulli process is memoryless.
+  virtual bool idle() const { return true; }
+
+  /// Reset per-window measurement state (start of the metrics window).
+  virtual void begin_window(Cycle now) { (void)now; }
+
+  /// Close the measurement window: window_stats freeze until the next
+  /// begin_window, mirroring Metrics' window scoping.
+  virtual void end_window(Cycle now) { (void)now; }
+
+  /// Transaction-level statistics accumulated since begin_window. Open-loop
+  /// sources report zeros; closed-loop sources report completed misses and
+  /// their latencies; trace sources report replayed records.
+  struct WindowStats {
+    int64_t transactions = 0;
+    double latency_sum = 0;
+    double latency_max = 0;
+  };
+  virtual WindowStats window_stats() const { return {}; }
 };
 
 /// Per-NIC generator. Deterministic given (config, node).
@@ -72,11 +159,11 @@ class TrafficGenerator {
 
   const TrafficConfig& config() const { return cfg_; }
 
-  /// Change the offered load mid-run (0 stops injection; used to drain the
-  /// network at the end of open-loop experiments).
-  void set_offered_load(double flits_per_node_cycle) {
-    cfg_.offered_flits_per_node_cycle = flits_per_node_cycle;
-  }
+  /// Current injection rate (flits/node/cycle). Starts at the config's
+  /// offered load; set_rate changes it without touching config(), so the
+  /// config always reports what the experiment asked for.
+  double rate() const { return rate_; }
+  void set_rate(double flits_per_node_cycle) { rate_ = flits_per_node_cycle; }
 
  private:
   NodeId pick_unicast_dest();
@@ -84,6 +171,7 @@ class TrafficGenerator {
   const MeshGeometry& geom_;
   TrafficConfig cfg_;
   NodeId node_;
+  double rate_;
   Xoshiro256 rng_;
   Prbs payload_prbs_;
   uint64_t next_local_id_ = 0;
@@ -91,6 +179,28 @@ class TrafficGenerator {
   /// injects at exactly the same cycles (the on-chip generators were
   /// free-running identical LFSRs, not independent Bernoulli sources).
   double inject_credit_ = 0.0;
+};
+
+/// Open-loop synthetic traffic behind the TrafficSource interface: a thin
+/// adapter over TrafficGenerator, bit-identical to driving the generator
+/// directly.
+class OpenLoopSource final : public TrafficSource {
+ public:
+  OpenLoopSource(const MeshGeometry& geom, const TrafficConfig& cfg,
+                 NodeId node)
+      : gen_(geom, cfg, node) {}
+
+  std::optional<Packet> generate(Cycle now) override {
+    return gen_.generate(now);
+  }
+  uint64_t next_payload() override { return gen_.next_payload(); }
+  void set_rate(double rate) override { gen_.set_rate(rate); }
+
+  TrafficGenerator& generator() { return gen_; }
+  const TrafficGenerator& generator() const { return gen_; }
+
+ private:
+  TrafficGenerator gen_;
 };
 
 }  // namespace noc

@@ -1,0 +1,272 @@
+#include "noc/workload.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+const char* workload_kind_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::OpenLoop: return "open-loop";
+    case WorkloadKind::ClosedLoop: return "closed-loop";
+    case WorkloadKind::Trace: return "trace";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Trace I/O.
+
+bool save_trace(const std::string& path, const Trace& trace) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "# noc-trace v1\n");
+  std::fprintf(f, "# cycle src dest_mask(hex) length class\n");
+  for (const TraceRecord& r : trace.records)
+    std::fprintf(f, "%" PRId64 " %d %" PRIx64 " %d %d\n", r.cycle, r.src,
+                 r.dest_mask, r.length, static_cast<int>(r.mc));
+  return std::fclose(f) == 0;
+}
+
+std::shared_ptr<Trace> load_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return nullptr;
+  auto trace = std::make_shared<Trace>();
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    TraceRecord r;
+    int mc = 0;
+    if (std::sscanf(line, "%" SCNd64 " %d %" SCNx64 " %d %d", &r.cycle,
+                    &r.src, &r.dest_mask, &r.length, &mc) != 5 ||
+        r.cycle < 0 || r.src < 0 || r.src >= 64 || r.dest_mask == 0 ||
+        r.length < 1 || r.length > kMaxPacketFlits || mc < 0 ||
+        mc >= kNumMsgClasses) {
+      std::fclose(f);
+      return nullptr;
+    }
+    r.mc = static_cast<MsgClass>(mc);
+    trace->records.push_back(r);
+  }
+  std::fclose(f);
+  return trace;
+}
+
+std::shared_ptr<const Trace> resolve_trace(const TraceConfig& cfg) {
+  if (cfg.trace != nullptr) return cfg.trace;
+  if (!cfg.path.empty()) return load_trace(cfg.path);
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// ClosedLoopSource.
+
+const char* ClosedLoopConfig::validate() const {
+  if (window < 1 || window > kMaxMshrWindow)
+    return "closed-loop window must be in 1..64 (kMaxMshrWindow)";
+  if (issue_prob < 0.0 || issue_prob > 1.0)
+    return "closed-loop issue_prob must be in [0, 1]";
+  if (directory_latency < 0) return "directory_latency must be >= 0";
+  if (think_time < 0) return "think_time must be >= 0";
+  if (response_length < 1 || response_length > kMaxPacketFlits)
+    return "response_length must be in 1..8 (kMaxPacketFlits)";
+  return nullptr;
+}
+
+ClosedLoopSource::ClosedLoopSource(const MeshGeometry& geom,
+                                   const TrafficConfig& traffic,
+                                   const ClosedLoopConfig& cfg, NodeId node)
+    : geom_(geom),
+      cfg_(cfg),
+      node_(node),
+      seed_(traffic.seed),
+      issue_prob_(cfg.issue_prob),
+      rng_(node_rng_seed(traffic.seed, node)),
+      payload_prbs_(Prbs::Poly::PRBS31, node_prbs_seed(traffic.seed, node)) {
+  NOC_EXPECTS(geom.num_nodes() >= 2);
+  NOC_EXPECTS(cfg.validate() == nullptr);
+  // Worst case every outstanding probe in the system is owned here.
+  pending_.reserve(
+      static_cast<size_t>(geom.num_nodes() * cfg.window) + 8);
+}
+
+void ClosedLoopSource::set_rate(double rate) {
+  issue_prob_ = std::clamp(rate, 0.0, 1.0);
+}
+
+NodeId ClosedLoopSource::owner_of(uint64_t tag, NodeId requester) const {
+  const auto n = static_cast<uint64_t>(geom_.num_nodes());
+  const uint64_t h =
+      SplitMix64(tag * 0x9e3779b97f4a7c15ULL + seed_).next() % (n - 1);
+  auto owner = static_cast<NodeId>(h);
+  if (owner >= requester) ++owner;  // skip the requester itself
+  return owner;
+}
+
+std::optional<Packet> ClosedLoopSource::generate(Cycle now) {
+  // Owed data responses take priority over starting new misses: the
+  // response leg is on the system's critical path.
+  if (!pending_.empty() && pending_.front().due <= now) {
+    const PendingResponse resp = pending_.pop_front();
+    Packet pkt;
+    pkt.id = make_packet_id(node_, next_local_id_);
+    pkt.src = node_;
+    pkt.dest_mask = MeshGeometry::node_mask(resp.requester);
+    pkt.mc = MsgClass::Response;
+    pkt.length = cfg_.response_length;
+    pkt.gen_cycle = now;
+    pkt.tag = resp.tag;
+    return pkt;
+  }
+
+  if (outstanding_.size() >= cfg_.window || now < next_miss_eligible_)
+    return std::nullopt;
+  if (!rng_.bernoulli(issue_prob_)) return std::nullopt;
+
+  Packet pkt;
+  pkt.id = make_packet_id(node_, next_local_id_);
+  pkt.src = node_;
+  pkt.dest_mask = geom_.all_nodes_mask();  // snoop everyone (self included)
+  pkt.mc = MsgClass::Request;
+  pkt.length = kRequestPacketLen;
+  pkt.gen_cycle = now;
+  pkt.tag = pkt.id;
+  outstanding_.push_back({pkt.tag, now});
+  ++issued_;
+  return pkt;
+}
+
+void ClosedLoopSource::on_delivery(const Flit& flit, Cycle now) {
+  if (flit.tag == 0) return;  // externally-submitted, not ours
+  if (flit.mc == MsgClass::Request) {
+    // A probe reached this node. Exactly one node -- the deterministic
+    // owner -- schedules the data response; everyone else just snoops.
+    if (!is_head(flit.type) || flit.src == node_) return;
+    if (owner_of(flit.tag, flit.src) == node_)
+      pending_.push_back(
+          {now + cfg_.directory_latency, flit.tag, flit.src});
+    return;
+  }
+  // A data response: retire the outstanding miss it answers.
+  if (!is_tail(flit.type)) return;
+  for (int i = 0; i < outstanding_.size(); ++i) {
+    if (outstanding_[i].tag != flit.tag) continue;
+    if (in_window_)
+      window_latency_.add(static_cast<double>(now - outstanding_[i].issued));
+    outstanding_[i] = outstanding_[outstanding_.size() - 1];
+    outstanding_.pop_back();
+    ++completed_;
+    next_miss_eligible_ = now + cfg_.think_time;
+    return;
+  }
+}
+
+void ClosedLoopSource::begin_window(Cycle now) {
+  (void)now;
+  window_latency_.reset();
+  in_window_ = true;
+}
+
+void ClosedLoopSource::end_window(Cycle now) {
+  (void)now;
+  in_window_ = false;
+}
+
+TrafficSource::WindowStats ClosedLoopSource::window_stats() const {
+  WindowStats s;
+  s.transactions = window_latency_.count();
+  s.latency_sum = window_latency_.sum();
+  s.latency_max = window_latency_.max();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSource.
+
+TraceSource::TraceSource(const MeshGeometry& geom,
+                         const TrafficConfig& traffic,
+                         std::shared_ptr<const Trace> trace, NodeId node)
+    : node_(node),
+      payload_prbs_(Prbs::Poly::PRBS31, node_prbs_seed(traffic.seed, node)),
+      trace_(std::move(trace)) {
+  NOC_EXPECTS(trace_ != nullptr);
+  const DestMask valid = geom.all_nodes_mask();
+  for (const TraceRecord& r : trace_->records) {
+    // Every record must fit this geometry -- a trace from a bigger mesh
+    // must fail loudly, not replay partially.
+    NOC_EXPECTS(r.src >= 0 && r.src < geom.num_nodes());
+    if (r.src != node) continue;
+    NOC_EXPECTS(r.dest_mask != 0 && (r.dest_mask & ~valid) == 0);
+    NOC_EXPECTS(r.length >= 1 && r.length <= kMaxPacketFlits);
+    mine_.push_back(r);
+  }
+  // Capture order already sorts by cycle within a node; make it a contract.
+  std::stable_sort(mine_.begin(), mine_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+std::optional<Packet> TraceSource::generate(Cycle now) {
+  if (next_ >= mine_.size()) return std::nullopt;
+  const TraceRecord& r = mine_[next_];
+  if (r.cycle > now) return std::nullopt;
+  ++next_;
+  if (in_window_) ++window_injected_;
+  Packet pkt;
+  pkt.id = make_packet_id(node_, next_local_id_);
+  pkt.src = node_;
+  pkt.dest_mask = r.dest_mask;
+  pkt.mc = r.mc;
+  pkt.length = r.length;
+  pkt.gen_cycle = now;  // includes replay slip, so latency stays honest
+  return pkt;
+}
+
+void TraceSource::begin_window(Cycle now) {
+  (void)now;
+  window_injected_ = 0;
+  in_window_ = true;
+}
+
+void TraceSource::end_window(Cycle now) {
+  (void)now;
+  in_window_ = false;
+}
+
+TrafficSource::WindowStats TraceSource::window_stats() const {
+  WindowStats s;
+  s.transactions = window_injected_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+
+std::unique_ptr<TrafficSource> make_traffic_source(
+    const MeshGeometry& geom, const TrafficConfig& traffic,
+    const WorkloadSpec& spec, NodeId node,
+    std::shared_ptr<const Trace> resolved_trace) {
+  switch (spec.kind) {
+    case WorkloadKind::OpenLoop:
+      return std::make_unique<OpenLoopSource>(geom, traffic, node);
+    case WorkloadKind::ClosedLoop:
+      return std::make_unique<ClosedLoopSource>(geom, traffic, spec.closed,
+                                                node);
+    case WorkloadKind::Trace: {
+      std::shared_ptr<const Trace> trace =
+          resolved_trace != nullptr ? std::move(resolved_trace)
+                                    : resolve_trace(spec.trace);
+      NOC_EXPECTS(trace != nullptr);
+      return std::make_unique<TraceSource>(geom, traffic, std::move(trace),
+                                           node);
+    }
+  }
+  NOC_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace noc

@@ -1,0 +1,202 @@
+#pragma once
+// First-class workloads behind the TrafficSource interface (the traffic the
+// paper's router exists to serve, Sec 3: snoopy-coherence request/response):
+//
+//  - ClosedLoopSource: coherence-shaped miss/probe/response traffic with a
+//    bounded outstanding-request window (MSHR-style). Each node issues a
+//    broadcast probe when its window has room; the deterministic "owner" of
+//    the probed line answers with a multi-flit data response after a fixed
+//    directory latency; the requester retires the miss when the response
+//    tail arrives. Load is controlled by the window size and issue
+//    probability instead of an offered rate -- the network's sustained
+//    throughput at a given window is the measurement.
+//
+//  - TraceSource: replays (cycle, src, dest_mask, flits, class) records
+//    from an in-memory or on-disk trace; Network::record_trace captures
+//    such traces from any running workload.
+//
+// Both preserve the two PR-1 invariants: behaviour is a deterministic
+// function of (config, seed, node) plus observed deliveries -- coordination
+// happens only through delivered flits and pure functions of their fields,
+// never through shared state -- and steady-state stepping performs no heap
+// allocations (all source state is pre-sized at construction).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/inline_vec.hpp"
+#include "common/stats.hpp"
+#include "common/vec_deque.hpp"
+#include "noc/traffic.hpp"
+
+namespace noc {
+
+enum class WorkloadKind { OpenLoop, ClosedLoop, Trace };
+const char* workload_kind_name(WorkloadKind k);
+
+/// Hard cap on the per-node outstanding-request window (real MSHR files are
+/// 4-32 entries; 64 bounds the inline storage).
+constexpr int kMaxMshrWindow = 64;
+
+struct ClosedLoopConfig {
+  /// Max outstanding misses per node (MSHR entries). In [1, kMaxMshrWindow].
+  int window = 4;
+  /// Per-cycle probability of issuing a new miss when the window has room.
+  /// 1.0 = saturating closed loop (the throughput-at-window measurement);
+  /// lower values model compute phases between misses.
+  double issue_prob = 1.0;
+  /// Cycles between a probe's delivery at the owner and the data response
+  /// entering the owner's NIC (tag directory / L2 lookup).
+  Cycle directory_latency = 2;
+  /// Cycles a node must wait after retiring a miss before issuing the next.
+  Cycle think_time = 0;
+  /// Data response length in flits (paper: 5-flit cache-line responses).
+  int response_length = kResponsePacketLen;
+
+  /// nullptr when every knob is in contract, else a printable description
+  /// of the violated bound. CLI layers reject with the message;
+  /// ClosedLoopSource asserts on it.
+  const char* validate() const;
+};
+
+/// One replayable injection: at `cycle`, node `src` offered a packet.
+struct TraceRecord {
+  Cycle cycle = 0;
+  NodeId src = 0;
+  DestMask dest_mask = 0;
+  int length = 1;
+  MsgClass mc = MsgClass::Request;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// An in-memory trace: records ordered by cycle (ties in capture order).
+struct Trace {
+  std::vector<TraceRecord> records;
+};
+
+/// Plain-text trace file I/O ("# noc-trace v1" header, one record per
+/// line: cycle src dest_mask(hex) length class). Returns false / nullptr on
+/// I/O or parse failure.
+bool save_trace(const std::string& path, const Trace& trace);
+std::shared_ptr<Trace> load_trace(const std::string& path);
+
+struct TraceConfig {
+  /// In-memory trace (preferred; shared read-only across sweep threads).
+  std::shared_ptr<const Trace> trace;
+  /// Loaded once per Network when `trace` is null.
+  std::string path;
+};
+
+/// Which workload family a Network's sources come from, plus its knobs.
+/// OpenLoop reads the existing NetworkConfig::traffic (pattern, offered
+/// load, seeds) so all pre-existing configs behave unchanged.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::OpenLoop;
+  ClosedLoopConfig closed;
+  TraceConfig trace;
+};
+
+/// Resolve a TraceConfig to its in-memory trace (loading `path` if needed).
+std::shared_ptr<const Trace> resolve_trace(const TraceConfig& cfg);
+
+/// Factory: build node `node`'s source for the given workload. Seeding
+/// derives from (traffic.seed, node) for every family. `resolved_trace`
+/// lets the caller load a trace file once for all nodes (required non-null
+/// for WorkloadKind::Trace when spec.trace.trace is null and path is
+/// empty).
+std::unique_ptr<TrafficSource> make_traffic_source(
+    const MeshGeometry& geom, const TrafficConfig& traffic,
+    const WorkloadSpec& spec, NodeId node,
+    std::shared_ptr<const Trace> resolved_trace = nullptr);
+
+/// Coherence-shaped closed loop (see file header). All cross-node
+/// coordination is a pure function of delivered flit fields: the owner of a
+/// probe is hash(tag, requester), computable identically at every node.
+class ClosedLoopSource final : public TrafficSource {
+ public:
+  ClosedLoopSource(const MeshGeometry& geom, const TrafficConfig& traffic,
+                   const ClosedLoopConfig& cfg, NodeId node);
+
+  std::optional<Packet> generate(Cycle now) override;
+  uint64_t next_payload() override { return payload_prbs_.next_bits(64); }
+  void on_delivery(const Flit& flit, Cycle now) override;
+  void set_rate(double rate) override;
+  bool idle() const override {
+    return outstanding_.empty() && pending_.empty();
+  }
+  void begin_window(Cycle now) override;
+  void end_window(Cycle now) override;
+  WindowStats window_stats() const override;
+
+  const ClosedLoopConfig& config() const { return cfg_; }
+  int outstanding() const { return outstanding_.size(); }
+  /// Lifetime counters (not window-scoped; conservation checks).
+  int64_t issued_probes() const { return issued_; }
+  int64_t completed_transactions() const { return completed_; }
+
+  /// Deterministic owner of the line probed by (tag, requester): uniform
+  /// over all nodes except the requester.
+  NodeId owner_of(uint64_t tag, NodeId requester) const;
+
+ private:
+  struct OutstandingMiss {
+    uint64_t tag = 0;
+    Cycle issued = 0;
+  };
+  struct PendingResponse {
+    Cycle due = 0;
+    uint64_t tag = 0;
+    NodeId requester = 0;
+  };
+
+  const MeshGeometry& geom_;
+  ClosedLoopConfig cfg_;
+  NodeId node_;
+  uint64_t seed_;  // node-independent: all nodes must agree on owner_of
+  double issue_prob_;
+  Xoshiro256 rng_;
+  Prbs payload_prbs_;
+  uint64_t next_local_id_ = 0;
+  Cycle next_miss_eligible_ = 0;
+  InlineVec<OutstandingMiss, kMaxMshrWindow> outstanding_;
+  /// Responses this node owes, in due order (deliveries arrive in
+  /// nondecreasing `now`, so appends keep the deque sorted). Bounded by the
+  /// system-wide outstanding cap n * window, pre-sized in the constructor.
+  VecDeque<PendingResponse> pending_;
+  int64_t issued_ = 0;
+  int64_t completed_ = 0;
+  bool in_window_ = false;
+  RunningStat window_latency_;
+};
+
+/// Trace replay: injects this node's records in order, one per cycle at the
+/// earliest cycle >= the recorded one (NIC queues absorb any backlog).
+class TraceSource final : public TrafficSource {
+ public:
+  TraceSource(const MeshGeometry& geom, const TrafficConfig& traffic,
+              std::shared_ptr<const Trace> trace, NodeId node);
+
+  std::optional<Packet> generate(Cycle now) override;
+  uint64_t next_payload() override { return payload_prbs_.next_bits(64); }
+  bool idle() const override { return next_ >= mine_.size(); }
+  void begin_window(Cycle now) override;
+  void end_window(Cycle now) override;
+  WindowStats window_stats() const override;
+
+  size_t records_total() const { return mine_.size(); }
+  size_t records_replayed() const { return next_; }
+
+ private:
+  NodeId node_;
+  Prbs payload_prbs_;
+  std::shared_ptr<const Trace> trace_;  // keeps the shared records alive
+  std::vector<TraceRecord> mine_;       // this node's records, time-ordered
+  size_t next_ = 0;
+  uint64_t next_local_id_ = 0;
+  bool in_window_ = false;
+  int64_t window_injected_ = 0;
+};
+
+}  // namespace noc

@@ -91,7 +91,7 @@ TEST_P(MultiflitMulticastTest, MixedWithRegularTrafficDrains) {
            net.geom().all_nodes_mask(), MsgClass::Response, 5);
   sim.run(2000);
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 30000));
   EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
 }

@@ -33,7 +33,7 @@ TEST_P(DeliveryTest, AllPacketsDeliveredExactlyOnce) {
   Simulation sim(net);
   sim.run(4000);
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   const bool drained = sim.run_until([&] { return net.quiescent(); }, 30000);
   EXPECT_TRUE(drained) << "network failed to drain (lost or stuck flits)";
   EXPECT_GT(net.metrics().total_generated(), 100);
@@ -82,7 +82,7 @@ TEST(DeliveryAblations, PartialBypassOffStillDelivers) {
   Simulation sim(net);
   sim.run(4000);
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 30000));
   EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
 }
@@ -96,7 +96,7 @@ TEST(DeliveryAblations, FairLookaheadsStillDeliver) {
   Simulation sim(net);
   sim.run(4000);
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 30000));
   EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
 }
@@ -110,7 +110,7 @@ TEST(DeliveryAblations, IdenticalPrbsStillDelivers) {
   Simulation sim(net);
   sim.run(4000);
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 30000));
   EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
 }
@@ -123,7 +123,7 @@ TEST(DeliveryStress, NearSaturationDrainsEventually) {
   Simulation sim(net);
   sim.run(6000);
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 60000));
   EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
 }

@@ -46,7 +46,7 @@ TEST(Smoke, DrainsToQuiescence) {
   sim.run(1000);
   // Stop injecting and drain.
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
-    net.nic(n).traffic().set_offered_load(0.0);
+    net.nic(n).source().set_rate(0.0);
   const bool drained =
       sim.run_until([&] { return net.quiescent(); }, 2000);
   EXPECT_TRUE(drained);

@@ -12,6 +12,7 @@
 #include <new>
 
 #include "noc/network.hpp"
+#include "noc/workload.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -26,10 +27,27 @@ void* operator new(size_t size) {
 
 void* operator new[](size_t size) { return ::operator new(size); }
 
+// The nothrow forms must be overridden too: libstdc++ allocates temporary
+// buffers (std::stable_sort etc.) through them, and mixing its allocator
+// with our free() is an alloc-dealloc mismatch under ASan.
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
 void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace noc {
 namespace {
@@ -39,12 +57,13 @@ uint64_t allocations_during_run(NetworkConfig cfg, Cycle warmup,
   Network net(cfg);
   Simulation sim(net);
   sim.run(warmup);
-  // Window bookkeeping is part of the measured regime in real sweeps.
-  net.metrics().begin_window(sim.now());
+  // Window bookkeeping (metrics + per-source transaction stats) is part of
+  // the measured regime in real sweeps.
+  net.begin_measurement_window(sim.now());
   const uint64_t before = g_allocations.load(std::memory_order_relaxed);
   sim.run(measured);
   const uint64_t after = g_allocations.load(std::memory_order_relaxed);
-  net.metrics().end_window(sim.now());
+  net.end_measurement_window(sim.now());
   return after - before;
 }
 
@@ -76,6 +95,43 @@ TEST(ZeroAlloc, FourStagePipelineSteadyState) {
   NetworkConfig cfg = NetworkConfig::baseline_4stage(4);
   cfg.traffic.pattern = TrafficPattern::UniformRequest;
   cfg.traffic.offered_flits_per_node_cycle = 0.08;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, ClosedLoopSourceSteadyState) {
+  // Closed-loop coherence: outstanding-miss tracking, owed-response queues
+  // and latency stats must all live in pre-sized source state.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 8;
+  cfg.workload.closed.issue_prob = 1.0;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, ClosedLoopWithNicDuplicationSteadyState) {
+  NetworkConfig cfg = NetworkConfig::baseline_3stage(4);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 2;
+  cfg.workload.closed.issue_prob = 0.02;
+  EXPECT_EQ(allocations_during_run(cfg, 4000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, TraceReplaySteadyState) {
+  // Record a trace first (recording may allocate freely), then verify the
+  // replay datapath is allocation-free across the measured window.
+  auto trace = std::make_shared<Trace>();
+  {
+    NetworkConfig rec = NetworkConfig::proposed(4);
+    rec.traffic.pattern = TrafficPattern::MixedPaper;
+    rec.traffic.offered_flits_per_node_cycle = 0.08;
+    Network net(rec);
+    net.record_trace(trace.get());
+    Simulation sim(net);
+    sim.run(10000);
+  }
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.workload.kind = WorkloadKind::Trace;
+  cfg.workload.trace.trace = trace;
   EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
 }
 
