@@ -49,6 +49,19 @@ void BM_Proposed4x4Mixed(benchmark::State& state) {
 }
 BENCHMARK(BM_Proposed4x4Mixed)->Unit(benchmark::kMicrosecond);
 
+/// The fig5 curve's low-load point (identical-PRBS mixed traffic at 0.05
+/// flits/node/cycle), where the router spends most cycles idle: the
+/// activity-gating headline. Arg 0 = full phase walk, Arg 1 = gated;
+/// compare items_per_second between the two rows for the gating speedup.
+void BM_Fig5MixedLowLoad(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.identical_prbs = true;
+  cfg.activity_gating = state.range(0) != 0;
+  run_cycles(state, cfg, 0.05);
+}
+BENCHMARK(BM_Fig5MixedLowLoad)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
 void BM_Proposed4x4BroadcastSaturated(benchmark::State& state) {
   NetworkConfig cfg = NetworkConfig::proposed(4);
   cfg.traffic.pattern = TrafficPattern::BroadcastOnly;

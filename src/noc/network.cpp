@@ -1,5 +1,7 @@
 #include "noc/network.hpp"
 
+#include <bit>
+
 namespace noc {
 
 NetworkConfig NetworkConfig::proposed(int k) {
@@ -66,9 +68,14 @@ Network::Network(const NetworkConfig& cfg)
   }
 
   const bool bypass = cfg.router.has_bypass();
+  const bool gated = cfg.activity_gating;
 
   // Router-to-router wiring. Each undirected edge gets one channel of each
   // kind per direction. We visit each edge once (East and North neighbors).
+  // With gating, each channel learns which component its arrivals must wake.
+  auto router_wake = [&](NodeId r) {
+    return gated ? WakeHook{&router_awake_, node_bit(r)} : WakeHook{};
+  };
   auto wire_edge = [&](NodeId a, PortDir a_out, NodeId b) {
     const PortDir b_out = opposite(a_out);
     auto* f_ab = make_channel(flit_channels_, 1);
@@ -77,6 +84,12 @@ Network::Network(const NetworkConfig& cfg)
     auto* c_ba = make_channel(credit_channels_, 1);  // b's inport -> a's outport
     Channel<Lookahead>* l_ab = bypass ? make_channel(la_channels_, 1) : nullptr;
     Channel<Lookahead>* l_ba = bypass ? make_channel(la_channels_, 1) : nullptr;
+    f_ab->set_wake_target(router_wake(b));
+    f_ba->set_wake_target(router_wake(a));
+    c_ab->set_wake_target(router_wake(b));
+    c_ba->set_wake_target(router_wake(a));
+    if (l_ab != nullptr) l_ab->set_wake_target(router_wake(b));
+    if (l_ba != nullptr) l_ba->set_wake_target(router_wake(a));
 
     Router::PortChannels pa;  // router a, port a_out
     pa.flit_out = f_ab;
@@ -112,6 +125,15 @@ Network::Network(const NetworkConfig& cfg)
     auto* c_rn = make_channel(credit_channels_, 1); // router local-in -> NIC
     auto* c_nr = make_channel(credit_channels_, 1); // NIC rx -> router local-out
     Channel<Lookahead>* l_nr = bypass ? make_channel(la_channels_, 0) : nullptr;
+    if (gated) {
+      f_nr->set_wake_target(router_wake(node));
+      f_rn->set_wake_target({&eject_awake_, node_bit(node)});
+      c_rn->set_wake_target({&inject_awake_, node_bit(node)});
+      c_nr->set_wake_target(router_wake(node));
+      // Latency 0: the wake fires at send time, during the NIC injection
+      // phase, so the router sees the lookahead the same cycle.
+      if (l_nr != nullptr) l_nr->set_wake_target(router_wake(node));
+    }
 
     Router::PortChannels pl;
     pl.flit_in = f_nr;
@@ -130,16 +152,135 @@ Network::Network(const NetworkConfig& cfg)
     nc.credit_to_router = c_nr;
     nics_[static_cast<size_t>(node)]->connect(nc);
   }
+
+  setup_activity();
+}
+
+void Network::setup_activity() {
+  const int n = geom_.num_nodes();
+  NOC_EXPECTS(n <= 64);  // one awake bit per node
+  const bool gated = cfg_.activity_gating;
+
+  // Contiguous channel ids per pool so the active-list sweep can recover
+  // the typed pointer from the id alone. The in-flight counter is installed
+  // unconditionally: quiescent() relies on it in both modes.
+  const int total = static_cast<int>(flit_channels_.size() +
+                                     credit_channels_.size() +
+                                     la_channels_.size());
+  chan_active_.init(total);
+  ActiveList* reg = gated ? &chan_active_ : nullptr;
+  int id = 0;
+  for (auto& ch : flit_channels_) ch->set_activity(reg, id++, &chan_items_);
+  credit_id_base_ = id;
+  for (auto& ch : credit_channels_) ch->set_activity(reg, id++, &chan_items_);
+  la_id_base_ = id;
+  for (auto& ch : la_channels_) ch->set_activity(reg, id++, &chan_items_);
+
+  inject_wake_at_.assign(static_cast<size_t>(n), kCycleNever);
+  // Everything starts awake; idle components fall asleep after their first
+  // tick, which keeps cycle 0 identical to the ungated phase walk.
+  const uint64_t all = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  router_awake_ = inject_awake_ = eject_awake_ = all;
+
+  if (gated) {
+    for (NodeId node = 0; node < n; ++node) {
+      const WakeHook inject{&inject_awake_, node_bit(node)};
+      nics_[static_cast<size_t>(node)]->set_inject_wake_hook(inject);
+      sources_[static_cast<size_t>(node)]->set_wake_hook(inject);
+    }
+  }
 }
 
 void Network::step(Cycle now) {
+  if (cfg_.activity_gating)
+    step_gated(now);
+  else
+    step_full(now);
+  ++energy_.cycles;
+}
+
+void Network::step_full(Cycle now) {
   for (auto& ch : flit_channels_) ch->begin_cycle(now);
   for (auto& ch : credit_channels_) ch->begin_cycle(now);
   for (auto& ch : la_channels_) ch->begin_cycle(now);
   for (auto& nic : nics_) nic->tick_inject(now);
   for (auto& r : routers_) r->tick(now);
   for (auto& nic : nics_) nic->tick_eject(now);
-  ++energy_.cycles;
+}
+
+void Network::step_gated(Cycle now) {
+  // 0. Timed wake-ups: sources that promised a future fire cycle.
+  if (next_timed_wake_ <= now) {
+    next_timed_wake_ = kCycleNever;
+    const NodeId n = geom_.num_nodes();
+    for (NodeId i = 0; i < n; ++i) {
+      Cycle& at = inject_wake_at_[static_cast<size_t>(i)];
+      if (at <= now) {
+        inject_awake_ |= node_bit(i);
+        at = kCycleNever;
+      } else if (at < next_timed_wake_) {
+        next_timed_wake_ = at;
+      }
+    }
+  }
+
+  // 1. Channels holding messages deliver; newly visible arrivals wake their
+  //    receivers (this runs before every component phase, so same-cycle
+  //    consumption is guaranteed). Fully drained channels drop off the list
+  //    -- their slots are all empty, so skipping begin_cycle is safe (see
+  //    Channel's activity contract). Per-entry work is order-independent:
+  //    begin_cycle touches only the channel itself and wake bits are ORed.
+  chan_active_.sweep([&](int id) {
+    if (id < credit_id_base_) {
+      auto& ch = *flit_channels_[static_cast<size_t>(id)];
+      ch.begin_cycle(now);
+      return ch.stored() > 0;
+    }
+    if (id < la_id_base_) {
+      auto& ch = *credit_channels_[static_cast<size_t>(id - credit_id_base_)];
+      ch.begin_cycle(now);
+      return ch.stored() > 0;
+    }
+    auto& ch = *la_channels_[static_cast<size_t>(id - la_id_base_)];
+    ch.begin_cycle(now);
+    return ch.stored() > 0;
+  });
+
+  // 2. NIC injection halves, ascending node id (the phase-walk order, so
+  //    shared-accumulator metrics see identical floating-point ordering).
+  //    A NIC stays awake while it holds queued work or its source may fire
+  //    next cycle; otherwise it parks, with a timed wake if the source
+  //    promised a future fire.
+  for (uint64_t m = inject_awake_; m != 0; m &= m - 1) {
+    const auto i = static_cast<size_t>(std::countr_zero(m));
+    nics_[i]->tick_inject(now);
+    if (nics_[i]->inject_busy()) continue;
+    const Cycle wake = sources_[i]->next_fire_cycle(now + 1);
+    if (wake <= now + 1) continue;
+    inject_awake_ &= ~node_bit(static_cast<NodeId>(i));
+    // Overwrite unconditionally: an early hook wake may have left a stale
+    // earlier entry that would otherwise fire a pointless timed wake.
+    inject_wake_at_[i] = wake;
+    if (wake < next_timed_wake_) next_timed_wake_ = wake;
+  }
+
+  // 3. Routers. Skipped ticks are exact no-ops for idle routers (no
+  //    arbiter state advances without requests; the lookahead rotation is
+  //    cycle-derived), so sleeping preserves bit-identical metrics.
+  for (uint64_t m = router_awake_; m != 0; m &= m - 1) {
+    const auto i = static_cast<size_t>(std::countr_zero(m));
+    routers_[i]->tick(now);
+    if (routers_[i]->idle())
+      router_awake_ &= ~node_bit(static_cast<NodeId>(i));
+  }
+
+  // 4. NIC ejection halves.
+  for (uint64_t m = eject_awake_; m != 0; m &= m - 1) {
+    const auto i = static_cast<size_t>(std::countr_zero(m));
+    nics_[i]->tick_eject(now);
+    if (!nics_[i]->eject_busy())
+      eject_awake_ &= ~node_bit(static_cast<NodeId>(i));
+  }
 }
 
 void Network::record_trace(Trace* out) {
@@ -158,14 +299,16 @@ void Network::end_measurement_window(Cycle now) {
 
 bool Network::quiescent() const {
   if (metrics_.open_packets() != 0) return false;
+  // The aggregate counter covers flit, credit AND lookahead channels: the
+  // old flit-only scan let a drain phase end with a credit still on a wire,
+  // corrupting back-to-back measurement windows.
+  if (chan_items_ != 0) return false;
   for (const auto& r : routers_)
     if (!r->idle()) return false;
   for (const auto& nic : nics_)
     if (!nic->idle()) return false;
   for (const auto& src : sources_)
     if (!src->idle()) return false;
-  for (const auto& ch : flit_channels_)
-    if (!ch->idle()) return false;
   return true;
 }
 

@@ -8,9 +8,19 @@
 //   3. routers tick (credits -> ST/BW -> mSA-II -> mSA-I/VA)
 //   4. NIC ejection halves tick (drain flits the routers sent last cycle)
 
+// When activity gating is enabled (NetworkConfig::activity_gating, the
+// default), step() walks only the components that can possibly do work this
+// cycle: channels holding in-flight messages, routers with buffered or
+// latched state, NICs with queued packets / undrained flits, and NICs whose
+// TrafficSource may fire. Wake-up edges (message arrival, the latency-0
+// injection lookahead, source fire predictions, external submissions)
+// re-arm sleepers; metrics are bit-identical with gating on or off
+// (tests/test_gating_equivalence.cpp, docs/PERF.md).
+
 #include <memory>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "noc/energy_events.hpp"
 #include "noc/metrics.hpp"
 #include "noc/nic.hpp"
@@ -30,6 +40,12 @@ struct NetworkConfig {
   /// their exact behaviour.
   WorkloadSpec workload;
 
+  /// Activity-gated stepping (docs/PERF.md): idle routers, NICs and drained
+  /// channels are skipped each cycle. Metrics are bit-identical either way
+  /// (enforced by tests/test_gating_equivalence.cpp); turning it off
+  /// retains the full phase-walk for comparison and debugging.
+  bool activity_gating = true;
+
   /// The paper's four measured configurations (Fig 5/6/13).
   static NetworkConfig proposed(int k = 4);          // D: bypass + multicast
   static NetworkConfig lowswing_multicast(int k = 4);  // C: multicast, no bypass
@@ -40,6 +56,11 @@ struct NetworkConfig {
 class Network : public Steppable {
  public:
   explicit Network(const NetworkConfig& cfg);
+
+  // Channels and the activity machinery hold pointers back into this
+  // object (wake masks, counters): pin it.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   void step(Cycle now) override;
 
@@ -65,13 +86,26 @@ class Network : public Steppable {
   void end_measurement_window(Cycle now);
 
   /// True when no packet is anywhere in flight and no source holds pending
-  /// work (outstanding closed-loop misses, unreplayed trace records).
+  /// work (outstanding closed-loop misses, unreplayed trace records). All
+  /// channel kinds count: a credit or lookahead still on a wire blocks
+  /// quiescence (drain phases must not end while flow-control state is in
+  /// flight), tracked by an O(1) counter rather than a channel scan.
   bool quiescent() const;
+
+  /// Messages of any kind (flits, credits, lookaheads) currently inside
+  /// channels, including arrivals not yet recycled.
+  int64_t channel_items() const { return chan_items_; }
 
  private:
   template <typename T>
   Channel<T>* make_channel(std::vector<std::unique_ptr<Channel<T>>>& pool,
                            int latency);
+
+  static uint64_t node_bit(NodeId n) { return uint64_t{1} << n; }
+
+  void setup_activity();
+  void step_full(Cycle now);
+  void step_gated(Cycle now);
 
   NetworkConfig cfg_;
   MeshGeometry geom_;
@@ -84,6 +118,28 @@ class Network : public Steppable {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::vector<std::unique_ptr<Nic>> nics_;
+
+  // --- activity machinery (docs/PERF.md) ---
+  // Channels self-register here while holding messages; ids are assigned
+  // contiguously per pool (flit < credit < lookahead) so the sweep can
+  // dispatch without virtual calls. chan_items_ is maintained in both modes
+  // (quiescent() needs it); the rest only drives the gated step.
+  ActiveList chan_active_;
+  int64_t chan_items_ = 0;
+  int credit_id_base_ = 0;
+  int la_id_base_ = 0;
+  // One awake bit per node (the 64-bit masks match the <= 64-node cap of
+  // DestMask). Bits are set by wake edges and cleared when a component's
+  // post-tick state shows it cannot act next cycle.
+  uint64_t router_awake_ = 0;
+  uint64_t inject_awake_ = 0;
+  uint64_t eject_awake_ = 0;
+  // Timed injection wake-ups for sources that promise a future fire cycle
+  // (identical-PRBS intervals, trace records, closed-loop response due
+  // times); next_timed_wake_ caches the minimum so the per-cycle check is
+  // one compare.
+  std::vector<Cycle> inject_wake_at_;
+  Cycle next_timed_wake_ = kCycleNever;
 };
 
 }  // namespace noc

@@ -45,6 +45,10 @@ void Nic::enqueue_for_send(Packet pkt) {
 void Nic::submit_packet(Packet pkt) {
   NOC_EXPECTS(pkt.src == node_);
   NOC_EXPECTS(pkt.dest_mask != 0);
+  // External callers may submit while a gated NIC sleeps; make sure the
+  // injection half runs next step (self-submissions fire it redundantly,
+  // which is harmless).
+  wake_inject_.fire();
   if (trace_out_ != nullptr)
     trace_out_->records.push_back(
         {pkt.gen_cycle, node_, pkt.dest_mask, pkt.length, pkt.mc});
@@ -193,14 +197,23 @@ void Nic::tick_eject(Cycle now) {
   }
   if (metrics_) metrics_->on_flit_received(f.logical_id, f, now);
   source_->on_delivery(f, now);
+  // The delivery may have unblocked the source (a closed-loop response
+  // becoming due, a retired miss reopening the window): re-arm injection.
+  wake_inject_.fire();
 }
 
-bool Nic::idle() const {
+bool Nic::inject_busy() const {
   for (int m = 0; m < kNumMsgClasses; ++m)
-    if (!queue_[m].empty() || active_[m].has_value()) return false;
-  for (const auto& q : rx_vcs_)
-    if (!q.empty()) return false;
-  return true;
+    if (!queue_[m].empty() || active_[m].has_value()) return true;
+  return false;
 }
+
+bool Nic::eject_busy() const {
+  for (const auto& q : rx_vcs_)
+    if (!q.empty()) return true;
+  return false;
+}
+
+bool Nic::idle() const { return !inject_busy() && !eject_busy(); }
 
 }  // namespace noc

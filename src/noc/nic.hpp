@@ -67,6 +67,18 @@ class Nic {
   /// the steady-state no-allocation path.
   void set_trace_recorder(Trace* out) { trace_out_ = out; }
 
+  /// Installed by a gating Network: fired whenever this NIC's injection
+  /// half may have new work (an external submit_packet, or a delivery that
+  /// can unblock a closed-loop source). Null hook = no-op (ungated).
+  void set_inject_wake_hook(const WakeHook& h) { wake_inject_ = h; }
+
+  /// Injection half holds queued packets or a transmission in progress.
+  /// (Whether the *source* may fire is the Network's question, via
+  /// TrafficSource::next_fire_cycle.)
+  bool inject_busy() const;
+  /// Ejection half holds undrained flits.
+  bool eject_busy() const;
+
   bool idle() const;
   NodeId node() const { return node_; }
   TrafficSource& source() { return *source_; }
@@ -94,6 +106,7 @@ class Nic {
   Metrics* metrics_;
   TrafficSource* source_;
   Trace* trace_out_ = nullptr;
+  WakeHook wake_inject_;
   Channels ch_;
 
   DownstreamState ds_;  // router Local input port credits / free VCs

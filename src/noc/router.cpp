@@ -294,9 +294,11 @@ void Router::process_lookaheads(Cycle now,
                                 std::array<bool, kNumPorts>& out_claimed,
                                 std::array<bool, kNumPorts>& in_claimed) {
   // Rotating priority across input ports keeps lookahead-vs-lookahead
-  // conflicts from systematically favouring one direction.
-  const int rot = la_order_.pointer();
-  la_order_.arbitrate(uint32_t{1} << rot);  // advance by one each cycle
+  // conflicts from systematically favouring one direction. The rotation is
+  // a pure function of the cycle (not stored state advanced per tick) so an
+  // activity-gated router that slept through idle cycles resumes with
+  // exactly the priority an always-on router would hold.
+  const int rot = static_cast<int>(now % kNumPorts);
 
   for (int off = 0; off < kNumPorts; ++off) {
     const int p = (rot + off) % kNumPorts;

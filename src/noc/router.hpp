@@ -207,7 +207,6 @@ class Router {
 
   std::array<InputPort, kNumPorts> in_;
   std::array<OutputPort, kNumPorts> out_;
-  RoundRobinArbiter la_order_{kNumPorts};  // rotating lookahead priority
 };
 
 }  // namespace noc

@@ -69,15 +69,24 @@ NodeId TrafficGenerator::pick_unicast_dest() {
     // Keep every NIC's generator in lockstep: one draw per packet, shared
     // sequence. The chip's NICs map the PRBS destination field relative to
     // their own id, so a synchronized draw produces a permutation (every
-    // node sends, no ejection hotspot) -- but the injection *cycles* and
-    // packet *types* are identical chip-wide, which is what contends away
-    // bypassing at low loads.
+    // node sends, every node receives exactly once, no ejection hotspot) --
+    // but the injection *cycles* and packet *types* are identical
+    // chip-wide, which is what contends away bypassing at low loads.
     const auto n = static_cast<NodeId>(geom_.num_nodes());
-    const auto draw =
-        static_cast<NodeId>(rng_.next_below(static_cast<uint64_t>(n)));
-    NodeId d = (node_ + draw) % n;
-    if (d == node_) d = (d + 1) % n;
-    return d;
+    if (cfg_.synced_dest_bias) {
+      // Seed-faithful mapping: draws 0 and 1 both land on node+1 (2x
+      // weight, permutation broken). Reachable only via the config flag.
+      const auto draw =
+          static_cast<NodeId>(rng_.next_below(static_cast<uint64_t>(n)));
+      NodeId d = (node_ + draw) % n;
+      if (d == node_) d = (d + 1) % n;
+      return d;
+    }
+    // Draw an offset in [1, n) so every non-self destination has equal
+    // weight and a synchronized draw is a true permutation.
+    const auto draw = static_cast<NodeId>(
+        rng_.next_below(static_cast<uint64_t>(n - 1)));
+    return (node_ + 1 + draw) % n;
   }
   NodeId d;
   do {
@@ -89,19 +98,60 @@ NodeId TrafficGenerator::pick_unicast_dest() {
 
 uint64_t TrafficGenerator::next_payload() { return payload_prbs_.next_bits(64); }
 
-std::optional<Packet> TrafficGenerator::generate(Cycle now) {
-  // At most one packet decision per cycle: offered loads beyond the source
-  // capacity simply pin the injection process at saturation.
+Cycle TrafficGenerator::next_fire_cycle(Cycle from) const {
   const double p_packet = std::min(1.0, rate_ / avg_flits_per_packet());
+  if (p_packet <= 0.0) return kCycleNever;
+  if (!cfg_.identical_prbs) return from;  // Bernoulli draws every cycle
+  // Replay the per-cycle accumulation with the exact float operations the
+  // generate() path performs, so the predicted fire cycle matches the
+  // every-cycle path bit for bit. Capped so a denormal-small rate cannot
+  // spin; waking early is always safe (the NIC just re-sleeps).
+  double credit = inject_credit_;
+  Cycle t = last_gen_cycle_;
+  const Cycle cap = last_gen_cycle_ + (Cycle{1} << 20);
+  do {
+    ++t;
+    credit += p_packet;
+  } while (credit < 1.0 && t < cap);
+  return std::max(from, t);
+}
+
+std::optional<Packet> TrafficGenerator::generate(Cycle now) {
+  NOC_EXPECTS(now > last_gen_cycle_);
+  const Cycle skipped = now - last_gen_cycle_ - 1;
+  last_gen_cycle_ = now;
+  // At most one packet decision per cycle: offered loads beyond the source
+  // capacity simply pin the injection process at saturation. Cycles a gated
+  // NIC slept through were governed by the rate in force back then
+  // (set_rate stashes it), not by a rate changed this cycle boundary.
+  const double p_now = std::min(1.0, rate_ / avg_flits_per_packet());
+  const double p_slept =
+      replay_rate_ < 0.0
+          ? p_now
+          : std::min(1.0, replay_rate_ / avg_flits_per_packet());
+  replay_rate_ = -1.0;
   if (cfg_.identical_prbs) {
     // Fixed-interval deterministic injection, phase-aligned across all
     // NICs: the chip's identical free-running generators made every NIC
     // inject (and pick destinations) in unison, which is what contended
-    // away bypassing even at low loads (paper Sec 4.1).
-    inject_credit_ += p_packet;
+    // away bypassing even at low loads (paper Sec 4.1). Cycles a gated NIC
+    // slept through are replayed one accumulator step at a time -- the
+    // same float op sequence as the every-cycle path -- and cannot fire:
+    // next_fire_cycle (computed at the slept rate) promised silence.
+    for (Cycle s = 0; s < skipped; ++s) {
+      inject_credit_ += p_slept;
+      NOC_ASSERT(inject_credit_ < 1.0);
+    }
+    if (p_now <= 0.0) return std::nullopt;
+    inject_credit_ += p_now;
     if (inject_credit_ < 1.0) return std::nullopt;
     inject_credit_ -= 1.0;
-  } else if (!rng_.bernoulli(p_packet)) {
+  } else if (p_now <= 0.0) {
+    // Rate 0 consumes nothing (no draw): a gated NIC may sleep through it
+    // and the ungated path stays stream-identical by taking the same
+    // early exit.
+    return std::nullopt;
+  } else if (!rng_.bernoulli(p_now)) {
     return std::nullopt;
   }
 
@@ -162,7 +212,15 @@ std::optional<Packet> TrafficGenerator::generate(Cycle now) {
     case TrafficPattern::NearestNeighbor: {
       const Coord c = geom_.coord(node_);
       const int k = geom_.k();
-      pkt.dest_mask = MeshGeometry::node_mask(geom_.id((c.x + 1) % k, c.y));
+      if (k < 2) return std::nullopt;  // no neighbor to send to
+      // Reflect at the east edge: the mesh has no wraparound link, so the
+      // old (c.x+1)%k mapping sent the edge column a silent (k-1)-hop
+      // packet across the whole row. With reflection every node still
+      // injects 1-hop traffic, so the offered per-node rate is unchanged
+      // (unlike Transpose/BitComplement, whose diagonal/fixed-point nodes
+      // stay silent).
+      const int dx = c.x + 1 < k ? c.x + 1 : c.x - 1;
+      pkt.dest_mask = MeshGeometry::node_mask(geom_.id(dx, c.y));
       break;
     }
   }

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string_view>
 
+#include "common/active_set.hpp"
 #include "common/prbs.hpp"
 #include "common/rng.hpp"
 #include "noc/geometry.hpp"
@@ -70,6 +71,12 @@ struct TrafficConfig {
   /// counts its flits once regardless of NIC duplication).
   double offered_flits_per_node_cycle = 0.1;
   bool identical_prbs = false;
+  /// Legacy synchronized-PRBS destination mapping: the seed code mapped
+  /// draws 0 and 1 both onto node+1, giving that destination 2x weight and
+  /// breaking the chip's permutation property. Off by default (the fixed
+  /// mapping draws from n-1 and skips self); kept reachable so old
+  /// fig-bench baselines can be reproduced (see CHANGES.md).
+  bool synced_dest_bias = false;
   /// Broadcast destination sets include the source (Table 1's ejection load
   /// is k^2 R, i.e. self-delivery included).
   bool include_self_in_broadcast = true;
@@ -115,7 +122,26 @@ class TrafficSource {
   /// per cycle (0 stops injection; used to drain at the end of a run).
   /// Closed loop: per-cycle probability of starting a new transaction when
   /// the window has room (clamped to [0,1]). Trace sources ignore it.
-  virtual void set_rate(double rate) { (void)rate; }
+  /// Non-virtual on purpose: it wakes any activity-gated NIC that parked on
+  /// the old rate before deferring to do_set_rate.
+  void set_rate(double rate) {
+    do_set_rate(rate);
+    wake_.fire();
+  }
+
+  /// Earliest cycle >= `from` at which generate() might emit a packet or
+  /// consume RNG state, assuming generate() is then called every cycle from
+  /// the returned value on. kCycleNever when the source cannot fire again
+  /// without external input (rate 0, trace exhausted, closed-loop window
+  /// full). Gating contract (docs/PERF.md): skipping generate() for every
+  /// cycle below the returned value must leave the source bit-identical to
+  /// having called it each cycle. The conservative default -- "may fire
+  /// right away" -- keeps the NIC polling every cycle.
+  virtual Cycle next_fire_cycle(Cycle from) const { return from; }
+
+  /// Installed by the Network: lets mutating entry points (set_rate) wake
+  /// the sleeping NIC that polls this source.
+  void set_wake_hook(const WakeHook& h) { wake_ = h; }
 
   /// True when the source holds no pending obligations (outstanding
   /// transactions, scheduled responses, unreplayed records). Open-loop
@@ -138,6 +164,12 @@ class TrafficSource {
     double latency_max = 0;
   };
   virtual WindowStats window_stats() const { return {}; }
+
+ protected:
+  virtual void do_set_rate(double rate) { (void)rate; }
+
+ private:
+  WakeHook wake_;
 };
 
 /// Per-NIC generator. Deterministic given (config, node).
@@ -148,7 +180,16 @@ class TrafficGenerator {
 
   /// Possibly generate one logical packet this cycle (Bernoulli process).
   /// Packet ids are made globally unique from (node, local counter).
+  /// `now` must be strictly increasing across calls; skipped cycles are
+  /// allowed only below next_fire_cycle() (their bookkeeping is replayed
+  /// bit-exactly, see the identical-PRBS accumulator).
   std::optional<Packet> generate(Cycle now);
+
+  /// Gating hint (TrafficSource::next_fire_cycle semantics). Bernoulli
+  /// generators draw RNG every cycle, so with a positive rate they may fire
+  /// immediately; the identical-PRBS accumulator is deterministic and the
+  /// exact fire cycle is predicted by replaying its per-cycle additions.
+  Cycle next_fire_cycle(Cycle from) const;
 
   /// Average flits per logical packet for this pattern (converts offered
   /// flit rate to packet rate).
@@ -161,9 +202,15 @@ class TrafficGenerator {
 
   /// Current injection rate (flits/node/cycle). Starts at the config's
   /// offered load; set_rate changes it without touching config(), so the
-  /// config always reports what the experiment asked for.
+  /// config always reports what the experiment asked for. The first change
+  /// since the last generate() stashes the outgoing rate: cycles a gated
+  /// NIC slept through were governed by it and replay at that rate, so the
+  /// new rate takes effect at exactly the cycle it would ungated.
   double rate() const { return rate_; }
-  void set_rate(double flits_per_node_cycle) { rate_ = flits_per_node_cycle; }
+  void set_rate(double flits_per_node_cycle) {
+    if (replay_rate_ < 0.0) replay_rate_ = rate_;
+    rate_ = flits_per_node_cycle;
+  }
 
  private:
   NodeId pick_unicast_dest();
@@ -179,6 +226,13 @@ class TrafficGenerator {
   /// injects at exactly the same cycles (the on-chip generators were
   /// free-running identical LFSRs, not independent Bernoulli sources).
   double inject_credit_ = 0.0;
+  /// Last cycle generate() ran; the gap to `now` is replayed one
+  /// accumulator step at a time so a gated NIC that slept through
+  /// guaranteed-silent cycles stays bit-identical to an ungated one.
+  Cycle last_gen_cycle_ = -1;
+  /// Rate in force before the first set_rate since the last generate()
+  /// (the rate the slept-through cycles must replay at); < 0 = unchanged.
+  double replay_rate_ = -1.0;
 };
 
 /// Open-loop synthetic traffic behind the TrafficSource interface: a thin
@@ -194,10 +248,15 @@ class OpenLoopSource final : public TrafficSource {
     return gen_.generate(now);
   }
   uint64_t next_payload() override { return gen_.next_payload(); }
-  void set_rate(double rate) override { gen_.set_rate(rate); }
+  Cycle next_fire_cycle(Cycle from) const override {
+    return gen_.next_fire_cycle(from);
+  }
 
   TrafficGenerator& generator() { return gen_; }
   const TrafficGenerator& generator() const { return gen_; }
+
+ protected:
+  void do_set_rate(double rate) override { gen_.set_rate(rate); }
 
  private:
   TrafficGenerator gen_;

@@ -93,8 +93,20 @@ ClosedLoopSource::ClosedLoopSource(const MeshGeometry& geom,
       static_cast<size_t>(geom.num_nodes() * cfg.window) + 8);
 }
 
-void ClosedLoopSource::set_rate(double rate) {
+void ClosedLoopSource::do_set_rate(double rate) {
   issue_prob_ = std::clamp(rate, 0.0, 1.0);
+}
+
+Cycle ClosedLoopSource::next_fire_cycle(Cycle from) const {
+  Cycle t = kCycleNever;
+  // An owed data response fires at its due cycle; generate() consumes no
+  // RNG while waiting for it.
+  if (!pending_.empty()) t = std::min(t, pending_.front().due);
+  // With window room the source draws its issue Bernoulli on every cycle
+  // from next_miss_eligible_ on, so the NIC must be awake for each draw.
+  if (outstanding_.size() < cfg_.window && issue_prob_ > 0.0)
+    t = std::min(t, next_miss_eligible_);
+  return std::max(from, t);
 }
 
 NodeId ClosedLoopSource::owner_of(uint64_t tag, NodeId requester) const {
@@ -208,6 +220,11 @@ TraceSource::TraceSource(const MeshGeometry& geom,
                    [](const TraceRecord& a, const TraceRecord& b) {
                      return a.cycle < b.cycle;
                    });
+}
+
+Cycle TraceSource::next_fire_cycle(Cycle from) const {
+  if (next_ >= mine_.size()) return kCycleNever;
+  return std::max(from, mine_[next_].cycle);
 }
 
 std::optional<Packet> TraceSource::generate(Cycle now) {

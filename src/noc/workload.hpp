@@ -122,7 +122,7 @@ class ClosedLoopSource final : public TrafficSource {
   std::optional<Packet> generate(Cycle now) override;
   uint64_t next_payload() override { return payload_prbs_.next_bits(64); }
   void on_delivery(const Flit& flit, Cycle now) override;
-  void set_rate(double rate) override;
+  Cycle next_fire_cycle(Cycle from) const override;
   bool idle() const override {
     return outstanding_.empty() && pending_.empty();
   }
@@ -139,6 +139,9 @@ class ClosedLoopSource final : public TrafficSource {
   /// Deterministic owner of the line probed by (tag, requester): uniform
   /// over all nodes except the requester.
   NodeId owner_of(uint64_t tag, NodeId requester) const;
+
+ protected:
+  void do_set_rate(double rate) override;
 
  private:
   struct OutstandingMiss {
@@ -180,6 +183,7 @@ class TraceSource final : public TrafficSource {
 
   std::optional<Packet> generate(Cycle now) override;
   uint64_t next_payload() override { return payload_prbs_.next_bits(64); }
+  Cycle next_fire_cycle(Cycle from) const override;
   bool idle() const override { return next_ >= mine_.size(); }
   void begin_window(Cycle now) override;
   void end_window(Cycle now) override;

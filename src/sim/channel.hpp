@@ -12,12 +12,21 @@
 // ring size: send() appends to the slot that becomes visible at now+latency,
 // begin_cycle() clears the slot about to be reused and exposes the current
 // one. Slot vectors keep their capacity across cycles, so a warmed-up
-// channel never allocates (docs/PERF.md). begin_cycle must be called for
-// every consecutive cycle, which the Network's step loop guarantees.
+// channel never allocates (docs/PERF.md).
+//
+// Activity contract (docs/PERF.md "activity-gated stepping"): a channel
+// holding any message must receive begin_cycle for every consecutive cycle
+// until it is fully drained -- the Network keeps such channels on its active
+// list. While a channel is drained, begin_cycle may be skipped entirely:
+// every slot is empty, so send() simply fast-forwards the ring to the
+// current cycle. An ungated Network calls begin_cycle on every channel every
+// cycle, which trivially satisfies the contract.
 
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "common/active_set.hpp"
 #include "common/assert.hpp"
 #include "sim/tickable.hpp"
 
@@ -33,43 +42,83 @@ class Channel {
 
   int latency() const { return latency_; }
 
+  /// Activity wiring (installed by a gating Network): the channel inserts
+  /// itself into `reg` under `id` whenever it holds messages, and
+  /// `items_counter` (shared across all of a Network's channels) tracks the
+  /// aggregate in-flight count for O(1) quiescence checks. Either pointer
+  /// may be null.
+  void set_activity(ActiveList* reg, int id, int64_t* items_counter) {
+    registry_ = reg;
+    id_ = id;
+    items_counter_ = items_counter;
+  }
+
+  /// Wake target fired when arrivals become visible to the receiver: at
+  /// begin_cycle for latency >= 1, at send for latency 0 (whose messages
+  /// are visible the same cycle, before the receiver's phase runs).
+  void set_wake_target(const WakeHook& wake) { wake_ = wake; }
+
   /// Send a message during tick `now`; it arrives at `now + latency`.
   void send(Cycle now, T msg) {
+    if (stored_ == 0 && prev_ != now) {
+      // Drained channels may have skipped begin_cycle (activity gating);
+      // every slot is empty, so realigning the ring to `now` is safe.
+      prev_ = now;
+      cur_ = slot_index(now);
+    }
+    NOC_ASSERT(prev_ == now);  // active channels are stepped every cycle
     slots_[slot_index(now + latency_)].push_back(std::move(msg));
+    ++stored_;
+    if (items_counter_ != nullptr) ++*items_counter_;
+    if (latency_ == 0) wake_.fire();
+    if (registry_ != nullptr) registry_->insert(id_);
   }
 
-  /// Called once at the start of every tick (before any component runs):
-  /// recycles the slot whose messages were exposed latency+1 ticks ago (it
-  /// becomes this tick's send target) and exposes this tick's arrivals.
+  /// Called at the start of a tick, before any component runs: recycles the
+  /// slot whose messages were exposed latency+1 ticks ago (it becomes this
+  /// tick's send target) and exposes this tick's arrivals, waking the
+  /// receiver when they are non-empty.
   void begin_cycle(Cycle now) {
-    NOC_EXPECTS(prev_ < 0 || now == prev_ + 1);  // a gap would drop messages
+    if (prev_ >= 0 && now != prev_ + 1) {
+      // A gap is only legal while fully drained (activity contract above);
+      // all slots are empty, so there is nothing to recycle.
+      NOC_EXPECTS(stored_ == 0);
+    } else {
+      auto& recycle = slots_[slot_index(now + latency_)];
+      if (!recycle.empty()) {
+        stored_ -= static_cast<int>(recycle.size());
+        if (items_counter_ != nullptr)
+          *items_counter_ -= static_cast<int64_t>(recycle.size());
+        recycle.clear();
+      }
+    }
     prev_ = now;
-    slots_[slot_index(now + latency_)].clear();
     cur_ = slot_index(now);
+    if (!slots_[cur_].empty()) wake_.fire();
   }
 
-  /// Messages arriving this tick, in send order.
-  const std::vector<T>& arrivals() const { return slots_[cur_]; }
+  /// Messages arriving this tick, in send order (a borrowed view: valid
+  /// until the next begin_cycle / take_arrivals on this channel).
+  std::span<const T> arrivals() const {
+    const auto& s = slots_[cur_];
+    return {s.data(), s.size()};
+  }
 
   /// Take all arrivals (consuming them so repeated reads are safe).
   std::vector<T> take_arrivals() {
     std::vector<T> out;
     out.swap(slots_[cur_]);
+    stored_ -= static_cast<int>(out.size());
+    if (items_counter_ != nullptr)
+      *items_counter_ -= static_cast<int64_t>(out.size());
     return out;
   }
 
-  bool idle() const {
-    for (const auto& s : slots_)
-      if (!s.empty()) return false;
-    return true;
-  }
+  /// Total messages in the ring, including arrivals already exposed but not
+  /// yet recycled. O(1).
+  int stored() const { return stored_; }
 
-  size_t in_flight_count() const {
-    size_t n = 0;
-    for (size_t i = 0; i < slots_.size(); ++i)
-      if (i != cur_) n += slots_[i].size();
-    return n;
-  }
+  bool idle() const { return stored_ == 0; }
 
  private:
   size_t slot_index(Cycle c) const {
@@ -80,6 +129,11 @@ class Channel {
   std::vector<std::vector<T>> slots_;
   size_t cur_ = 0;
   Cycle prev_ = -1;
+  int stored_ = 0;
+  ActiveList* registry_ = nullptr;
+  int id_ = -1;
+  int64_t* items_counter_ = nullptr;
+  WakeHook wake_;
 };
 
 }  // namespace noc

@@ -9,10 +9,15 @@
 // without a delta-cycle event queue.
 
 #include <cstdint>
+#include <limits>
 
 namespace noc {
 
 using Cycle = int64_t;
+
+/// Sentinel for "no such cycle" (e.g. a traffic source that can never fire
+/// again without external input; see TrafficSource::next_fire_cycle).
+constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
 
 class Tickable {
  public:

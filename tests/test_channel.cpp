@@ -70,6 +70,59 @@ TEST(Channel, IdleTracking) {
   EXPECT_TRUE(ch.idle());
 }
 
+TEST(Channel, DrainedChannelToleratesSkippedCycles) {
+  // Activity gating stops calling begin_cycle on drained channels; a later
+  // send must fast-forward the ring and deliver with normal latency.
+  Channel<int> ch(1);
+  ch.begin_cycle(0);
+  ch.send(0, 1);
+  ch.begin_cycle(1);
+  ASSERT_EQ(ch.arrivals().size(), 1u);
+  ch.begin_cycle(2);  // recycles the exposed slot; channel fully drained
+  EXPECT_EQ(ch.stored(), 0);
+
+  ch.send(10, 5);  // eight skipped begin_cycles
+  EXPECT_EQ(ch.stored(), 1);
+  ch.begin_cycle(11);
+  ASSERT_EQ(ch.arrivals().size(), 1u);
+  EXPECT_EQ(ch.arrivals()[0], 5);
+  ch.begin_cycle(12);
+  EXPECT_EQ(ch.stored(), 0);
+  EXPECT_TRUE(ch.idle());
+}
+
+TEST(Channel, ZeroLatencySendAfterSkippedCycles) {
+  // The NIC->router lookahead shortcut: latency 0, first send may happen on
+  // a cycle whose begin_cycle was skipped, and the message must be visible
+  // the same cycle.
+  Channel<int> ch(0);
+  ch.begin_cycle(0);
+  ch.begin_cycle(1);
+  ch.send(7, 42);
+  ASSERT_EQ(ch.arrivals().size(), 1u);
+  EXPECT_EQ(ch.arrivals()[0], 42);
+  ch.begin_cycle(8);
+  EXPECT_TRUE(ch.arrivals().empty());
+  EXPECT_EQ(ch.stored(), 0);
+}
+
+TEST(Channel, StoredCountsEverythingInTheRing) {
+  Channel<int> ch(2);
+  ch.begin_cycle(0);
+  ch.send(0, 1);
+  ch.send(0, 2);
+  EXPECT_EQ(ch.stored(), 2);
+  ch.begin_cycle(1);
+  ch.send(1, 3);
+  EXPECT_EQ(ch.stored(), 3);
+  ch.begin_cycle(2);  // two arrivals exposed, still stored
+  EXPECT_EQ(ch.stored(), 3);
+  ch.begin_cycle(3);  // first pair recycled
+  EXPECT_EQ(ch.stored(), 1);
+  ch.begin_cycle(4);
+  EXPECT_EQ(ch.stored(), 0);
+}
+
 struct Counter : Steppable {
   Cycle last = -1;
   int steps = 0;

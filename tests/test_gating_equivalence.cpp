@@ -1,0 +1,216 @@
+// Activity-gated stepping must be metric-invisible (docs/PERF.md): for any
+// traffic pattern, workload family and pipeline mode, a network stepped with
+// activity gating on must produce bit-identical PointResults -- every
+// latency average, throughput figure and raw energy event count -- to the
+// same config stepped through the full phase walk. Gating may only skip
+// work that is a provable no-op, so any divergence here is a missed wake-up
+// edge or a skipped tick that was not actually idle.
+#include <gtest/gtest.h>
+
+#include "noc/experiment.hpp"
+#include "noc/network.hpp"
+#include "noc/workload.hpp"
+#include "sim/simulation.hpp"
+
+namespace noc {
+namespace {
+
+void expect_identical(const PointResult& a, const PointResult& b) {
+  EXPECT_EQ(a.offered_fpc, b.offered_fpc);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.recv_flits_per_cycle, b.recv_flits_per_cycle);
+  EXPECT_EQ(a.recv_gbps, b.recv_gbps);
+  EXPECT_EQ(a.bypass_rate, b.bypass_rate);
+  EXPECT_EQ(a.completed_packets, b.completed_packets);
+  EXPECT_EQ(a.max_ejection_load, b.max_ejection_load);
+  EXPECT_EQ(a.max_bisection_load, b.max_bisection_load);
+  EXPECT_EQ(a.energy.xbar_traversals, b.energy.xbar_traversals);
+  EXPECT_EQ(a.energy.link_traversals, b.energy.link_traversals);
+  EXPECT_EQ(a.energy.nic_link_traversals, b.energy.nic_link_traversals);
+  EXPECT_EQ(a.energy.buffer_writes, b.energy.buffer_writes);
+  EXPECT_EQ(a.energy.buffer_reads, b.energy.buffer_reads);
+  EXPECT_EQ(a.energy.sa1_arbitrations, b.energy.sa1_arbitrations);
+  EXPECT_EQ(a.energy.sa2_arbitrations, b.energy.sa2_arbitrations);
+  EXPECT_EQ(a.energy.vc_allocations, b.energy.vc_allocations);
+  EXPECT_EQ(a.energy.lookaheads_sent, b.energy.lookaheads_sent);
+  EXPECT_EQ(a.energy.bypasses, b.energy.bypasses);
+  EXPECT_EQ(a.energy.partial_bypasses, b.energy.partial_bypasses);
+  EXPECT_EQ(a.energy.buffered_hops, b.energy.buffered_hops);
+  EXPECT_EQ(a.energy.vc_active_cycles, b.energy.vc_active_cycles);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.avg_transaction_latency, b.avg_transaction_latency);
+  EXPECT_EQ(a.max_transaction_latency, b.max_transaction_latency);
+  EXPECT_EQ(a.transactions_per_cycle, b.transactions_per_cycle);
+}
+
+constexpr MeasureOptions kOpt{.warmup = 300, .window = 900};
+
+void expect_gating_invisible(NetworkConfig cfg, double offered) {
+  SCOPED_TRACE(std::string("pattern=") +
+               traffic_pattern_name(cfg.traffic.pattern) +
+               " workload=" + workload_kind_name(cfg.workload.kind) +
+               " pipeline=" + std::to_string(static_cast<int>(
+                                  cfg.router.pipeline)) +
+               (cfg.traffic.identical_prbs ? " identical-prbs" : ""));
+  cfg.activity_gating = true;
+  const PointResult gated = measure_point(cfg, offered, kOpt);
+  cfg.activity_gating = false;
+  const PointResult full = measure_point(cfg, offered, kOpt);
+  expect_identical(gated, full);
+}
+
+NetworkConfig pipeline_config(PipelineMode p) {
+  switch (p) {
+    case PipelineMode::Proposed: return NetworkConfig::proposed(4);
+    case PipelineMode::ThreeStage: return NetworkConfig::lowswing_multicast(4);
+    case PipelineMode::FourStage: return NetworkConfig::baseline_4stage(4);
+  }
+  return NetworkConfig::proposed(4);
+}
+
+constexpr PipelineMode kPipelines[] = {
+    PipelineMode::Proposed, PipelineMode::ThreeStage, PipelineMode::FourStage};
+
+TEST(GatingEquivalence, OpenLoopAllPatternsAllPipelines) {
+  constexpr TrafficPattern kPatterns[] = {
+      TrafficPattern::UniformRequest, TrafficPattern::MixedPaper,
+      TrafficPattern::BroadcastOnly,  TrafficPattern::Transpose,
+      TrafficPattern::BitComplement,  TrafficPattern::Tornado,
+      TrafficPattern::NearestNeighbor};
+  for (PipelineMode p : kPipelines) {
+    for (TrafficPattern pattern : kPatterns) {
+      NetworkConfig cfg = pipeline_config(p);
+      cfg.traffic.pattern = pattern;
+      cfg.traffic.seed = 7;
+      const double offered =
+          pattern == TrafficPattern::BroadcastOnly ? 0.04 : 0.10;
+      expect_gating_invisible(cfg, offered);
+    }
+  }
+}
+
+TEST(GatingEquivalence, IdenticalPrbsTimedSleep) {
+  // The identical-PRBS accumulator is the one source that predicts exact
+  // future fire cycles, driving the timed-wake path; cover it at a load
+  // sparse enough that NICs park between bursts, for every pipeline.
+  for (PipelineMode p : kPipelines) {
+    for (TrafficPattern pattern :
+         {TrafficPattern::UniformRequest, TrafficPattern::MixedPaper}) {
+      NetworkConfig cfg = pipeline_config(p);
+      cfg.traffic.pattern = pattern;
+      cfg.traffic.identical_prbs = true;
+      expect_gating_invisible(cfg, 0.05);
+    }
+  }
+}
+
+TEST(GatingEquivalence, NearSaturation) {
+  // Dense traffic exercises every arbitration path with nothing asleep;
+  // gating must degrade into the full walk without perturbing a thing.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  expect_gating_invisible(cfg, 0.60);
+}
+
+TEST(GatingEquivalence, ClosedLoopAllPipelines) {
+  for (PipelineMode p : kPipelines) {
+    NetworkConfig cfg = pipeline_config(p);
+    cfg.workload.kind = WorkloadKind::ClosedLoop;
+    cfg.workload.closed.window = 4;
+    cfg.workload.closed.issue_prob = 0.05;  // sparse: think-time sleeps
+    cfg.workload.closed.think_time = 6;
+    expect_gating_invisible(cfg, 0.0);
+  }
+}
+
+TEST(GatingEquivalence, ClosedLoopSaturating) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 8;
+  cfg.workload.closed.issue_prob = 1.0;
+  expect_gating_invisible(cfg, 0.0);
+}
+
+TEST(GatingEquivalence, TraceReplay) {
+  auto trace = std::make_shared<Trace>();
+  {
+    NetworkConfig rec = NetworkConfig::proposed(4);
+    rec.traffic.pattern = TrafficPattern::MixedPaper;
+    rec.traffic.offered_flits_per_node_cycle = 0.06;
+    Network net(rec);
+    net.record_trace(trace.get());
+    Simulation sim(net);
+    sim.run(2000);
+  }
+  ASSERT_FALSE(trace->records.empty());
+  for (PipelineMode p : kPipelines) {
+    NetworkConfig cfg = pipeline_config(p);
+    cfg.workload.kind = WorkloadKind::Trace;
+    cfg.workload.trace.trace = trace;
+    expect_gating_invisible(cfg, 0.0);
+  }
+}
+
+TEST(GatingEquivalence, MidRunRateChangeOverSleepingNics) {
+  // Regression: set_rate while identical-PRBS NICs are parked between
+  // fires. The slept-through cycles were governed by the OLD rate; the
+  // replay must use it (TrafficGenerator stashes it), or the accumulator
+  // phase -- and every subsequent fire -- diverges from the ungated walk.
+  struct Totals {
+    int64_t completed;
+    double latency_sum;
+    int64_t xbar;
+  };
+  Totals results[2];
+  for (bool gating : {true, false}) {
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.activity_gating = gating;
+    cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    cfg.traffic.identical_prbs = true;
+    cfg.traffic.offered_flits_per_node_cycle = 0.02;  // fires ~100 apart
+    Network net(cfg);
+    Simulation sim(net);
+    sim.run(517);  // mid-sleep for every NIC
+    for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+      net.nic(n).source().set_rate(0.17);
+    sim.run(2000);
+    for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+      net.nic(n).source().set_rate(0.0);  // a second change, mid-sleep again
+    sim.run(300);
+    for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+      net.nic(n).source().set_rate(0.05);
+    sim.run(1000);
+    results[gating ? 0 : 1] =
+        Totals{net.metrics().total_completed(),
+               net.metrics().latency_stat().sum(),
+               net.energy().xbar_traversals};
+  }
+  EXPECT_EQ(results[0].completed, results[1].completed);
+  EXPECT_EQ(results[0].latency_sum, results[1].latency_sum);
+  EXPECT_EQ(results[0].xbar, results[1].xbar);
+}
+
+TEST(GatingEquivalence, DrainReachesQuiescenceAtTheSameCycle) {
+  // quiescent() is a pure function of architectural state, so a gated and
+  // an ungated network must drain in exactly the same number of cycles.
+  Cycle reference = -1;
+  for (bool gating : {true, false}) {
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.activity_gating = gating;
+    cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    cfg.traffic.offered_flits_per_node_cycle = 0.10;
+    Network net(cfg);
+    Simulation sim(net);
+    sim.run(1000);
+    for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+      net.nic(n).source().set_rate(0.0);
+    ASSERT_TRUE(sim.run_until([&] { return net.quiescent(); }, 10000));
+    if (reference < 0)
+      reference = sim.now();
+    else
+      EXPECT_EQ(sim.now(), reference);
+  }
+}
+
+}  // namespace
+}  // namespace noc

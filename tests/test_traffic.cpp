@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <map>
+#include <vector>
 
 #include "noc/traffic.hpp"
 
@@ -148,6 +149,142 @@ TEST(Traffic, TransposeDiagonalStaysSilent) {
   // Node (1,1) = id 5 is on the diagonal: transpose maps it to itself.
   TrafficGenerator gen(g, base_cfg(TrafficPattern::Transpose, 0.9), 5);
   for (Cycle t = 0; t < 500; ++t) EXPECT_FALSE(gen.generate(t).has_value());
+}
+
+// Destination histogram over many unicast draws; shared by the PRBS-mode
+// regression tests below.
+std::map<NodeId, int> dest_histogram(TrafficConfig cfg, NodeId node,
+                                     int cycles, int* total_out) {
+  MeshGeometry g(4);
+  TrafficGenerator gen(g, cfg, node);
+  std::map<NodeId, int> dests;
+  int total = 0;
+  for (Cycle t = 0; t < cycles; ++t) {
+    if (auto p = gen.generate(t)) {
+      ++dests[g.nodes_in(p->dest_mask).front()];
+      ++total;
+    }
+  }
+  *total_out = total;
+  return dests;
+}
+
+TEST(Traffic, SyncedPrbsDestinationsAreUnbiased) {
+  // Regression for the synchronized-PRBS destination bug: draws 0 and 1
+  // both mapped to node+1, so one destination carried 2x probability. The
+  // fixed mapping draws from n-1 and must be uniform over all 15 others.
+  auto cfg = base_cfg(TrafficPattern::UniformRequest, 0.9);
+  cfg.identical_prbs = true;
+  int total = 0;
+  const NodeId node = 9;
+  const auto dests = dest_histogram(cfg, node, 30000, &total);
+  ASSERT_GT(total, 20000);
+  EXPECT_EQ(dests.size(), 15u);
+  EXPECT_EQ(dests.count(node), 0u);
+  for (const auto& [d, c] : dests)
+    EXPECT_NEAR(c / static_cast<double>(total), 1.0 / 15.0, 0.02)
+        << "destination " << d << " over/under-weighted";
+}
+
+TEST(Traffic, SyncedPrbsLegacyBiasReachableBehindFlag) {
+  // The seed-faithful mapping stays available for baseline comparisons and
+  // must exhibit exactly the documented artifact: node+1 at ~2x weight.
+  auto cfg = base_cfg(TrafficPattern::UniformRequest, 0.9);
+  cfg.identical_prbs = true;
+  cfg.synced_dest_bias = true;
+  int total = 0;
+  const NodeId node = 9;
+  const auto dests = dest_histogram(cfg, node, 30000, &total);
+  ASSERT_GT(total, 20000);
+  const double hot = dests.at((node + 1) % 16) / static_cast<double>(total);
+  EXPECT_NEAR(hot, 2.0 / 16.0, 0.02);
+  for (const auto& [d, c] : dests) {
+    if (d == (node + 1) % 16) continue;
+    EXPECT_NEAR(c / static_cast<double>(total), 1.0 / 16.0, 0.02);
+  }
+}
+
+TEST(Traffic, SyncedPrbsDrawsFormAPermutation) {
+  // All 16 generators share one PRBS stream; at every synchronized fire the
+  // relative mapping must scatter them onto 16 DISTINCT destinations (the
+  // chip's permutation property the bias was breaking).
+  MeshGeometry g(4);
+  auto cfg = base_cfg(TrafficPattern::UniformRequest, 0.9);
+  cfg.identical_prbs = true;
+  std::vector<TrafficGenerator> gens;
+  for (NodeId n = 0; n < 16; ++n) gens.emplace_back(g, cfg, n);
+  int fires = 0;
+  for (Cycle t = 0; t < 2000; ++t) {
+    DestMask seen = 0;
+    int count = 0;
+    for (auto& gen : gens) {
+      if (auto p = gen.generate(t)) {
+        seen |= p->dest_mask;
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    ASSERT_EQ(count, 16);  // synchronized: all fire together
+    EXPECT_EQ(std::popcount(seen), 16) << "destination collision at " << t;
+    ++fires;
+  }
+  EXPECT_GT(fires, 500);
+}
+
+TEST(Traffic, NonSyncedDestinationsStayUniform) {
+  // The independent-stream path must be untouched by the fix: uniform over
+  // the 15 non-self destinations (histogram twin of the synced test).
+  int total = 0;
+  const auto dests = dest_histogram(
+      base_cfg(TrafficPattern::UniformRequest, 0.9), 9, 30000, &total);
+  ASSERT_GT(total, 20000);
+  EXPECT_EQ(dests.size(), 15u);
+  for (const auto& [d, c] : dests)
+    EXPECT_NEAR(c / static_cast<double>(total), 1.0 / 15.0, 0.02);
+}
+
+TEST(Traffic, NearestNeighborReflectsAtTheEastEdge) {
+  // The east-edge column used to wrap to x=0: a (k-1)-hop packet on a mesh
+  // with no wraparound link. It must now reflect to its west neighbor, so
+  // every node emits genuine 1-hop traffic.
+  MeshGeometry g(4);
+  for (NodeId n = 0; n < 16; ++n) {
+    TrafficGenerator gen(g, base_cfg(TrafficPattern::NearestNeighbor, 0.9), n);
+    for (Cycle t = 0; t < 100; ++t) {
+      if (auto p = gen.generate(t)) {
+        const NodeId d = g.nodes_in(p->dest_mask).front();
+        EXPECT_EQ(g.manhattan(n, d), 1) << "node " << n << " -> " << d;
+        const Coord c = g.coord(n);
+        EXPECT_EQ(d, c.x + 1 < g.k() ? g.id(c.x + 1, c.y)
+                                     : g.id(c.x - 1, c.y));
+      }
+    }
+  }
+}
+
+TEST(Traffic, GeneratorToleratesSkippedCyclesBelowNextFire) {
+  // The gating contract: calling generate() only at next_fire_cycle() must
+  // yield the same fire cycles and packets as calling it every cycle.
+  MeshGeometry g(4);
+  auto cfg = base_cfg(TrafficPattern::MixedPaper, 0.05);
+  cfg.identical_prbs = true;
+  TrafficGenerator dense(g, cfg, 3), sparse(g, cfg, 3);
+  Cycle next = 0;
+  for (Cycle t = 0; t < 20000; ++t) {
+    auto pd = dense.generate(t);
+    if (t < next) {
+      ASSERT_FALSE(pd.has_value()) << "next_fire_cycle missed a fire at " << t;
+      continue;
+    }
+    auto ps = sparse.generate(t);
+    ASSERT_EQ(pd.has_value(), ps.has_value()) << "cycle " << t;
+    if (pd) {
+      EXPECT_EQ(pd->dest_mask, ps->dest_mask);
+      EXPECT_EQ(pd->mc, ps->mc);
+      EXPECT_EQ(pd->gen_cycle, ps->gen_cycle);
+    }
+    next = sparse.next_fire_cycle(t + 1);
+  }
 }
 
 TEST(Traffic, PacketIdsAreUniquePerNodeAndMonotone) {

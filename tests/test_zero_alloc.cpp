@@ -91,6 +91,18 @@ TEST(ZeroAlloc, BaselineRouterWithNicDuplication) {
   EXPECT_EQ(allocations_during_run(cfg, 4000, 6000), 0u);
 }
 
+TEST(ZeroAlloc, GatedIdenticalPrbsSleepWake) {
+  // Sparse identical-PRBS traffic drives the activity machinery hardest:
+  // NICs park on timed wake-ups between synchronized bursts, channels churn
+  // on and off the active list, routers sleep between waves. None of that
+  // bookkeeping may touch the heap.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.identical_prbs = true;
+  cfg.traffic.offered_flits_per_node_cycle = 0.05;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
 TEST(ZeroAlloc, FourStagePipelineSteadyState) {
   NetworkConfig cfg = NetworkConfig::baseline_4stage(4);
   cfg.traffic.pattern = TrafficPattern::UniformRequest;
