@@ -1,0 +1,80 @@
+#pragma once
+// Shared helper for benches that append custom rows into BENCH_perf.json
+// (google-benchmark's JSON schema, the file bench_perf_microbench writes):
+// closed_loop_latency and large_k_scaling both feed the cross-PR perf
+// tracker through this. Header-only on purpose -- bench/ binaries link
+// only noc_core.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace noc::benchjson {
+
+/// One appended benchmark row: items_per_second plus a single
+/// bench-specific extra metric (named so the JSON stays self-describing).
+struct Entry {
+  std::string name;
+  double items_per_second = 0;
+  std::string extra_key;
+  double extra_value = 0;
+};
+
+inline std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  std::string s;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, n);
+  std::fclose(f);
+  return s;
+}
+
+inline std::string format_entries(const std::vector<Entry>& entries) {
+  std::string out;
+  char line[320];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::snprintf(line, sizeof line,
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"run_type\": \"iteration\",\n"
+                  "      \"items_per_second\": %.6e,\n"
+                  "      \"%s\": %.6f\n"
+                  "    }%s\n",
+                  entries[i].name.c_str(), entries[i].items_per_second,
+                  entries[i].extra_key.c_str(), entries[i].extra_value,
+                  i + 1 < entries.size() ? "," : "");
+    out += line;
+  }
+  return out;
+}
+
+/// Append entries into the existing file's "benchmarks" array (the array is
+/// the last bracketed region in google-benchmark's output), or create a
+/// minimal file when absent/unparseable.
+inline bool append_entries(const std::string& path,
+                           const std::vector<Entry>& entries) {
+  std::string body = read_file(path);
+  const size_t close = body.rfind(']');
+  std::string out;
+  if (close == std::string::npos) {
+    out = "{\n  \"context\": {},\n  \"benchmarks\": [\n" +
+          format_entries(entries) + "  ]\n}\n";
+  } else {
+    // Comma only if the array already holds an entry.
+    size_t prev = close;
+    while (prev > 0 && (body[prev - 1] == ' ' || body[prev - 1] == '\n' ||
+                        body[prev - 1] == '\t' || body[prev - 1] == '\r'))
+      --prev;
+    const bool empty_array = prev > 0 && body[prev - 1] == '[';
+    out = body.substr(0, close) + (empty_array ? "\n" : ",\n") +
+          format_entries(entries) + body.substr(close);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(out.data(), 1, out.size(), f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace noc::benchjson

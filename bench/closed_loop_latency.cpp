@@ -14,79 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
 
 using namespace noc;
 using noc::Table;
-
-namespace {
-
-struct BenchEntry {
-  std::string name;
-  double items_per_second = 0;  // miss transactions per second at 1 GHz
-  double miss_latency_cycles = 0;
-};
-
-std::string read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return {};
-  std::string s;
-  char buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, n);
-  std::fclose(f);
-  return s;
-}
-
-std::string format_entries(const std::vector<BenchEntry>& entries) {
-  std::string out;
-  char line[256];
-  for (size_t i = 0; i < entries.size(); ++i) {
-    std::snprintf(line, sizeof line,
-                  "    {\n"
-                  "      \"name\": \"%s\",\n"
-                  "      \"run_type\": \"iteration\",\n"
-                  "      \"items_per_second\": %.6e,\n"
-                  "      \"miss_latency_cycles\": %.6f\n"
-                  "    }%s\n",
-                  entries[i].name.c_str(), entries[i].items_per_second,
-                  entries[i].miss_latency_cycles,
-                  i + 1 < entries.size() ? "," : "");
-    out += line;
-  }
-  return out;
-}
-
-/// Append entries into the existing file's "benchmarks" array (the array is
-/// the last bracketed region in google-benchmark's output), or create a
-/// minimal file when absent/unparseable.
-bool append_bench_json(const std::string& path,
-                       const std::vector<BenchEntry>& entries) {
-  std::string body = read_file(path);
-  const size_t close = body.rfind(']');
-  std::string out;
-  if (close == std::string::npos) {
-    out = "{\n  \"context\": {},\n  \"benchmarks\": [\n" +
-          format_entries(entries) + "  ]\n}\n";
-  } else {
-    // Comma only if the array already holds an entry.
-    size_t prev = close;
-    while (prev > 0 && (body[prev - 1] == ' ' || body[prev - 1] == '\n' ||
-                        body[prev - 1] == '\t' || body[prev - 1] == '\r'))
-      --prev;
-    const bool empty_array = prev > 0 && body[prev - 1] == '[';
-    out = body.substr(0, close) + (empty_array ? "\n" : ",\n") +
-          format_entries(entries) + body.substr(close);
-  }
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fwrite(out.data(), 1, out.size(), f);
-  return std::fclose(f) == 0;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
@@ -124,7 +58,7 @@ int main(int argc, char** argv) {
   t.set_columns({"Window", "Misses/node/cyc", "Miss lat avg (cyc)",
                  "Miss lat max (cyc)", "Net pkt lat (cyc)", "Recv (Gb/s)",
                  "Bypass rate"});
-  std::vector<BenchEntry> entries;
+  std::vector<benchjson::Entry> entries;
   for (const PointResult& p : curve) {
     t.add_row({Table::fmt_int(p.closed_loop_window),
                Table::fmt(p.transactions_per_cycle / nodes, 4),
@@ -132,17 +66,18 @@ int main(int argc, char** argv) {
                Table::fmt(p.max_transaction_latency, 0),
                Table::fmt(p.avg_latency, 1), Table::fmt(p.recv_gbps, 0),
                Table::fmt(p.bypass_rate, 2)});
-    BenchEntry e;
+    benchjson::Entry e;
     e.name = "closed_loop_latency/window=" +
              std::to_string(p.closed_loop_window);
     // transactions/cycle at 1 GHz -> transactions/second.
     e.items_per_second = p.transactions_per_cycle * 1e9;
-    e.miss_latency_cycles = p.avg_transaction_latency;
+    e.extra_key = "miss_latency_cycles";
+    e.extra_value = p.avg_transaction_latency;
     entries.push_back(e);
   }
   t.print();
 
-  if (append_bench_json(out_path, entries))
+  if (benchjson::append_entries(out_path, entries))
     std::printf("\nAppended %zu closed-loop entries to %s\n", entries.size(),
                 out_path.c_str());
   else

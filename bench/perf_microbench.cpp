@@ -83,6 +83,17 @@ void BM_Proposed8x8Uniform(benchmark::State& state) {
 }
 BENCHMARK(BM_Proposed8x8Uniform)->Unit(benchmark::kMicrosecond);
 
+/// Past the single-word DestMask boundary (144 nodes): tracks the cost of
+/// the multi-word mask datapath at a radix the old uint64_t mask could not
+/// represent. items_per_second is node-cycles/s, so this row is comparable
+/// across radices.
+void BM_Proposed12x12Uniform(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  run_cycles(state, cfg, 0.10);
+}
+BENCHMARK(BM_Proposed12x12Uniform)->Unit(benchmark::kMicrosecond);
+
 void BM_NetworkConstruction(benchmark::State& state) {
   const auto k = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -90,7 +101,11 @@ void BM_NetworkConstruction(benchmark::State& state) {
     benchmark::DoNotOptimize(&net);
   }
 }
-BENCHMARK(BM_NetworkConstruction)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NetworkConstruction)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
 
 /// Multi-point sweep through ExperimentRunner: the workload the parallel
 /// engine accelerates. Thread count is the benchmark argument (1 = serial

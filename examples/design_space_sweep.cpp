@@ -17,20 +17,29 @@ using noc::Table;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
-    std::printf("usage: %s [--warmup N] [--window N] [--threads N]\n",
-                argv[0]);
+    std::printf(
+        "usage: %s [--warmup N] [--window N] [--threads N] [--k N]\n"
+        "  --k extends the radix sweep past its default 2..8 list (even\n"
+        "  radices 10..k are appended) and sizes the pattern/pipeline\n"
+        "  sweeps (default 4; up to %d -- larger values are rejected, not\n"
+        "  truncated)\n",
+        argv[0], kMaxMeshRadix);
     return 0;
   }
   const MeasureOptions opt =
       cli_measure_options(args, {.warmup = 1500, .window = 6000});
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  const int max_k = cli_mesh_radix(args, 4);
   if (!args.check_unused()) return 1;
 
   // 1. Mesh radix sweep: how the proposed router scales past the chip.
+  //    --k extends the sweep past the default list (multi-word DestMask:
+  //    anything up to kMaxMeshRadix simulates).
   Table k_sweep("Mesh radix sweep, uniform 1-flit requests");
   k_sweep.set_columns({"k", "Zero-load lat (cyc)", "Theory H+2",
                        "Sat throughput (Gb/s)", "Ejection-limit (Gb/s)"});
-  const int radices[] = {2, 3, 4, 5, 6, 8};
+  std::vector<int> radices = {2, 3, 4, 5, 6, 8};
+  for (int k = 10; k <= max_k; k += 2) radices.push_back(k);
   std::vector<NetworkConfig> k_cfgs;
   for (int k : radices) {
     NetworkConfig cfg = NetworkConfig::proposed(k);
@@ -51,8 +60,10 @@ int main(int argc, char** argv) {
   k_sweep.print();
   std::printf("\n");
 
-  // 2. Pattern sweep at the chip's size: adversarial permutations.
-  Table pat("Traffic-pattern sweep, proposed 4x4");
+  // 2. Pattern sweep at the selected size: adversarial permutations.
+  const std::string kxk =
+      std::to_string(max_k) + "x" + std::to_string(max_k);
+  Table pat("Traffic-pattern sweep, proposed " + kxk);
   pat.set_columns({"Pattern", "Zero-load lat (cyc)", "Sat throughput (Gb/s)"});
   const TrafficPattern patterns[] = {
       TrafficPattern::UniformRequest, TrafficPattern::Transpose,
@@ -60,7 +71,7 @@ int main(int argc, char** argv) {
       TrafficPattern::NearestNeighbor, TrafficPattern::BroadcastOnly};
   std::vector<NetworkConfig> pat_cfgs;
   for (auto p : patterns) {
-    NetworkConfig cfg = NetworkConfig::proposed(4);
+    NetworkConfig cfg = NetworkConfig::proposed(max_k);
     cfg.traffic.pattern = p;
     pat_cfgs.push_back(cfg);
   }
@@ -74,16 +85,18 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   // 3. Pipeline sweep under the paper's mixed traffic.
-  Table pipe("Pipeline sweep, mixed traffic, 4x4");
+  Table pipe("Pipeline sweep, mixed traffic, " + kxk);
   pipe.set_columns({"Router", "Zero-load lat (cyc)", "Sat throughput (Gb/s)"});
   struct Row {
     const char* name;
     NetworkConfig cfg;
   } rows[] = {
-      {"proposed (1-cycle bypass + multicast)", NetworkConfig::proposed(4)},
-      {"3-stage + multicast, no bypass", NetworkConfig::lowswing_multicast(4)},
-      {"3-stage unicast baseline", NetworkConfig::baseline_3stage(4)},
-      {"4-stage textbook baseline", NetworkConfig::baseline_4stage(4)},
+      {"proposed (1-cycle bypass + multicast)",
+       NetworkConfig::proposed(max_k)},
+      {"3-stage + multicast, no bypass",
+       NetworkConfig::lowswing_multicast(max_k)},
+      {"3-stage unicast baseline", NetworkConfig::baseline_3stage(max_k)},
+      {"4-stage textbook baseline", NetworkConfig::baseline_4stage(max_k)},
   };
   std::vector<NetworkConfig> pipe_cfgs;
   for (auto& r : rows) {

@@ -3,6 +3,7 @@
 //
 // Flags: --pattern NAME (e.g. uniform, mixed, broadcast, transpose)
 //        --load R (flits/node/cycle)
+//        --k N (mesh radix, 2..16; beyond DestMask capacity is rejected)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -16,12 +17,14 @@ using namespace noc;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
-    std::printf("usage: %s [--pattern NAME] [--load R]\n", argv[0]);
+    std::printf("usage: %s [--pattern NAME] [--load R] [--k N]\n", argv[0]);
     return 0;
   }
-  // 1. Configure the fabricated design: 4x4 mesh, single-cycle virtual
-  //    bypassing, router-level multicast, 4x1 REQ + 2x3 RESP VCs.
-  NetworkConfig cfg = NetworkConfig::proposed(4);
+  // 1. Configure the fabricated design: 4x4 mesh by default (--k scales it
+  //    up to the DestMask capacity), single-cycle virtual bypassing,
+  //    router-level multicast, 4x1 REQ + 2x3 RESP VCs.
+  const int k = cli_mesh_radix(args, 4);
+  NetworkConfig cfg = NetworkConfig::proposed(k);
   cfg.traffic.pattern = TrafficPattern::MixedPaper;  // Fig 5's traffic
   cfg.traffic.offered_flits_per_node_cycle = args.get_double("load", 0.10);
   if (const std::string p = args.get_str("pattern", ""); !p.empty()) {
@@ -44,14 +47,14 @@ int main(int argc, char** argv) {
 
   // 3. Read the results.
   const Metrics& m = net.metrics();
-  std::printf("== quickstart: proposed 4x4 NoC, %s traffic @ %.2f flits/node/cycle ==\n",
-              traffic_pattern_name(cfg.traffic.pattern),
+  std::printf("== quickstart: proposed %dx%d NoC, %s traffic @ %.2f flits/node/cycle ==\n",
+              k, k, traffic_pattern_name(cfg.traffic.pattern),
               cfg.traffic.offered_flits_per_node_cycle);
   std::printf("packets completed        : %lld\n",
               static_cast<long long>(m.completed_packets()));
   std::printf("avg packet latency       : %.2f cycles (theory limit %.2f)\n",
               m.avg_packet_latency(),
-              theory::zero_load_latency_limit_mixed(4));
+              theory::zero_load_latency_limit_mixed(k));
   std::printf("  unicast requests       : %.2f cycles\n",
               m.latency_stat(PacketKind::UnicastRequest).mean());
   std::printf("  unicast responses      : %.2f cycles\n",
@@ -60,12 +63,12 @@ int main(int argc, char** argv) {
               m.latency_stat(PacketKind::Broadcast).mean());
   std::printf("received throughput      : %.1f Gb/s (limit %.0f)\n",
               m.received_flits_per_cycle() * 64.0,
-              theory::aggregate_throughput_limit_gbps(4));
+              theory::aggregate_throughput_limit_gbps(k));
   std::printf("bypass rate              : %.1f%% of hops skipped buffering\n",
               100.0 * net.energy().bypass_rate());
 
   // 4. Energy: event counts -> calibrated 45nm SOI power model.
-  const auto power = power::compute_power(net.energy(), 16,
+  const auto power = power::compute_power(net.energy(), k * k,
                                           power::calibrated_tech45(),
                                           /*lowswing_datapath=*/true);
   std::printf("network power            : %.1f mW (datapath %.1f, buffers %.1f,\n"

@@ -8,13 +8,16 @@
 // membership flags), so steady-state insert/sweep never touches the heap.
 //
 // WakeHook is a one-bit wake target: a component sets a bit in a
-// Network-owned mask to schedule another component (or itself) for
-// execution. Null hooks are no-ops, so ungated networks pay nothing.
+// Network-owned per-node mask (a DestMask, one bit per node -- the same
+// multi-word bitset the datapath uses for destination sets) to schedule
+// another component (or itself) for execution. Null hooks are no-ops, so
+// ungated networks pay nothing.
 
 #include <cstdint>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/dest_mask.hpp"
 
 namespace noc {
 
@@ -69,11 +72,11 @@ class ActiveList {
 };
 
 struct WakeHook {
-  uint64_t* mask = nullptr;
-  uint64_t bit = 0;
+  DestMask* mask = nullptr;
+  int bit = 0;
 
   void fire() const {
-    if (mask != nullptr) *mask |= bit;
+    if (mask != nullptr) mask->set(bit);
   }
 };
 

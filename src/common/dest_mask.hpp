@@ -1,0 +1,227 @@
+#pragma once
+// DestMask: fixed-capacity multi-word destination bitset (one bit per mesh
+// node). Replaces the raw uint64_t mask that capped the simulator at 64
+// nodes: 4 x 64-bit words cover k <= 16 (256 nodes), large enough to study
+// how far past the prototype the paper's theoretical-limit analysis holds
+// (docs/SCALING.md).
+//
+// Design constraints (in priority order):
+//  - Zero heap: plain array storage, trivially copyable, so Flit/Packet/
+//    Branch copies stay memcpy and the steady-state no-allocation invariant
+//    (docs/PERF.md) is untouched.
+//  - Single-word fast path: masks on k <= 8 meshes only ever populate word
+//    0, so the word loops below are written to short-circuit (any, lowest,
+//    for_each) or to unroll into straight-line word ops the compiler
+//    vectorizes (and/or/andnot/count). k <= 8 configs keep their perf; the
+//    regression gate on the existing k=8 microbench rows enforces it.
+//  - No silent truncation, even at compile time: the uint64_t constructor
+//    is explicit, so the pre-multiword idioms that would quietly produce a
+//    word-0-only mask (`dest_mask = 1u << n`, comparisons against integer
+//    literals) are build errors. Single bits come from bit()/node_mask,
+//    all-ones masks from first_n; a literal single-word mask is spelled
+//    DestMask{0x1f}.
+//
+// Word-boundary pitfalls this type exists to make unrepresentable are
+// catalogued in docs/SCALING.md; tests/test_routing.cpp and
+// tests/test_multiflit_multicast.cpp pin destination sets that straddle the
+// 64/128/192-bit seams.
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace noc {
+
+class DestMask {
+ public:
+  static constexpr int kWords = 4;
+  static constexpr int kCapacity = kWords * 64;  // nodes => mesh k <= 16
+  /// Hex digits of the widest mask (to_hex buffer sizing).
+  static constexpr int kMaxHexChars = kCapacity / 4;
+
+  constexpr DestMask() = default;
+  /// Explicit on purpose: a bare integer is only ever a *single-word* mask,
+  /// and letting `mask = 1 << n` convert silently would reintroduce the
+  /// word-0 truncation bug this class exists to make unrepresentable
+  /// (docs/SCALING.md). Spell literals DestMask{0x1f}; build single bits
+  /// with bit().
+  constexpr explicit DestMask(uint64_t low) : w_{low, 0, 0, 0} {}
+
+  /// Mask with only bit `n` set.
+  static constexpr DestMask bit(int n) {
+    NOC_EXPECTS(n >= 0 && n < kCapacity);
+    DestMask m;
+    m.w_[word_of(n)] = bit_of(n);
+    return m;
+  }
+
+  /// Mask with the lowest `n` bits set (the all-nodes mask of an n-node
+  /// mesh).
+  static constexpr DestMask first_n(int n) {
+    NOC_EXPECTS(n >= 0 && n <= kCapacity);
+    DestMask m;
+    for (int w = 0; w < kWords; ++w) {
+      const int low = w * 64;
+      if (n >= low + 64)
+        m.w_[w] = ~uint64_t{0};
+      else if (n > low)
+        m.w_[w] = (uint64_t{1} << (n - low)) - 1;
+    }
+    return m;
+  }
+
+  constexpr bool test(int n) const {
+    NOC_EXPECTS(n >= 0 && n < kCapacity);
+    return (w_[word_of(n)] & bit_of(n)) != 0;
+  }
+  constexpr void set(int n) {
+    NOC_EXPECTS(n >= 0 && n < kCapacity);
+    w_[word_of(n)] |= bit_of(n);
+  }
+  constexpr void clear(int n) {
+    NOC_EXPECTS(n >= 0 && n < kCapacity);
+    w_[word_of(n)] &= ~bit_of(n);
+  }
+
+  constexpr bool any() const {
+    // Word 0 first: on k <= 8 meshes it decides alone.
+    return w_[0] != 0 || (w_[1] | w_[2] | w_[3]) != 0;
+  }
+  constexpr bool none() const { return !any(); }
+
+  constexpr int count() const {
+    return std::popcount(w_[0]) + std::popcount(w_[1]) +
+           std::popcount(w_[2]) + std::popcount(w_[3]);
+  }
+
+  /// Index of the lowest set bit; kCapacity when empty.
+  constexpr int lowest() const {
+    for (int w = 0; w < kWords; ++w)
+      if (w_[w] != 0) return w * 64 + std::countr_zero(w_[w]);
+    return kCapacity;
+  }
+
+  /// Clear the lowest set bit (no-op when empty).
+  constexpr void clear_lowest() {
+    for (int w = 0; w < kWords; ++w) {
+      if (w_[w] != 0) {
+        w_[w] &= w_[w] - 1;
+        return;
+      }
+    }
+  }
+
+  /// Visit every set bit in ascending index order: fn(int index). The inner
+  /// clear-lowest loop never re-scans lower words, so iteration cost is
+  /// O(set bits) plus one zero-test per word above the last populated one.
+  template <typename Fn>
+  constexpr void for_each(Fn&& fn) const {
+    for (int w = 0; w < kWords; ++w)
+      for (uint64_t rest = w_[w]; rest != 0; rest &= rest - 1)
+        fn(w * 64 + std::countr_zero(rest));
+  }
+
+  constexpr uint64_t word(int i) const {
+    NOC_EXPECTS(i >= 0 && i < kWords);
+    return w_[i];
+  }
+
+  /// this & ~other without materializing the complement.
+  constexpr DestMask andnot(const DestMask& other) const {
+    DestMask r;
+    for (int w = 0; w < kWords; ++w) r.w_[w] = w_[w] & ~other.w_[w];
+    return r;
+  }
+
+  constexpr DestMask& operator&=(const DestMask& o) {
+    for (int w = 0; w < kWords; ++w) w_[w] &= o.w_[w];
+    return *this;
+  }
+  constexpr DestMask& operator|=(const DestMask& o) {
+    for (int w = 0; w < kWords; ++w) w_[w] |= o.w_[w];
+    return *this;
+  }
+  constexpr DestMask& operator^=(const DestMask& o) {
+    for (int w = 0; w < kWords; ++w) w_[w] ^= o.w_[w];
+    return *this;
+  }
+
+  friend constexpr DestMask operator&(DestMask a, const DestMask& b) {
+    return a &= b;
+  }
+  friend constexpr DestMask operator|(DestMask a, const DestMask& b) {
+    return a |= b;
+  }
+  friend constexpr DestMask operator^(DestMask a, const DestMask& b) {
+    return a ^= b;
+  }
+  friend constexpr DestMask operator~(const DestMask& a) {
+    DestMask r;
+    for (int w = 0; w < kWords; ++w) r.w_[w] = ~a.w_[w];
+    return r;
+  }
+
+  friend constexpr bool operator==(const DestMask&, const DestMask&) = default;
+
+  /// Lowercase hex, most-significant digit first, no leading zeros ("0" for
+  /// the empty mask) -- single-word masks render exactly like the old
+  /// %" PRIx64 " output, so v1 trace files round-trip unchanged. `buf` must
+  /// hold at least kMaxHexChars + 1 bytes; returns the string length.
+  int to_hex(char* buf) const {
+    int digits = (kCapacity - leading_zero_bits_nibble_aligned()) / 4;
+    if (digits == 0) digits = 1;
+    for (int i = 0; i < digits; ++i) {
+      const int shift = (digits - 1 - i) * 4;
+      const uint64_t nib = (w_[shift / 64] >> (shift % 64)) & 0xF;
+      buf[i] = nib < 10 ? static_cast<char>('0' + nib)
+                        : static_cast<char>('a' + nib - 10);
+    }
+    buf[digits] = '\0';
+    return digits;
+  }
+
+  /// Parse a hex string as written by to_hex (case-insensitive). Returns
+  /// false on an empty string, a non-hex character, or a value wider than
+  /// kCapacity bits.
+  static bool from_hex(const char* s, DestMask& out) {
+    int len = 0;
+    while (s[len] != '\0') ++len;
+    if (len == 0 || len > kMaxHexChars) return false;
+    DestMask m;
+    for (int i = 0; i < len; ++i) {
+      const char c = s[i];
+      uint64_t nib;
+      if (c >= '0' && c <= '9')
+        nib = static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        nib = static_cast<uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        nib = static_cast<uint64_t>(c - 'A' + 10);
+      else
+        return false;
+      const int shift = (len - 1 - i) * 4;
+      m.w_[shift / 64] |= nib << (shift % 64);
+    }
+    out = m;
+    return true;
+  }
+
+ private:
+  static constexpr int word_of(int n) { return n >> 6; }
+  static constexpr uint64_t bit_of(int n) {
+    return uint64_t{1} << (n & 63);
+  }
+
+  /// Leading-zero bit count rounded DOWN to a nibble (to_hex helper).
+  int leading_zero_bits_nibble_aligned() const {
+    for (int w = kWords - 1; w >= 0; --w)
+      if (w_[w] != 0)
+        return ((kWords - 1 - w) * 64 + std::countl_zero(w_[w])) & ~3;
+    return kCapacity;
+  }
+
+  uint64_t w_[kWords] = {};
+};
+
+}  // namespace noc

@@ -55,7 +55,7 @@ struct VcConfig {
 /// VC allocated by VA, and per-branch send progress.
 struct Branch {
   PortDir out = PortDir::Local;
-  DestMask dests = 0;
+  DestMask dests;
   int ds_vc = -1;        // downstream VC (VA result); -1 = not yet allocated
   int next_seq = 0;      // next flit sequence number to send on this branch
   bool tail_sent = false;

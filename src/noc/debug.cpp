@@ -12,12 +12,12 @@ std::string describe(const Flit& f) {
     case FlitType::Tail: ty = "T"; break;
     case FlitType::HeadTail: ty = "HT"; break;
   }
-  char buf[160];
+  char bm[DestMask::kMaxHexChars + 1];
+  f.branch_mask.to_hex(bm);
+  char buf[192];
   std::snprintf(buf, sizeof buf,
-                "flit{pkt=%llu src=%d dm=%llx bm=%llx mc=%d %s seq=%d/%d vc=%d}",
-                static_cast<unsigned long long>(f.packet_id), f.src,
-                static_cast<unsigned long long>(f.dest_mask),
-                static_cast<unsigned long long>(f.branch_mask),
+                "flit{pkt=%llu src=%d bm=%s mc=%d %s seq=%d/%d vc=%d}",
+                static_cast<unsigned long long>(f.packet_id), f.src, bm,
                 static_cast<int>(f.mc), ty, f.seq, f.packet_len, f.vc);
   return buf;
 }

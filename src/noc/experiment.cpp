@@ -1,6 +1,8 @@
 #include "noc/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/cli.hpp"
 #include "common/units.hpp"
@@ -235,6 +237,19 @@ ExperimentOptions cli_experiment_options(const CliArgs& args,
   opt.measure = cli_measure_options(args, defaults);
   opt.threads = static_cast<int>(args.get_int("threads", 0));
   return opt;
+}
+
+int cli_mesh_radix(const CliArgs& args, int dflt) {
+  const int64_t k = args.get_int("k", dflt);
+  if (k < 2 || k > kMaxMeshRadix) {
+    std::fprintf(stderr,
+                 "invalid --k %lld: mesh radix must be in 2..%d "
+                 "(DestMask capacity is %d nodes)\n",
+                 static_cast<long long>(k), kMaxMeshRadix,
+                 DestMask::kCapacity);
+    std::exit(1);
+  }
+  return static_cast<int>(k);
 }
 
 }  // namespace noc

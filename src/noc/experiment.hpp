@@ -151,6 +151,7 @@ class ExperimentRunner {
 // Command-line conventions shared by benches/examples (common/cli.hpp):
 //   --warmup N --window N   measurement phases (cycles)
 //   --threads N             sweep workers (0 = all hardware threads)
+//   --k N                   mesh radix, 2..kMaxMeshRadix
 
 class CliArgs;
 
@@ -158,5 +159,11 @@ MeasureOptions cli_measure_options(const CliArgs& args,
                                    const MeasureOptions& defaults);
 ExperimentOptions cli_experiment_options(const CliArgs& args,
                                          const MeasureOptions& defaults);
+
+/// Shared `--k N` flag: mesh radix validated against the DestMask capacity.
+/// An out-of-range value prints a diagnostic and exits instead of letting
+/// the geometry's precondition abort deep in construction (or worse,
+/// silently truncating the way a fixed-width mask once would have).
+int cli_mesh_radix(const CliArgs& args, int dflt);
 
 }  // namespace noc

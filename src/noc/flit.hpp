@@ -37,12 +37,15 @@ struct Flit {
   /// id so latency can be measured to the last delivered copy.
   PacketId logical_id = 0;
   NodeId src = 0;
-  /// Full destination set of the packet (1 bit for unicast).
-  DestMask dest_mask = 0;
-  /// Destinations THIS copy is responsible for. On a multicast fork each
-  /// branch copy receives a disjoint partition, so no node is delivered to
-  /// twice (DESIGN.md Sec 3).
-  DestMask branch_mask = 0;
+  /// Destinations THIS copy is responsible for (1 bit for unicast; the
+  /// packet's full set at injection). On a multicast fork each branch copy
+  /// receives a disjoint partition, so no node is delivered to twice
+  /// (DESIGN.md Sec 3). This is the only destination field a flit carries
+  /// -- matching the hardware, whose head flit holds one mask that each
+  /// router rewrites at a fork; the packet-level full set lives in
+  /// Packet::dest_mask. Keeping the flit to a single multi-word mask also
+  /// keeps the hot-path copy small (docs/SCALING.md).
+  DestMask branch_mask;
   MsgClass mc = MsgClass::Request;
   FlitType type = FlitType::HeadTail;
   /// Workload-level correlation tag carried end-to-end (the hardware encodes

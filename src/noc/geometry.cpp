@@ -6,7 +6,7 @@
 namespace noc {
 
 MeshGeometry::MeshGeometry(int k) : k_(k) {
-  NOC_EXPECTS(k >= 2 && k * k <= 64);
+  NOC_EXPECTS(k >= 2 && k <= kMaxMeshRadix);
 }
 
 NodeId MeshGeometry::id(Coord c) const {
@@ -36,14 +36,14 @@ int MeshGeometry::furthest_distance(NodeId src) const {
 }
 
 DestMask MeshGeometry::all_nodes_mask() const {
-  const int n = num_nodes();
-  return n == 64 ? ~DestMask{0} : ((DestMask{1} << n) - 1);
+  return DestMask::first_n(num_nodes());
 }
 
 std::vector<NodeId> MeshGeometry::nodes_in(DestMask mask) const {
   std::vector<NodeId> out;
-  for (int n = 0; n < num_nodes(); ++n)
-    if (mask & node_mask(n)) out.push_back(n);
+  mask.for_each([&](int n) {
+    if (n < num_nodes()) out.push_back(n);
+  });
   return out;
 }
 

@@ -2,19 +2,26 @@
 // k x k mesh geometry: node ids, coordinates, Manhattan distances, and the
 // destination-set bit masks used by the multicast machinery.
 //
-// Node ids are row-major: id = y * k + x. Destination sets are uint64_t bit
-// masks (bit i = node i), which caps the mesh at 64 nodes -- enough for the
-// paper's 4x4 chip and the 8x8 comparisons of Table 2.
+// Node ids are row-major: id = y * k + x. Destination sets are DestMask
+// multi-word bitsets (bit i = node i, see common/dest_mask.hpp), which caps
+// the mesh at DestMask::kCapacity = 256 nodes: k <= 16, covering the paper's
+// 4x4 chip, the 8x8 comparisons of Table 2, and the large-k scaling study
+// (docs/SCALING.md).
 
 #include <cstdint>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/dest_mask.hpp"
 
 namespace noc {
 
 using NodeId = int;
-using DestMask = uint64_t;
+
+/// Largest mesh radix a DestMask can address.
+constexpr int kMaxMeshRadix = 16;
+static_assert(kMaxMeshRadix * kMaxMeshRadix <= DestMask::kCapacity);
+static_assert((kMaxMeshRadix + 1) * (kMaxMeshRadix + 1) > DestMask::kCapacity);
 
 struct Coord {
   int x = 0;
@@ -46,10 +53,7 @@ class MeshGeometry {
   DestMask all_nodes_mask() const;
 
   /// Mask for a single node.
-  static DestMask node_mask(NodeId n) {
-    NOC_EXPECTS(n >= 0 && n < 64);
-    return DestMask{1} << n;
-  }
+  static DestMask node_mask(NodeId n) { return DestMask::bit(n); }
 
   /// All node ids present in `mask`.
   std::vector<NodeId> nodes_in(DestMask mask) const;

@@ -1,7 +1,5 @@
 #include "noc/network.hpp"
 
-#include <bit>
-
 namespace noc {
 
 NetworkConfig NetworkConfig::proposed(int k) {
@@ -74,7 +72,7 @@ Network::Network(const NetworkConfig& cfg)
   // kind per direction. We visit each edge once (East and North neighbors).
   // With gating, each channel learns which component its arrivals must wake.
   auto router_wake = [&](NodeId r) {
-    return gated ? WakeHook{&router_awake_, node_bit(r)} : WakeHook{};
+    return gated ? WakeHook{&router_awake_, r} : WakeHook{};
   };
   auto wire_edge = [&](NodeId a, PortDir a_out, NodeId b) {
     const PortDir b_out = opposite(a_out);
@@ -127,8 +125,8 @@ Network::Network(const NetworkConfig& cfg)
     Channel<Lookahead>* l_nr = bypass ? make_channel(la_channels_, 0) : nullptr;
     if (gated) {
       f_nr->set_wake_target(router_wake(node));
-      f_rn->set_wake_target({&eject_awake_, node_bit(node)});
-      c_rn->set_wake_target({&inject_awake_, node_bit(node)});
+      f_rn->set_wake_target({&eject_awake_, node});
+      c_rn->set_wake_target({&inject_awake_, node});
       c_nr->set_wake_target(router_wake(node));
       // Latency 0: the wake fires at send time, during the NIC injection
       // phase, so the router sees the lookahead the same cycle.
@@ -158,7 +156,7 @@ Network::Network(const NetworkConfig& cfg)
 
 void Network::setup_activity() {
   const int n = geom_.num_nodes();
-  NOC_EXPECTS(n <= 64);  // one awake bit per node
+  NOC_EXPECTS(n <= DestMask::kCapacity);  // one awake bit per node
   const bool gated = cfg_.activity_gating;
 
   // Contiguous channel ids per pool so the active-list sweep can recover
@@ -179,12 +177,11 @@ void Network::setup_activity() {
   inject_wake_at_.assign(static_cast<size_t>(n), kCycleNever);
   // Everything starts awake; idle components fall asleep after their first
   // tick, which keeps cycle 0 identical to the ungated phase walk.
-  const uint64_t all = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
-  router_awake_ = inject_awake_ = eject_awake_ = all;
+  router_awake_ = inject_awake_ = eject_awake_ = DestMask::first_n(n);
 
   if (gated) {
     for (NodeId node = 0; node < n; ++node) {
-      const WakeHook inject{&inject_awake_, node_bit(node)};
+      const WakeHook inject{&inject_awake_, node};
       nics_[static_cast<size_t>(node)]->set_inject_wake_hook(inject);
       sources_[static_cast<size_t>(node)]->set_wake_hook(inject);
     }
@@ -216,7 +213,7 @@ void Network::step_gated(Cycle now) {
     for (NodeId i = 0; i < n; ++i) {
       Cycle& at = inject_wake_at_[static_cast<size_t>(i)];
       if (at <= now) {
-        inject_awake_ |= node_bit(i);
+        inject_awake_.set(i);
         at = kCycleNever;
       } else if (at < next_timed_wake_) {
         next_timed_wake_ = at;
@@ -251,36 +248,37 @@ void Network::step_gated(Cycle now) {
   //    A NIC stays awake while it holds queued work or its source may fire
   //    next cycle; otherwise it parks, with a timed wake if the source
   //    promised a future fire.
-  for (uint64_t m = inject_awake_; m != 0; m &= m - 1) {
-    const auto i = static_cast<size_t>(std::countr_zero(m));
+  const DestMask inject_pass = inject_awake_;
+  inject_pass.for_each([&](int node) {
+    const auto i = static_cast<size_t>(node);
     nics_[i]->tick_inject(now);
-    if (nics_[i]->inject_busy()) continue;
+    if (nics_[i]->inject_busy()) return;
     const Cycle wake = sources_[i]->next_fire_cycle(now + 1);
-    if (wake <= now + 1) continue;
-    inject_awake_ &= ~node_bit(static_cast<NodeId>(i));
+    if (wake <= now + 1) return;
+    inject_awake_.clear(node);
     // Overwrite unconditionally: an early hook wake may have left a stale
     // earlier entry that would otherwise fire a pointless timed wake.
     inject_wake_at_[i] = wake;
     if (wake < next_timed_wake_) next_timed_wake_ = wake;
-  }
+  });
 
   // 3. Routers. Skipped ticks are exact no-ops for idle routers (no
   //    arbiter state advances without requests; the lookahead rotation is
   //    cycle-derived), so sleeping preserves bit-identical metrics.
-  for (uint64_t m = router_awake_; m != 0; m &= m - 1) {
-    const auto i = static_cast<size_t>(std::countr_zero(m));
+  const DestMask router_pass = router_awake_;
+  router_pass.for_each([&](int node) {
+    const auto i = static_cast<size_t>(node);
     routers_[i]->tick(now);
-    if (routers_[i]->idle())
-      router_awake_ &= ~node_bit(static_cast<NodeId>(i));
-  }
+    if (routers_[i]->idle()) router_awake_.clear(node);
+  });
 
   // 4. NIC ejection halves.
-  for (uint64_t m = eject_awake_; m != 0; m &= m - 1) {
-    const auto i = static_cast<size_t>(std::countr_zero(m));
+  const DestMask eject_pass = eject_awake_;
+  eject_pass.for_each([&](int node) {
+    const auto i = static_cast<size_t>(node);
     nics_[i]->tick_eject(now);
-    if (!nics_[i]->eject_busy())
-      eject_awake_ &= ~node_bit(static_cast<NodeId>(i));
-  }
+    if (!nics_[i]->eject_busy()) eject_awake_.clear(node);
+  });
 }
 
 void Network::record_trace(Trace* out) {

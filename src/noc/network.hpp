@@ -101,8 +101,6 @@ class Network : public Steppable {
   Channel<T>* make_channel(std::vector<std::unique_ptr<Channel<T>>>& pool,
                            int latency);
 
-  static uint64_t node_bit(NodeId n) { return uint64_t{1} << n; }
-
   void setup_activity();
   void step_full(Cycle now);
   void step_gated(Cycle now);
@@ -128,12 +126,13 @@ class Network : public Steppable {
   int64_t chan_items_ = 0;
   int credit_id_base_ = 0;
   int la_id_base_ = 0;
-  // One awake bit per node (the 64-bit masks match the <= 64-node cap of
-  // DestMask). Bits are set by wake edges and cleared when a component's
-  // post-tick state shows it cannot act next cycle.
-  uint64_t router_awake_ = 0;
-  uint64_t inject_awake_ = 0;
-  uint64_t eject_awake_ = 0;
+  // One awake bit per node (DestMask bitsets: the same multi-word per-node
+  // masks the datapath uses, sized to DestMask::kCapacity = 256 nodes).
+  // Bits are set by wake edges and cleared when a component's post-tick
+  // state shows it cannot act next cycle.
+  DestMask router_awake_;
+  DestMask inject_awake_;
+  DestMask eject_awake_;
   // Timed injection wake-ups for sources that promise a future fire cycle
   // (identical-PRBS intervals, trace records, closed-loop response due
   // times); next_timed_wake_ caches the minimum so the per-cycle check is

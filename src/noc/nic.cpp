@@ -1,7 +1,5 @@
 #include "noc/nic.hpp"
 
-#include <bit>
-
 #include "noc/workload.hpp"
 
 namespace noc {
@@ -26,7 +24,7 @@ Nic::Nic(NodeId node, const MeshGeometry& geom, const RouterConfig& router_cfg,
 }
 
 PacketKind Nic::classify(const Packet& pkt) const {
-  if (std::popcount(pkt.dest_mask) > 1) return PacketKind::Broadcast;
+  if (pkt.dest_mask.count() > 1) return PacketKind::Broadcast;
   return pkt.mc == MsgClass::Response ? PacketKind::UnicastResponse
                                       : PacketKind::UnicastRequest;
 }
@@ -34,7 +32,7 @@ PacketKind Nic::classify(const Packet& pkt) const {
 void Nic::account_new_packet(const Packet& pkt, Cycle now) {
   if (metrics_ == nullptr) return;
   metrics_->on_logical_packet(pkt.id, classify(pkt), pkt.gen_cycle,
-                              std::popcount(pkt.dest_mask));
+                              pkt.dest_mask.count());
   (void)now;
 }
 
@@ -44,7 +42,7 @@ void Nic::enqueue_for_send(Packet pkt) {
 
 void Nic::submit_packet(Packet pkt) {
   NOC_EXPECTS(pkt.src == node_);
-  NOC_EXPECTS(pkt.dest_mask != 0);
+  NOC_EXPECTS(pkt.dest_mask.any());
   // External callers may submit while a gated NIC sleeps; make sure the
   // injection half runs next step (self-submissions fire it redundantly,
   // which is harmless).
@@ -54,17 +52,16 @@ void Nic::submit_packet(Packet pkt) {
         {pkt.gen_cycle, node_, pkt.dest_mask, pkt.length, pkt.mc});
   account_new_packet(pkt, pkt.gen_cycle);
 
-  const bool is_multicast = std::popcount(pkt.dest_mask) > 1;
+  const bool is_multicast = pkt.dest_mask.count() > 1;
   if (is_multicast && !router_cfg_.multicast) {
     // Routers cannot fork: duplicate into unicast copies (paper Sec 2.3).
     // The source's own copy is delivered locally without network traversal.
     const DestMask self_bit = MeshGeometry::node_mask(node_);
-    if (pkt.dest_mask & self_bit) {
+    if (pkt.dest_mask.test(node_)) {
       Flit f;
       f.packet_id = pkt.id;
       f.logical_id = pkt.effective_logical_id();
       f.src = node_;
-      f.dest_mask = self_bit;
       f.branch_mask = self_bit;
       f.mc = pkt.mc;
       f.tag = pkt.tag;
@@ -83,15 +80,13 @@ void Nic::submit_packet(Packet pkt) {
     uint64_t copy_idx = 0;
     // Iterate destination bits directly (ascending node id, like
     // MeshGeometry::nodes_in) without materializing a vector.
-    for (DestMask rest = pkt.dest_mask & ~self_bit; rest != 0;
-         rest &= rest - 1) {
-      const NodeId d = std::countr_zero(rest);
+    pkt.dest_mask.andnot(self_bit).for_each([&](int d) {
       Packet copy = pkt;
       copy.logical_id = pkt.effective_logical_id();
       copy.id = (pkt.id ^ 0x5a5a5a5aULL) + (++copy_idx << 56);
       copy.dest_mask = MeshGeometry::node_mask(d);
       enqueue_for_send(std::move(copy));
-    }
+    });
     return;
   }
   enqueue_for_send(std::move(pkt));

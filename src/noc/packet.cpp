@@ -7,14 +7,13 @@ namespace noc {
 void segment_packet_into(const Packet& p, const uint64_t* payloads,
                          int npayloads, FlitList& out) {
   NOC_EXPECTS(p.length >= 1 && p.length <= kMaxPacketFlits);
-  NOC_EXPECTS(p.dest_mask != 0);
+  NOC_EXPECTS(p.dest_mask.any());
   out.clear();
   for (int i = 0; i < p.length; ++i) {
     Flit f;
     f.packet_id = p.id;
     f.logical_id = p.effective_logical_id();
     f.src = p.src;
-    f.dest_mask = p.dest_mask;
     f.branch_mask = p.dest_mask;
     f.mc = p.mc;
     f.tag = p.tag;

@@ -13,7 +13,7 @@ namespace noc {
 struct Packet {
   PacketId id = 0;
   NodeId src = 0;
-  DestMask dest_mask = 0;
+  DestMask dest_mask;
   MsgClass mc = MsgClass::Request;
   int length = 1;  // flits
   Cycle gen_cycle = 0;

@@ -97,7 +97,7 @@ void Router::open_packet_state(int port, const Flit& head) {
   BranchList branches;
   for (int o = 0; o < kNumPorts; ++o) {
     const DestMask m = rs.port_dests[static_cast<size_t>(o)];
-    if (m == 0) continue;
+    if (m.none()) continue;
     Branch b;
     b.out = port_dir(o);
     b.dests = m;

@@ -118,7 +118,7 @@ class Router {
   struct GrantOut {
     PortDir out = PortDir::Local;
     int ds_vc = -1;
-    DestMask dests = 0;
+    DestMask dests;
   };
 
   /// At most one grant per output port per cycle; inline storage keeps the

@@ -42,55 +42,53 @@ Coord neighbor_coord(Coord c, PortDir out) {
 uint8_t RouteSet::request_vector() const {
   uint8_t v = 0;
   for (int i = 0; i < kNumPorts; ++i)
-    if (port_dests[static_cast<size_t>(i)] != 0) v |= uint8_t{1} << i;
+    if (port_dests[static_cast<size_t>(i)].any()) v |= uint8_t{1} << i;
   return v;
 }
 
 int RouteSet::fanout() const { return std::popcount(request_vector()); }
 
 RouteSet xy_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests) {
-  NOC_EXPECTS(dests != 0);
+  NOC_EXPECTS(dests.any());
   RouteSet rs;
   const Coord c = geom.coord(here);
-  for (NodeId n = 0; n < geom.num_nodes(); ++n) {
-    const DestMask bit = MeshGeometry::node_mask(n);
-    if (!(dests & bit)) continue;
+  // Iterate set bits directly: O(destinations) instead of O(nodes), which
+  // matters for unicasts on large-k meshes.
+  dests.for_each([&](int n) {
     const Coord d = geom.coord(n);
     if (d.x > c.x) {
-      rs[PortDir::East] |= bit;
+      rs[PortDir::East].set(n);
     } else if (d.x < c.x) {
-      rs[PortDir::West] |= bit;
+      rs[PortDir::West].set(n);
     } else if (d.y > c.y) {
-      rs[PortDir::North] |= bit;
+      rs[PortDir::North].set(n);
     } else if (d.y < c.y) {
-      rs[PortDir::South] |= bit;
+      rs[PortDir::South].set(n);
     } else {
-      rs[PortDir::Local] |= bit;
+      rs[PortDir::Local].set(n);
     }
-  }
+  });
   return rs;
 }
 
 RouteSet yx_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests) {
-  NOC_EXPECTS(dests != 0);
+  NOC_EXPECTS(dests.any());
   RouteSet rs;
   const Coord c = geom.coord(here);
-  for (NodeId n = 0; n < geom.num_nodes(); ++n) {
-    const DestMask bit = MeshGeometry::node_mask(n);
-    if (!(dests & bit)) continue;
+  dests.for_each([&](int n) {
     const Coord d = geom.coord(n);
     if (d.y > c.y) {
-      rs[PortDir::North] |= bit;
+      rs[PortDir::North].set(n);
     } else if (d.y < c.y) {
-      rs[PortDir::South] |= bit;
+      rs[PortDir::South].set(n);
     } else if (d.x > c.x) {
-      rs[PortDir::East] |= bit;
+      rs[PortDir::East].set(n);
     } else if (d.x < c.x) {
-      rs[PortDir::West] |= bit;
+      rs[PortDir::West].set(n);
     } else {
-      rs[PortDir::Local] |= bit;
+      rs[PortDir::Local].set(n);
     }
-  }
+  });
   return rs;
 }
 
@@ -103,7 +101,7 @@ RouteSet tree_route(RoutingMode mode, const MeshGeometry& geom, NodeId here,
 PortDir xy_route(const MeshGeometry& geom, NodeId here, NodeId dest) {
   const RouteSet rs = xy_tree_route(geom, here, MeshGeometry::node_mask(dest));
   for (int i = 0; i < kNumPorts; ++i)
-    if (rs.port_dests[static_cast<size_t>(i)] != 0) return port_dir(i);
+    if (rs.port_dests[static_cast<size_t>(i)].any()) return port_dir(i);
   NOC_ASSERT(false);
   return PortDir::Local;
 }

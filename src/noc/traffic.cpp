@@ -164,7 +164,7 @@ std::optional<Packet> TrafficGenerator::generate(Cycle now) {
 
   auto broadcast_mask = [&]() -> DestMask {
     DestMask m = geom_.all_nodes_mask();
-    if (!cfg_.include_self_in_broadcast) m &= ~MeshGeometry::node_mask(node_);
+    if (!cfg_.include_self_in_broadcast) m.clear(node_);
     return m;
   };
 
@@ -224,7 +224,7 @@ std::optional<Packet> TrafficGenerator::generate(Cycle now) {
       break;
     }
   }
-  NOC_ENSURES(pkt.dest_mask != 0);
+  NOC_ENSURES(pkt.dest_mask.any());
   return pkt;
 }
 

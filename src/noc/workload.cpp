@@ -25,9 +25,15 @@ bool save_trace(const std::string& path, const Trace& trace) {
   if (f == nullptr) return false;
   std::fprintf(f, "# noc-trace v1\n");
   std::fprintf(f, "# cycle src dest_mask(hex) length class\n");
-  for (const TraceRecord& r : trace.records)
-    std::fprintf(f, "%" PRId64 " %d %" PRIx64 " %d %d\n", r.cycle, r.src,
-                 r.dest_mask, r.length, static_cast<int>(r.mc));
+  char mask_hex[DestMask::kMaxHexChars + 1];
+  for (const TraceRecord& r : trace.records) {
+    // Masks wider than 64 bits print as one big hex number; single-word
+    // masks render exactly as the pre-multiword format did, so v1 traces
+    // from k <= 8 meshes stay byte-identical and round-trip both ways.
+    r.dest_mask.to_hex(mask_hex);
+    std::fprintf(f, "%" PRId64 " %d %s %d %d\n", r.cycle, r.src, mask_hex,
+                 r.length, static_cast<int>(r.mc));
+  }
   return std::fclose(f) == 0;
 }
 
@@ -36,13 +42,20 @@ std::shared_ptr<Trace> load_trace(const std::string& path) {
   if (f == nullptr) return nullptr;
   auto trace = std::make_shared<Trace>();
   char line[256];
+  char mask_hex[DestMask::kMaxHexChars + 2];  // overflow sentinel slot
+  // The %65s scan width must track the buffer: one char beyond the widest
+  // valid mask, so an overlong token lands in the sentinel slot and
+  // from_hex rejects it instead of the tail bleeding into the %d fields.
+  static_assert(DestMask::kMaxHexChars + 1 == 65,
+                "update the %65s scan width below to kMaxHexChars + 1");
   while (std::fgets(line, sizeof line, f) != nullptr) {
     if (line[0] == '#' || line[0] == '\n') continue;
     TraceRecord r;
     int mc = 0;
-    if (std::sscanf(line, "%" SCNd64 " %d %" SCNx64 " %d %d", &r.cycle,
-                    &r.src, &r.dest_mask, &r.length, &mc) != 5 ||
-        r.cycle < 0 || r.src < 0 || r.src >= 64 || r.dest_mask == 0 ||
+    if (std::sscanf(line, "%" SCNd64 " %d %65s %d %d", &r.cycle, &r.src,
+                    mask_hex, &r.length, &mc) != 5 ||
+        !DestMask::from_hex(mask_hex, r.dest_mask) || r.cycle < 0 ||
+        r.src < 0 || r.src >= DestMask::kCapacity || r.dest_mask.none() ||
         r.length < 1 || r.length > kMaxPacketFlits || mc < 0 ||
         mc >= kNumMsgClasses) {
       std::fclose(f);
@@ -211,7 +224,7 @@ TraceSource::TraceSource(const MeshGeometry& geom,
     // must fail loudly, not replay partially.
     NOC_EXPECTS(r.src >= 0 && r.src < geom.num_nodes());
     if (r.src != node) continue;
-    NOC_EXPECTS(r.dest_mask != 0 && (r.dest_mask & ~valid) == 0);
+    NOC_EXPECTS(r.dest_mask.any() && r.dest_mask.andnot(valid).none());
     NOC_EXPECTS(r.length >= 1 && r.length <= kMaxPacketFlits);
     mine_.push_back(r);
   }

@@ -64,7 +64,7 @@ struct ClosedLoopConfig {
 struct TraceRecord {
   Cycle cycle = 0;
   NodeId src = 0;
-  DestMask dest_mask = 0;
+  DestMask dest_mask;
   int length = 1;
   MsgClass mc = MsgClass::Request;
 

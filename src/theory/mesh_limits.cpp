@@ -20,8 +20,9 @@ double broadcast_avg_hops(int k) {
 }
 
 double unicast_avg_hops_exact(int k) {
-  // Direct enumeration (independent of the simulator's 64-node destination
-  // masks, so arbitrary k works).
+  // Direct enumeration (independent of the simulator's DestMask capacity,
+  // so arbitrary k works -- this is what the large-k scaling bench compares
+  // measured saturation against at every simulable radix).
   NOC_EXPECTS(k >= 2);
   long total = 0, pairs = 0;
   for (int x1 = 0; x1 < k; ++x1)

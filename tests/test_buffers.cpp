@@ -71,7 +71,7 @@ TEST(InputVc, CurrentSeqIsMinOverUnfinishedBranches) {
   br[0].out = PortDir::East;
   br[1].out = PortDir::North;
   br[2].out = PortDir::Local;
-  for (auto& b : br) b.dests = 1;
+  for (auto& b : br) b.dests = DestMask::bit(0);
   vc.open_packet(h, br);
   EXPECT_EQ(vc.current_seq(), 0);
   vc.branches()[0].next_seq = 1;
@@ -123,7 +123,7 @@ TEST(DownstreamState, CreditConsumeReturnRoundTrip) {
 TEST(Packet, SegmentationTypes) {
   Packet p;
   p.id = 4;
-  p.dest_mask = 1;
+  p.dest_mask = DestMask::bit(0);
   p.length = 5;
   auto flits = segment_packet(p);
   ASSERT_EQ(flits.size(), 5u);
@@ -137,7 +137,7 @@ TEST(Packet, SegmentationTypes) {
 TEST(Packet, SingleFlitIsHeadTail) {
   Packet p;
   p.id = 4;
-  p.dest_mask = 1;
+  p.dest_mask = DestMask::bit(0);
   p.length = 1;
   auto flits = segment_packet(p);
   ASSERT_EQ(flits.size(), 1u);
@@ -150,7 +150,7 @@ TEST(Packet, LogicalIdPropagates) {
   Packet p;
   p.id = 10;
   p.logical_id = 3;
-  p.dest_mask = 1;
+  p.dest_mask = DestMask::bit(0);
   auto flits = segment_packet(p);
   EXPECT_EQ(flits[0].logical_id, 3u);
   p.logical_id = 0;

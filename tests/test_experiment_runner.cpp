@@ -154,6 +154,31 @@ TEST(ExperimentRunner, FindSaturationsMatchesSerialSearch) {
   }
 }
 
+TEST(ExperimentRunner, LargeKSweepsBitIdenticalToSerial) {
+  // The acceptance bar for the multi-word DestMask datapath: k=12 and k=16
+  // sweeps run end-to-end and the parallel engine reproduces the serial
+  // metrics bit for bit, exactly as it does at the paper's k=4.
+  for (int k : {12, 16}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    NetworkConfig cfg = NetworkConfig::proposed(k);
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 11;
+    const MeasureOptions measure{.warmup = 200, .window = 500};
+    const std::vector<double> loads = {0.02, 0.05};
+
+    const auto serial = sweep_curve(cfg, loads, measure);
+    const ExperimentRunner runner{
+        ExperimentOptions{.measure = measure, .threads = 3}};
+    const auto parallel = runner.sweep(cfg, loads);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(parallel[i], serial[i]);
+      EXPECT_GT(serial[i].completed_packets, 0);
+    }
+  }
+}
+
 TEST(ExperimentRunner, ThreadsResolution) {
   EXPECT_GE(ExperimentRunner{}.threads(), 1);
   const ExperimentRunner one{ExperimentOptions{.measure = {}, .threads = 1}};

@@ -17,9 +17,9 @@ TEST(YxRouting, PartitionDisjointAndComplete) {
   MeshGeometry g(4);
   for (NodeId here = 0; here < g.num_nodes(); ++here) {
     const RouteSet rs = yx_tree_route(g, here, g.all_nodes_mask());
-    DestMask seen = 0;
+    DestMask seen;
     for (int p = 0; p < kNumPorts; ++p) {
-      EXPECT_EQ(seen & rs.port_dests[static_cast<size_t>(p)], 0u);
+      EXPECT_TRUE((seen & rs.port_dests[static_cast<size_t>(p)]).none());
       seen |= rs.port_dests[static_cast<size_t>(p)];
     }
     EXPECT_EQ(seen, g.all_nodes_mask());
@@ -31,8 +31,8 @@ TEST(YxRouting, ResolvesYBeforeX) {
   // From (0,0) to (2,2): YX goes North first.
   const RouteSet rs =
       yx_tree_route(g, g.id(0, 0), MeshGeometry::node_mask(g.id(2, 2)));
-  EXPECT_NE(rs[PortDir::North], 0u);
-  EXPECT_EQ(rs[PortDir::East], 0u);
+  EXPECT_TRUE(rs[PortDir::North].any());
+  EXPECT_TRUE(rs[PortDir::East].none());
 }
 
 TEST(YxRouting, MirrorsXyTree) {
@@ -42,7 +42,7 @@ TEST(YxRouting, MirrorsXyTree) {
   const DestMask dests = MeshGeometry::node_mask(g.id(3, 0)) |
                          MeshGeometry::node_mask(g.id(0, 3));
   const RouteSet yx = yx_tree_route(g, here, dests);
-  DestMask dests_t = 0;
+  DestMask dests_t;
   for (NodeId n : g.nodes_in(dests)) {
     const Coord c = g.coord(n);
     dests_t |= MeshGeometry::node_mask(g.id(c.y, c.x));
@@ -51,8 +51,8 @@ TEST(YxRouting, MirrorsXyTree) {
   EXPECT_EQ(std::popcount(yx.request_vector()),
             std::popcount(xy.request_vector()));
   // N<->E and S<->W swap under transposition.
-  EXPECT_EQ(yx[PortDir::North] != 0, xy[PortDir::East] != 0);
-  EXPECT_EQ(yx[PortDir::South] != 0, xy[PortDir::West] != 0);
+  EXPECT_EQ(yx[PortDir::North].any(), xy[PortDir::East].any());
+  EXPECT_EQ(yx[PortDir::South].any(), xy[PortDir::West].any());
 }
 
 TEST(YxRouting, NetworkDeliversEverything) {

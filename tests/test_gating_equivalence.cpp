@@ -151,6 +151,29 @@ TEST(GatingEquivalence, TraceReplay) {
   }
 }
 
+TEST(GatingEquivalence, LargeK12OpenLoop) {
+  // 144 nodes: the awake bitmasks are now multi-word DestMasks, so gating
+  // equivalence above 64 nodes checks the wake machinery's high words
+  // (a one-word-truncation bug would leave nodes 64+ permanently asleep or
+  // permanently awake and diverge immediately).
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.seed = 9;
+  expect_gating_invisible(cfg, 0.01);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.identical_prbs = true;  // timed sleeps on high-word nodes
+  expect_gating_invisible(cfg, 0.03);
+}
+
+TEST(GatingEquivalence, LargeK12ClosedLoop) {
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 2;
+  cfg.workload.closed.issue_prob = 0.02;
+  cfg.workload.closed.think_time = 6;
+  expect_gating_invisible(cfg, 0.0);
+}
+
 TEST(GatingEquivalence, MidRunRateChangeOverSleepingNics) {
   // Regression: set_rate while identical-PRBS NICs are parked between
   // fires. The slept-through cycles were governed by the OLD rate; the

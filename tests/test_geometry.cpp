@@ -35,9 +35,9 @@ TEST(Geometry, FurthestDistanceCorners) {
 
 TEST(Geometry, AllNodesMask) {
   MeshGeometry g(4);
-  EXPECT_EQ(g.all_nodes_mask(), 0xFFFFull);
+  EXPECT_EQ(g.all_nodes_mask(), DestMask{0xFFFF});
   MeshGeometry g2(2);
-  EXPECT_EQ(g2.all_nodes_mask(), 0xFull);
+  EXPECT_EQ(g2.all_nodes_mask(), DestMask{0xF});
 }
 
 TEST(Geometry, NodesInMask) {
@@ -47,6 +47,77 @@ TEST(Geometry, NodesInMask) {
   ASSERT_EQ(nodes.size(), 2u);
   EXPECT_EQ(nodes[0], 3);
   EXPECT_EQ(nodes[1], 9);
+}
+
+TEST(Geometry, LargeKMasksSpanWords) {
+  // Multi-word DestMask: the 12x12 all-nodes mask is 144 bits (two full
+  // words plus 16 bits of the third), and per-node masks round-trip across
+  // the word seams.
+  MeshGeometry g(12);
+  const DestMask all = g.all_nodes_mask();
+  EXPECT_EQ(all.count(), 144);
+  EXPECT_EQ(all.word(0), ~uint64_t{0});
+  EXPECT_EQ(all.word(1), ~uint64_t{0});
+  EXPECT_EQ(all.word(2), 0xFFFFull);
+  EXPECT_EQ(all.word(3), 0ull);
+  for (NodeId n : {0, 63, 64, 127, 128, 143}) {
+    const DestMask m = MeshGeometry::node_mask(n);
+    EXPECT_EQ(m.count(), 1);
+    EXPECT_EQ(m.lowest(), n);
+    EXPECT_TRUE(all.test(n));
+    const auto nodes = g.nodes_in(m);
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0], n);
+  }
+  // k=16 fills the capacity exactly.
+  MeshGeometry g16(16);
+  EXPECT_EQ(g16.all_nodes_mask().count(), DestMask::kCapacity);
+  EXPECT_EQ(g16.all_nodes_mask(), ~DestMask{});
+}
+
+TEST(DestMaskOps, HexRoundTripAcrossWords) {
+  char buf[DestMask::kMaxHexChars + 1];
+  // Single-word masks render like plain %x output (trace-format back
+  // compat), wider masks as one big hex number.
+  DestMask m{0x1f};
+  EXPECT_EQ(m.to_hex(buf), 2);
+  EXPECT_STREQ(buf, "1f");
+  m = DestMask::bit(64) | DestMask::bit(0);
+  m.to_hex(buf);
+  EXPECT_STREQ(buf, "10000000000000001");
+  DestMask back;
+  ASSERT_TRUE(DestMask::from_hex(buf, back));
+  EXPECT_EQ(back, m);
+  DestMask::bit(255).to_hex(buf);
+  ASSERT_TRUE(DestMask::from_hex(buf, back));
+  EXPECT_EQ(back, DestMask::bit(255));
+  EXPECT_EQ(DestMask{}.to_hex(buf), 1);
+  EXPECT_STREQ(buf, "0");
+  EXPECT_FALSE(DestMask::from_hex("", back));
+  EXPECT_FALSE(DestMask::from_hex("xyz", back));
+  EXPECT_FALSE(DestMask::from_hex(
+      "10000000000000000000000000000000000000000000000000000000000000000",
+      back));  // 65 digits: wider than capacity
+}
+
+TEST(DestMaskOps, IterationAndSetAlgebra) {
+  DestMask m;
+  for (int n : {3, 63, 64, 190, 255}) m.set(n);
+  EXPECT_EQ(m.count(), 5);
+  std::vector<int> seen;
+  m.for_each([&](int n) { seen.push_back(n); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 63, 64, 190, 255}));
+  EXPECT_EQ(m.lowest(), 3);
+  m.clear_lowest();
+  EXPECT_EQ(m.lowest(), 63);
+  m.clear(64);
+  EXPECT_FALSE(m.test(64));
+  const DestMask a = DestMask::bit(63) | DestMask::bit(200);
+  EXPECT_EQ((m & a), DestMask::bit(63));
+  EXPECT_EQ(m.andnot(a), DestMask::bit(190) | DestMask::bit(255));
+  EXPECT_EQ(DestMask::first_n(130).count(), 130);
+  EXPECT_TRUE(DestMask::first_n(130).test(129));
+  EXPECT_FALSE(DestMask::first_n(130).test(130));
 }
 
 class GeometryKTest : public ::testing::TestWithParam<int> {};
@@ -71,7 +142,8 @@ TEST_P(GeometryKTest, ExactAveragesWithinBounds) {
   EXPECT_LE(bc, 2.0 * (GetParam() - 1));
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, GeometryKTest, ::testing::Values(2, 3, 4, 5, 8));
+INSTANTIATE_TEST_SUITE_P(Sizes, GeometryKTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16));
 
 }  // namespace
 }  // namespace noc

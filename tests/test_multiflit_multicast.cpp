@@ -96,6 +96,65 @@ TEST_P(MultiflitMulticastTest, MixedWithRegularTrafficDrains) {
   EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
 }
 
+TEST_P(MultiflitMulticastTest, LargeKWordBoundaryMulticast) {
+  // k=12 (144 nodes): a 5-flit multicast whose destination set straddles
+  // every DestMask word seam the mesh reaches (63|64 and 127|128), plus the
+  // last node. Exercises multi-word branch partitioning through the full
+  // router datapath, not just the routing function.
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.router.allow_partial_bypass = GetParam();
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(3);
+  const DestMask m = MeshGeometry::node_mask(63) |
+                     MeshGeometry::node_mask(64) |
+                     MeshGeometry::node_mask(127) |
+                     MeshGeometry::node_mask(128) |
+                     MeshGeometry::node_mask(143);
+  net.metrics().begin_window(sim.now());
+  submit(net, sim, 3, 0, m, MsgClass::Response, 5);
+  EXPECT_TRUE(sim.run_until(
+      [&] { return net.metrics().total_completed() >= 1; }, 4000));
+  net.metrics().end_window(sim.now());
+  EXPECT_EQ(net.metrics().received_flits(), 25);  // 5 dests x 5 flits
+  EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 4000));
+}
+
+TEST_P(MultiflitMulticastTest, LargeKBroadcastReachesAllHundredNodes) {
+  // k=10 broadcast: the all-nodes mask spans two words (100 bits); every
+  // node must be reached exactly once with all 5 flits.
+  NetworkConfig cfg = NetworkConfig::proposed(10);
+  cfg.router.allow_partial_bypass = GetParam();
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(3);
+  net.metrics().begin_window(sim.now());
+  submit(net, sim, 4, 55, net.geom().all_nodes_mask(), MsgClass::Response, 5);
+  EXPECT_TRUE(sim.run_until(
+      [&] { return net.metrics().total_completed() >= 1; }, 8000));
+  net.metrics().end_window(sim.now());
+  EXPECT_EQ(net.metrics().received_flits(), 500);  // 100 dests x 5 flits
+  EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 8000));
+}
+
+TEST_P(MultiflitMulticastTest, LargeKConcurrentSeamBroadcastsDrain) {
+  // Concurrent broadcasts from sources sitting right at the word seams of
+  // a k=12 mesh; conservation must hold once the network drains.
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.router.allow_partial_bypass = GetParam();
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(3);
+  for (NodeId n : {0, 63, 64, 127, 128, 143})
+    submit(net, sim, static_cast<PacketId>(7000 + n), n,
+           net.geom().all_nodes_mask(), MsgClass::Response, 5);
+  EXPECT_TRUE(sim.run_until([&] { return net.quiescent(); }, 60000));
+  EXPECT_EQ(net.metrics().total_completed(), 6);
+}
+
 INSTANTIATE_TEST_SUITE_P(PartialBypass, MultiflitMulticastTest,
                          ::testing::Bool());
 

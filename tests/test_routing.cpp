@@ -38,9 +38,9 @@ TEST(Routing, PartitionIsDisjointAndComplete) {
   for (NodeId here = 0; here < g.num_nodes(); ++here) {
     const DestMask all = g.all_nodes_mask();
     const RouteSet rs = xy_tree_route(g, here, all);
-    DestMask seen = 0;
+    DestMask seen;
     for (int p = 0; p < kNumPorts; ++p) {
-      EXPECT_EQ(seen & rs.port_dests[p], 0u) << "overlap at node " << here;
+      EXPECT_TRUE((seen & rs.port_dests[p]).none()) << "overlap at node " << here;
       seen |= rs.port_dests[p];
     }
     EXPECT_EQ(seen, all);
@@ -74,7 +74,7 @@ TreeWalkResult walk_tree(const MeshGeometry& g, NodeId src, DestMask dests) {
     const RouteSet rs = xy_tree_route(g, it.at, it.mask);
     for (int p = 0; p < kNumPorts; ++p) {
       const DestMask m = rs.port_dests[static_cast<size_t>(p)];
-      if (m == 0) continue;
+      if (m.none()) continue;
       const PortDir d = port_dir(p);
       if (d == PortDir::Local) {
         EXPECT_EQ(m, MeshGeometry::node_mask(it.at));
@@ -126,19 +126,71 @@ TEST_P(TreeWalkTest, ArbitraryMulticastSetsCovered) {
   for (int trial = 0; trial < 50; ++trial) {
     const auto src =
         static_cast<NodeId>(rng.next_below(g.num_nodes()));
-    DestMask m = 0;
+    DestMask m;
     const int count = 1 + static_cast<int>(rng.next_below(g.num_nodes()));
     for (int i = 0; i < count; ++i)
       m |= MeshGeometry::node_mask(
           static_cast<NodeId>(rng.next_below(g.num_nodes())));
     const auto res = walk_tree(g, src, m);
-    EXPECT_EQ(res.deliveries, std::popcount(m));
+    EXPECT_EQ(res.deliveries, m.count());
     EXPECT_EQ(res.duplicate_deliveries, 0);
     EXPECT_FALSE(res.y_to_x_turn);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, TreeWalkTest, ::testing::Values(2, 3, 4, 6, 8));
+// 10 and 12 put the mesh past 64 nodes: their destination sets span
+// multiple DestMask words, so every tree-walk property above also checks
+// the multi-word partition logic.
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeWalkTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 10, 12));
+
+TEST(Routing, WordBoundaryMulticastPartition) {
+  // Destination sets that straddle the 64-bit word seams of DestMask: on a
+  // 12x12 mesh nodes 63/64 are adjacent in id but live in different words,
+  // as do 127/128. A partition bug that drops or duplicates a high word
+  // shows up as a missed or doubled delivery here.
+  MeshGeometry g(12);
+  ASSERT_EQ(g.num_nodes(), 144);
+  const NodeId seam_pairs[][2] = {{63, 64}, {127, 128}};
+  for (const auto& pair : seam_pairs) {
+    DestMask m = MeshGeometry::node_mask(pair[0]) |
+                 MeshGeometry::node_mask(pair[1]);
+    EXPECT_EQ(m.count(), 2);
+    for (NodeId src : {0, 63, 64, 143}) {
+      const auto res = walk_tree(g, src, m);
+      EXPECT_EQ(res.deliveries, 2) << "src " << src;
+      EXPECT_EQ(res.duplicate_deliveries, 0) << "src " << src;
+      EXPECT_FALSE(res.y_to_x_turn);
+    }
+  }
+  // A set with one destination in every word (nodes 1, 70, 130, plus the
+  // last node 143 in word 2): full coverage across all populated words.
+  const DestMask wide = MeshGeometry::node_mask(1) |
+                        MeshGeometry::node_mask(70) |
+                        MeshGeometry::node_mask(130) |
+                        MeshGeometry::node_mask(143);
+  const auto res = walk_tree(g, 71, wide);
+  EXPECT_EQ(res.deliveries, 4);
+  EXPECT_EQ(res.duplicate_deliveries, 0);
+}
+
+TEST(Routing, LargeKBroadcastPartitionDisjointAndComplete) {
+  // The k=4 PartitionIsDisjointAndComplete property, repeated where the
+  // all-nodes mask occupies two-and-a-bit words.
+  MeshGeometry g(12);
+  const DestMask all = g.all_nodes_mask();
+  EXPECT_EQ(all.count(), 144);
+  for (NodeId here = 0; here < g.num_nodes(); ++here) {
+    const RouteSet rs = xy_tree_route(g, here, all);
+    DestMask seen;
+    for (int p = 0; p < kNumPorts; ++p) {
+      EXPECT_EQ((seen & rs.port_dests[static_cast<size_t>(p)]).count(), 0)
+          << "overlap at node " << here;
+      seen |= rs.port_dests[static_cast<size_t>(p)];
+    }
+    EXPECT_EQ(seen, all);
+  }
+}
 
 }  // namespace
 }  // namespace noc

@@ -35,7 +35,7 @@ TEST(Traffic, MixedPaperComposition) {
     auto p = gen.generate(t);
     if (!p) continue;
     ++total;
-    if (std::popcount(p->dest_mask) > 1) {
+    if (p->dest_mask.count() > 1) {
       ++bcast;
       EXPECT_EQ(p->mc, MsgClass::Request);
       EXPECT_EQ(p->length, 1);
@@ -61,7 +61,7 @@ TEST(Traffic, BroadcastMaskIncludesSelfByDefault) {
   for (Cycle t = 0; t < 100; ++t) {
     if (auto p = gen.generate(t)) {
       EXPECT_EQ(p->dest_mask, g.all_nodes_mask());
-      EXPECT_EQ(std::popcount(p->dest_mask), 16);
+      EXPECT_EQ(p->dest_mask.count(), 16);
     }
   }
 }
@@ -73,8 +73,8 @@ TEST(Traffic, BroadcastMaskWithoutSelf) {
   TrafficGenerator gen(g, cfg, 6);
   for (Cycle t = 0; t < 100; ++t) {
     if (auto p = gen.generate(t)) {
-      EXPECT_EQ(std::popcount(p->dest_mask), 15);
-      EXPECT_EQ(p->dest_mask & MeshGeometry::node_mask(6), 0u);
+      EXPECT_EQ(p->dest_mask.count(), 15);
+      EXPECT_TRUE((p->dest_mask & MeshGeometry::node_mask(6)).none());
     }
   }
 }
@@ -108,8 +108,8 @@ TEST(Traffic, IdenticalPrbsSynchronizesInjections) {
     if (pa && pb) {
       // Same packet type chip-wide...
       EXPECT_EQ(pa->mc, pb->mc);
-      EXPECT_EQ(std::popcount(pa->dest_mask) > 1,
-                std::popcount(pb->dest_mask) > 1);
+      EXPECT_EQ(pa->dest_mask.count() > 1,
+                pb->dest_mask.count() > 1);
     }
   }
 }
@@ -136,8 +136,8 @@ TEST(Traffic, PermutationPatterns) {
     TrafficGenerator gen(g, base_cfg(pat, 0.9), 6);
     for (Cycle t = 0; t < 200; ++t) {
       if (auto p = gen.generate(t)) {
-        EXPECT_EQ(std::popcount(p->dest_mask), 1);
-        EXPECT_EQ(p->dest_mask & MeshGeometry::node_mask(6), 0u)
+        EXPECT_EQ(p->dest_mask.count(), 1);
+        EXPECT_TRUE((p->dest_mask & MeshGeometry::node_mask(6)).none())
             << traffic_pattern_name(pat) << " targeted self";
       }
     }
@@ -215,7 +215,7 @@ TEST(Traffic, SyncedPrbsDrawsFormAPermutation) {
   for (NodeId n = 0; n < 16; ++n) gens.emplace_back(g, cfg, n);
   int fires = 0;
   for (Cycle t = 0; t < 2000; ++t) {
-    DestMask seen = 0;
+    DestMask seen;
     int count = 0;
     for (auto& gen : gens) {
       if (auto p = gen.generate(t)) {
@@ -225,7 +225,7 @@ TEST(Traffic, SyncedPrbsDrawsFormAPermutation) {
     }
     if (count == 0) continue;
     ASSERT_EQ(count, 16);  // synchronized: all fire together
-    EXPECT_EQ(std::popcount(seen), 16) << "destination collision at " << t;
+    EXPECT_EQ(seen.count(), 16) << "destination collision at " << t;
     ++fires;
   }
   EXPECT_GT(fires, 500);

@@ -280,6 +280,40 @@ TEST(TraceWorkload, FileSaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TraceWorkload, LargeKMultiWordMaskFileRoundTrip) {
+  // k=12 broadcasts carry 144-bit destination masks: the trace text format
+  // must round-trip masks wider than one word (they serialize as one big
+  // hex number, see save_trace).
+  Trace trace;
+  const MeshGeometry g(12);
+  trace.records.push_back({5, 0, g.all_nodes_mask(), 1, MsgClass::Request});
+  trace.records.push_back(
+      {9, 130,
+       MeshGeometry::node_mask(63) | MeshGeometry::node_mask(64) |
+           MeshGeometry::node_mask(143),
+       5, MsgClass::Response});
+  trace.records.push_back({12, 143, MeshGeometry::node_mask(1), 1,
+                           MsgClass::Request});
+  const std::string path = ::testing::TempDir() + "noc_trace_largek.txt";
+  ASSERT_TRUE(save_trace(path, trace));
+  const auto loaded = load_trace(path);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->records.size(), trace.records.size());
+  for (size_t i = 0; i < trace.records.size(); ++i)
+    EXPECT_EQ(loaded->records[i], trace.records[i]) << "record " << i;
+  std::remove(path.c_str());
+
+  // And the replay path accepts it end-to-end on a k=12 network.
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.workload.kind = WorkloadKind::Trace;
+  cfg.workload.trace.trace = std::make_shared<Trace>(trace);
+  Network net(cfg);
+  Simulation sim(net);
+  ASSERT_TRUE(sim.run_until([&] { return net.quiescent(); }, 20000));
+  EXPECT_EQ(net.metrics().total_generated(), 3);
+  EXPECT_EQ(net.metrics().total_completed(), 3);
+}
+
 TEST(TraceWorkload, LoadRejectsMissingAndMalformedFiles) {
   EXPECT_EQ(load_trace("/nonexistent/definitely/missing.trace"), nullptr);
   const std::string path = ::testing::TempDir() + "noc_trace_bad.txt";

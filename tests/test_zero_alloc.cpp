@@ -147,6 +147,24 @@ TEST(ZeroAlloc, TraceReplaySteadyState) {
   EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
 }
 
+TEST(ZeroAlloc, LargeK12SteadyStateMixedTraffic) {
+  // k=12 (144 nodes, multi-word DestMask): the widened masks live inline in
+  // Flit/Packet/Branch, so the invariant must hold unchanged -- any heap
+  // touch here means mask state leaked into a dynamic container.
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.02;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 4000), 0u);
+}
+
+TEST(ZeroAlloc, LargeK12ClosedLoopSteadyState) {
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 2;
+  cfg.workload.closed.issue_prob = 0.02;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 4000), 0u);
+}
+
 TEST(ZeroAlloc, SanityCounterIsLive) {
   // Guard against the override silently not linking: an explicit heap
   // allocation must bump the counter.

@@ -41,7 +41,9 @@ import sys
 def load_items_per_second(path, skip_re):
     """name -> items_per_second. With --benchmark_repetitions the file holds
     per-repetition rows plus aggregates; the mean aggregate wins, else the
-    per-repetition values are averaged."""
+    per-repetition values are averaged. Non-mean aggregates (stddev, median,
+    and especially cv, whose items_per_second is a dimensionless ratio that
+    would read as a catastrophic regression) are ignored."""
     with open(path) as f:
         data = json.load(f)
     sums, counts, means = {}, {}, {}
@@ -49,6 +51,10 @@ def load_items_per_second(path, skip_re):
         name = b.get("run_name", b.get("name", ""))
         ips = b.get("items_per_second")
         if ips is None or skip_re.search(name):
+            continue
+        # Belt and braces for older google-benchmark versions that tag
+        # aggregates only through the name suffix, not run_type.
+        if name.endswith(("_cv", "_mean", "_median", "_stddev")):
             continue
         if b.get("run_type") == "aggregate":
             if b.get("aggregate_name") == "mean":
@@ -113,15 +119,28 @@ def main():
             flag = "  <-- REGRESSION"
         print(f"{name:45s} {base:12.3e} {cur:12.3e} {ratio:6.2f}x{flag}")
 
-    for name in sorted(set(baseline) - set(current)):
-        print(f"{name:45s} dropped from current run (not failing)")
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"{name:45s} present in baseline, MISSING from current run")
 
+    status = 0
+    if missing:
+        # A silently vanished benchmark is exactly how a regression gate
+        # stops gating: fail loudly instead of shrugging (and instead of
+        # the KeyError a naive current[name] lookup would raise).
+        print(f"\nFAIL: {len(missing)} benchmark(s) present in the baseline "
+              f"are missing from the current run: {', '.join(missing)}.\n"
+              f"If they were deliberately removed or renamed, refresh "
+              f"bench/BENCH_perf_baseline.json (see docs/PERF.md "
+              f"'Refreshing the perf baseline').")
+        status = 1
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
               f"{args.threshold:.0%} in items_per_second.")
-        return 1
-    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}.")
-    return 0
+        status = 1
+    if status == 0:
+        print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}.")
+    return status
 
 
 if __name__ == "__main__":
