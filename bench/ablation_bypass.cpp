@@ -82,7 +82,7 @@ int main() {
   // Routing-order ablation: the paper attributes part of the throughput gap
   // to "imbalance in load" from XY routing; YX is the mirror tree.
   NetworkConfig yx = D;
-  yx.router.routing = RoutingMode::YXTree;
+  yx.router.routing = RoutePolicy::YX;
   run("Dimension order under uniform unicast", TrafficPattern::UniformRequest,
       {{"XY tree (the chip)", D}, {"YX tree", yx}});
   run("Dimension order under transpose (adversarial)",

@@ -3,7 +3,10 @@
 // (Sec 4.1). A saturating ClosedLoopSource at every node issues broadcast
 // probes against a bounded MSHR window; the swept window size takes the
 // role offered load plays in Fig 5, and the reported curve is sustained
-// miss throughput + end-to-end miss latency per window.
+// miss throughput + end-to-end miss latency per window, split into the
+// probe-to-owner and data-return legs (PointResult::avg_probe_latency /
+// avg_response_latency) so a latency shift is attributable to the request
+// or the response network.
 //
 // Numbers are appended to BENCH_perf.json (google-benchmark's JSON schema,
 // same file bench_perf_microbench writes) so the cross-PR perf tracker
@@ -56,13 +59,15 @@ int main(int argc, char** argv) {
 
   Table t("Sustained throughput and miss latency vs outstanding window");
   t.set_columns({"Window", "Misses/node/cyc", "Miss lat avg (cyc)",
-                 "Miss lat max (cyc)", "Net pkt lat (cyc)", "Recv (Gb/s)",
-                 "Bypass rate"});
+                 "Probe leg (cyc)", "Data leg (cyc)", "Miss lat max (cyc)",
+                 "Net pkt lat (cyc)", "Recv (Gb/s)", "Bypass rate"});
   std::vector<benchjson::Entry> entries;
   for (const PointResult& p : curve) {
     t.add_row({Table::fmt_int(p.closed_loop_window),
                Table::fmt(p.transactions_per_cycle / nodes, 4),
                Table::fmt(p.avg_transaction_latency, 1),
+               Table::fmt(p.avg_probe_latency, 1),
+               Table::fmt(p.avg_response_latency, 1),
                Table::fmt(p.max_transaction_latency, 0),
                Table::fmt(p.avg_latency, 1), Table::fmt(p.recv_gbps, 0),
                Table::fmt(p.bypass_rate, 2)});

@@ -1,22 +1,39 @@
 // Large-k mesh scaling: saturation throughput vs. the paper's theoretical
-// limits at k in {4, 8, 12, 16} -- the question the multi-word DestMask
-// datapath exists to answer (Table 1 is a function of k; the 16-node chip
-// pins k=4, this sweep asks how close larger meshes get to their OWN
-// limits).
+// limits at k in {4, 8, 12, 16}, per ROUTING POLICY -- the question the
+// multi-word DestMask datapath and the routing-policy subsystem exist to
+// answer together (Table 1 is a function of k; the 16-node chip pins k=4
+// and XY routing; this sweep asks how close larger meshes get to their OWN
+// limits and how much of the residual gap is the XY share the paper blames
+// on routing imbalance).
 //
 // Uniform 1-flit request traffic: the unicast limit crosses over from
 // ejection-limited (R = 1, k <= 4) to bisection-limited (R = 4/k) exactly
 // where the radix sweep starts, so the "fraction of limit" column tracks
-// how much of the shrinking per-node budget real routing/flow control
-// delivers as k grows.
+// how much of the shrinking per-node budget each routing policy delivers
+// as k grows. O1TURN and minimal-adaptive attack the XY share
+// (docs/ROUTING.md); the headline comparison is their fraction-of-limit vs
+// XY's at k >= 8.
+//
+// VC budget: the policy rows all run at 8x1 request VCs (4 per lane), NOT
+// the chip's 4x1. At the fabricated budget a 2-VC lane saturates on the
+// 3-cycle VC turnaround (an XY network cut to 2 request VCs loses half its
+// throughput), so a 4-VC comparison measures pool granularity, not
+// routing. At 8 VCs lane granularity is off the critical path and the
+// residual differences are pure routing -- which is also an honest reading
+// of why the chip could hardwire XY: at its tiny VC budget the
+// load-balancing policies cannot pay for their lanes. The first row per
+// radix keeps XY at the paper budget (emitted under the PR-4 entry name),
+// so the cross-PR fraction-of-limit trajectory stays comparable.
 //
 // Results append to BENCH_perf.json (google-benchmark JSON schema, same
 // file bench_perf_microbench writes) so the cross-PR perf tracker carries
-// the large-k points; the CI `large-k smoke` step runs `--short` and
-// uploads the file.
+// the large-k trajectory per policy; the CI `large-k smoke` step runs
+// `--short` and uploads the file.
 //
 // Flags: --warmup N --window N --threads N --out FILE
-//        --short     CI-sized measurement windows (same k list)
+//        --short     CI-sized measurement windows (same k/policy lists)
+//        --all-policies  add the YX mirror (skipped by default: on uniform
+//                        traffic it is XY reflected)
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -35,7 +52,7 @@ int main(int argc, char** argv) {
   if (args.help()) {
     std::printf(
         "usage: %s [--warmup N] [--window N] [--threads N]\n"
-        "          [--short] [--out FILE]\n",
+        "          [--short] [--all-policies] [--out FILE]\n",
         argv[0]);
     return 0;
   }
@@ -45,40 +62,65 @@ int main(int argc, char** argv) {
                        : MeasureOptions{.warmup = 2000, .window = 6000});
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
   const std::string out_path = args.get_str("out", "BENCH_perf.json");
+  std::vector<RoutePolicy> policies = {RoutePolicy::XY, RoutePolicy::O1Turn,
+                                       RoutePolicy::MinimalAdaptive};
+  if (args.has("all-policies"))
+    policies.insert(policies.begin() + 1, RoutePolicy::YX);
   if (!args.check_unused()) return 1;
 
   const std::vector<int> radices = {4, 8, 12, 16};
+  /// Request VCs for the policy rows (4 per lane; see header).
+  constexpr int kPolicyRequestVcs = 8;
+  // One flat batch: every (k, row) saturation search is independent, so
+  // the runner fans them all across the pool at once. Row 0 per radix is
+  // the paper-budget XY continuity point; the rest are the policy rows.
+  const int rows_per_k = 1 + static_cast<int>(policies.size());
   std::vector<NetworkConfig> cfgs;
   for (int k : radices) {
-    NetworkConfig cfg = NetworkConfig::proposed(k);
-    cfg.traffic.pattern = TrafficPattern::UniformRequest;
-    cfgs.push_back(cfg);
+    NetworkConfig paper = NetworkConfig::proposed(k);
+    paper.traffic.pattern = TrafficPattern::UniformRequest;
+    cfgs.push_back(paper);
+    for (RoutePolicy policy : policies) {
+      NetworkConfig cfg = paper;
+      cfg.router.routing = policy;
+      cfg.router.vc.vcs_per_mc[0] = kPolicyRequestVcs;
+      cfgs.push_back(cfg);
+    }
   }
 
   std::printf(
       "Large-k scaling: proposed router, uniform 1-flit requests, %s mode\n"
-      "(saturation = offered load where latency reaches 3x zero-load)\n\n",
+      "(saturation = offered load where latency reaches 3x zero-load;\n"
+      " one row per routing policy per radix)\n\n",
       short_mode ? "short" : "full");
 
   const auto sats = runner.find_saturations(cfgs);
 
-  Table t("Saturation vs theoretical limit across mesh radix");
-  t.set_columns({"k", "Nodes", "Zero-load lat (cyc)", "Theory H+2",
+  Table t("Saturation vs theoretical limit across mesh radix and policy");
+  t.set_columns({"k", "Policy", "Req VCs", "Zero-load lat (cyc)",
                  "Sat R (fl/node/cyc)", "Limit R", "Sat (Gb/s)",
                  "Fraction of limit"});
   std::vector<benchjson::Entry> entries;
-  for (size_t i = 0; i < radices.size(); ++i) {
-    const int k = radices[i];
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    const int k = radices[i / static_cast<size_t>(rows_per_k)];
+    const bool paper_row = i % static_cast<size_t>(rows_per_k) == 0;
     const auto& s = sats[i];
+    const char* policy = route_policy_name(cfgs[i].router.routing);
     const double limit_r = theory::unicast_max_injection_rate(k);
     const double frac = s.saturation_offered / limit_r;
-    t.add_row({Table::fmt_int(k), Table::fmt_int(k * k),
+    t.add_row({Table::fmt_int(k),
+               paper_row ? std::string(policy) + " (chip)"
+                         : std::string(policy),
+               Table::fmt_int(cfgs[i].router.vc.vcs_per_mc[0]),
                Table::fmt(s.zero_load_latency, 2),
-               Table::fmt(theory::unicast_avg_hops_exact(k) + 2.0, 2),
                Table::fmt(s.saturation_offered, 3), Table::fmt(limit_r, 3),
                Table::fmt(s.saturation_gbps, 0), Table::fmt(frac, 3)});
     benchjson::Entry e;
-    e.name = "large_k_scaling/k=" + std::to_string(k);
+    // The continuity row keeps the PR-4 entry name so the cross-PR
+    // trajectory lines up; policy rows carry the policy in the name.
+    e.name = paper_row ? "large_k_scaling/k=" + std::to_string(k)
+                       : "large_k_scaling/k=" + std::to_string(k) +
+                             "/policy=" + policy;
     // Delivered flits/cycle at saturation, at 1 GHz -> flits/second.
     e.items_per_second = s.at_saturation.recv_flits_per_cycle * 1e9;
     e.extra_key = "fraction_of_limit";
@@ -96,9 +138,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading the table: past k=4 the unicast limit is bisection-bound\n"
       "(R = 4/k), so absolute Gb/s keeps growing while the per-node budget\n"
-      "shrinks. The fraction-of-limit column is the scaling story: XY\n"
-      "routing imbalance and finite VC/credit turnaround cost a roughly\n"
-      "constant share of the theoretical envelope at every radix the\n"
-      "multi-word DestMask can reach.\n");
+      "shrinks. The fraction-of-limit column is the scaling story: the gap\n"
+      "left by XY is part routing imbalance (what o1turn/adaptive recover\n"
+      "by spreading unicasts over both dimension orders or around\n"
+      "congestion) and part finite VC/credit turnaround (what remains).\n");
   return 0;
 }

@@ -83,6 +83,19 @@ void BM_Proposed8x8Uniform(benchmark::State& state) {
 }
 BENCHMARK(BM_Proposed8x8Uniform)->Unit(benchmark::kMicrosecond);
 
+/// Policy-dispatch overhead guard: the same scenario as
+/// BM_Proposed8x8Uniform routed O1TURN, so the routing-policy subsystem's
+/// hot-path additions (route-class checks, lane-aware VC allocation with
+/// stamped per-lane free queues) are gated against the 10% regression
+/// threshold alongside the XY rows.
+void BM_Proposed8x8O1TURN(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.router.routing = RoutePolicy::O1Turn;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  run_cycles(state, cfg, 0.10);
+}
+BENCHMARK(BM_Proposed8x8O1TURN)->Unit(benchmark::kMicrosecond);
+
 /// Past the single-word DestMask boundary (144 nodes): tracks the cost of
 /// the multi-word mask datapath at a radix the old uint64_t mask could not
 /// represent. items_per_second is node-cycles/s, so this row is comparable

@@ -84,7 +84,33 @@ int main(int argc, char** argv) {
   pat.print();
   std::printf("\n");
 
-  // 3. Pipeline sweep under the paper's mixed traffic.
+  // 3. Routing-policy sweep: the XY-imbalance lever (docs/ROUTING.md) on
+  //    uniform traffic and on the adversarial transpose permutation, where
+  //    load balancing shows its largest spread.
+  Table pol("Routing-policy sweep, proposed " + kxk);
+  pol.set_columns({"Policy", "Uniform sat (Gb/s)", "Transpose sat (Gb/s)"});
+  const std::vector<RoutePolicy> policy_list = {
+      RoutePolicy::XY, RoutePolicy::YX, RoutePolicy::O1Turn,
+      RoutePolicy::MinimalAdaptive};
+  std::vector<NetworkConfig> pol_cfgs;
+  for (RoutePolicy p : policy_list)
+    for (TrafficPattern pattern :
+         {TrafficPattern::UniformRequest, TrafficPattern::Transpose}) {
+      NetworkConfig cfg = NetworkConfig::proposed(max_k);
+      cfg.router.routing = p;
+      cfg.traffic.pattern = pattern;
+      pol_cfgs.push_back(cfg);
+    }
+  auto pol_sats = runner.find_saturations(pol_cfgs);
+  for (size_t i = 0; i < policy_list.size(); ++i) {
+    pol.add_row({route_policy_name(policy_list[i]),
+                 Table::fmt(pol_sats[2 * i].saturation_gbps, 0),
+                 Table::fmt(pol_sats[2 * i + 1].saturation_gbps, 0)});
+  }
+  pol.print();
+  std::printf("\n");
+
+  // 4. Pipeline sweep under the paper's mixed traffic.
   Table pipe("Pipeline sweep, mixed traffic, " + kxk);
   pipe.set_columns({"Router", "Zero-load lat (cyc)", "Sat throughput (Gb/s)"});
   struct Row {

@@ -4,6 +4,7 @@
 // Flags: --pattern NAME (e.g. uniform, mixed, broadcast, transpose)
 //        --load R (flits/node/cycle)
 //        --k N (mesh radix, 2..16; beyond DestMask capacity is rejected)
+//        --policy NAME (xy | yx | o1turn | adaptive; default the chip's xy)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -17,14 +18,17 @@ using namespace noc;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
-    std::printf("usage: %s [--pattern NAME] [--load R] [--k N]\n", argv[0]);
+    std::printf("usage: %s [--pattern NAME] [--load R] [--k N] [--policy NAME]\n",
+                argv[0]);
     return 0;
   }
   // 1. Configure the fabricated design: 4x4 mesh by default (--k scales it
   //    up to the DestMask capacity), single-cycle virtual bypassing,
-  //    router-level multicast, 4x1 REQ + 2x3 RESP VCs.
+  //    router-level multicast, 4x1 REQ + 2x3 RESP VCs. --policy swaps the
+  //    chip's XY routing for a load-balancing alternative (docs/ROUTING.md).
   const int k = cli_mesh_radix(args, 4);
   NetworkConfig cfg = NetworkConfig::proposed(k);
+  cfg.router.routing = cli_route_policy(args, RoutePolicy::XY);
   cfg.traffic.pattern = TrafficPattern::MixedPaper;  // Fig 5's traffic
   cfg.traffic.offered_flits_per_node_cycle = args.get_double("load", 0.10);
   if (const std::string p = args.get_str("pattern", ""); !p.empty()) {
@@ -47,9 +51,12 @@ int main(int argc, char** argv) {
 
   // 3. Read the results.
   const Metrics& m = net.metrics();
-  std::printf("== quickstart: proposed %dx%d NoC, %s traffic @ %.2f flits/node/cycle ==\n",
-              k, k, traffic_pattern_name(cfg.traffic.pattern),
-              cfg.traffic.offered_flits_per_node_cycle);
+  std::printf(
+      "== quickstart: proposed %dx%d NoC, %s routing, %s traffic @ %.2f "
+      "flits/node/cycle ==\n",
+      k, k, route_policy_name(cfg.router.routing),
+      traffic_pattern_name(cfg.traffic.pattern),
+      cfg.traffic.offered_flits_per_node_cycle);
   std::printf("packets completed        : %lld\n",
               static_cast<long long>(m.completed_packets()));
   std::printf("avg packet latency       : %.2f cycles (theory limit %.2f)\n",

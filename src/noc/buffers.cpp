@@ -13,6 +13,7 @@ void InputVc::open_packet(const Flit& head, const BranchList& branches) {
   front_seq_ = 0;
   accepted_flits = 0;
   packet_len = head.packet_len;
+  rc_ = head.rc;
 }
 
 void InputVc::close_packet() {
@@ -23,6 +24,7 @@ void InputVc::close_packet() {
   accepted_flits = 0;
   packet_len = 0;
   front_seq_ = 0;
+  rc_ = RouteClass::XY;
 }
 
 void InputVc::push(const Flit& f) {
@@ -68,20 +70,35 @@ void DownstreamState::configure(const VcConfig& cfg) {
     NOC_EXPECTS(cfg.depth_per_mc[m] <= kMaxVcDepth);
   cfg_ = cfg;
   credits_.fill(0);
-  for (auto& q : free_vcs_) q.clear();
+  for (auto& per_mc : free_vcs_)
+    for (auto& q : per_mc) q.clear();
+  next_stamp_ = 0;
   free_mask_ = 0;
+  // Ascending VC id with ascending stamps: the lane-Any merge order starts
+  // out as plain id order, exactly the pre-lane single queue.
   for (int vc = 0; vc < cfg.total_vcs(); ++vc) {
     credits_[static_cast<size_t>(vc)] = cfg.depth_of_vc(vc);
-    free_vcs_[static_cast<int>(cfg.mc_of_vc(vc))].push_back(
-        static_cast<int8_t>(vc));
+    free_vcs_[static_cast<int>(cfg.mc_of_vc(vc))]
+             [static_cast<int>(cfg.lane_of_vc(vc))]
+                 .push_back({static_cast<int8_t>(vc), next_stamp_++});
     free_mask_ |= uint32_t{1} << vc;
   }
 }
 
-int DownstreamState::allocate_vc(MsgClass mc) {
-  auto& q = free_vcs_[static_cast<int>(mc)];
-  if (q.empty()) return -1;
-  const int vc = q.pop_front();
+int DownstreamState::allocate_vc(MsgClass mc, VcLane lane) {
+  const int m = static_cast<int>(mc);
+  auto* q = &free_vcs_[m][0];
+  if (lane == VcLane::Any) {
+    // Merge the two lane FIFOs by release stamp: the pop order is the one
+    // global least-recently-freed FIFO, regardless of the lane split.
+    auto& q1 = free_vcs_[m][1];
+    if (!q1.empty() && (q->empty() || q1.front().stamp < q->front().stamp))
+      q = &q1;
+  } else {
+    q = &free_vcs_[m][static_cast<int>(lane)];
+  }
+  if (q->empty()) return -1;
+  const int vc = q->pop_front().vc;
   free_mask_ &= ~(uint32_t{1} << vc);
   return vc;
 }
@@ -89,17 +106,34 @@ int DownstreamState::allocate_vc(MsgClass mc) {
 void DownstreamState::release_vc(int vc) {
   NOC_EXPECTS(vc >= 0 && vc < cfg_.total_vcs());
   NOC_ASSERT((free_mask_ & (uint32_t{1} << vc)) == 0);
-  free_vcs_[static_cast<int>(cfg_.mc_of_vc(vc))].push_back(
-      static_cast<int8_t>(vc));
+  free_vcs_[static_cast<int>(cfg_.mc_of_vc(vc))]
+           [static_cast<int>(cfg_.lane_of_vc(vc))]
+               .push_back({static_cast<int8_t>(vc), next_stamp_++});
   free_mask_ |= uint32_t{1} << vc;
 }
 
-bool DownstreamState::has_free_vc(MsgClass mc) const {
-  return !free_vcs_[static_cast<int>(mc)].empty();
+bool DownstreamState::has_free_vc(MsgClass mc, VcLane lane) const {
+  const int m = static_cast<int>(mc);
+  if (lane == VcLane::Any)
+    return !free_vcs_[m][0].empty() || !free_vcs_[m][1].empty();
+  return !free_vcs_[m][static_cast<int>(lane)].empty();
 }
 
-int DownstreamState::free_vc_count(MsgClass mc) const {
-  return free_vcs_[static_cast<int>(mc)].size();
+int DownstreamState::free_vc_count(MsgClass mc, VcLane lane) const {
+  const int m = static_cast<int>(mc);
+  if (lane == VcLane::Any)
+    return free_vcs_[m][0].size() + free_vcs_[m][1].size();
+  return free_vcs_[m][static_cast<int>(lane)].size();
+}
+
+int DownstreamState::lane_credits(MsgClass mc, VcLane lane) const {
+  int total = 0;
+  const int base = cfg_.vc_base(mc);
+  const int end = base + cfg_.vcs_per_mc[static_cast<int>(mc)];
+  for (int vc = base; vc < end; ++vc)
+    if (lane == VcLane::Any || cfg_.lane_of_vc(vc) == lane)
+      total += credits_[static_cast<size_t>(vc)];
+  return total;
 }
 
 void DownstreamState::consume_credit(int vc) {

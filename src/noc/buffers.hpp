@@ -28,6 +28,16 @@ namespace noc {
 constexpr int kMaxVcDepth = 8;
 constexpr int kMaxTotalVcs = 16;
 
+/// VC lanes partition each message class's VCs for route-class isolation
+/// (noc/route_policy.hpp, docs/ROUTING.md): lane Ordered carries only
+/// dimension-ordered-XY traffic (O1TURN's XY subnetwork, the adaptive
+/// policy's escape subnetwork, multicast trees), lane Free the rest
+/// (O1TURN's YX subnetwork, adaptive traffic). Policies that need no
+/// partition allocate with Any, which spans both lanes and behaves exactly
+/// like the pre-lane single free-VC pool.
+enum class VcLane : int8_t { Any = -1, Ordered = 0, Free = 1 };
+constexpr int kNumVcLanes = 2;
+
 /// VC organization shared by every input port in the network.
 struct VcConfig {
   int vcs_per_mc[kNumMsgClasses] = {4, 2};
@@ -47,6 +57,27 @@ struct VcConfig {
   }
   int depth_of_vc(int vc) const {
     return depth_per_mc[static_cast<int>(mc_of_vc(vc))];
+  }
+
+  /// Lane split within a message class: the first ceil(n/2) VCs form the
+  /// Ordered lane, the floor(n/2) rest the Free lane (an odd pool favours
+  /// the ordered/escape side, which must never be empty).
+  int lane_vcs(MsgClass mc, VcLane lane) const {
+    NOC_EXPECTS(lane != VcLane::Any);
+    const int n = vcs_per_mc[static_cast<int>(mc)];
+    return lane == VcLane::Free ? n / 2 : n - n / 2;
+  }
+  VcLane lane_of_vc(int vc) const {
+    const MsgClass mc = mc_of_vc(vc);
+    return vc - vc_base(mc) < lane_vcs(mc, VcLane::Ordered) ? VcLane::Ordered
+                                                            : VcLane::Free;
+  }
+  /// True when every message class populates both lanes -- the requirement
+  /// for lane-splitting routing policies (route_policy_uses_lanes).
+  bool lanes_available() const {
+    for (int m = 0; m < kNumMsgClasses; ++m)
+      if (lane_vcs(static_cast<MsgClass>(m), VcLane::Free) == 0) return false;
+    return true;
   }
 };
 
@@ -81,8 +112,12 @@ class InputVc {
   int occupancy() const { return fifo_.size(); }
   int depth() const { return depth_; }
 
-  /// Allocate this VC to a packet and install its branches.
+  /// Allocate this VC to a packet and install its branches. The head's
+  /// route class is latched for the packet's lifetime (VA consults it).
   void open_packet(const Flit& head, const BranchList& branches);
+
+  /// Route class of the packet currently holding this VC.
+  RouteClass rc() const { return rc_; }
 
   /// Release the VC after the tail has been sent on every branch.
   void close_packet();
@@ -120,6 +155,7 @@ class InputVc {
   int depth_ = 1;
   int front_seq_ = 0;
   bool busy_ = false;
+  RouteClass rc_ = RouteClass::XY;
 };
 
 /// Upstream-side view of one downstream input port: per-VC credit counters
@@ -129,13 +165,22 @@ class DownstreamState {
  public:
   void configure(const VcConfig& cfg);
 
-  /// VA: take a free downstream VC of class `mc`, or -1.
-  int allocate_vc(MsgClass mc);
+  /// VA: take a free downstream VC of class `mc` in `lane`, or -1. Lane
+  /// Any spans both lanes and pops the least-recently-freed VC overall --
+  /// release stamps make the two lane FIFOs merge into exactly the single
+  /// global FIFO the pre-lane router allocated from, so unrestricted
+  /// policies keep their bit-identical allocation order.
+  int allocate_vc(MsgClass mc, VcLane lane = VcLane::Any);
   /// A vc_free credit arrived: the downstream VC finished its packet.
   void release_vc(int vc);
 
-  bool has_free_vc(MsgClass mc) const;
-  int free_vc_count(MsgClass mc) const;
+  bool has_free_vc(MsgClass mc, VcLane lane = VcLane::Any) const;
+  int free_vc_count(MsgClass mc, VcLane lane = VcLane::Any) const;
+
+  /// Buffer credits currently available across `lane`'s VCs of `mc`, free
+  /// or allocated -- the downstream-occupancy signal the MinimalAdaptive
+  /// policy scores productive ports by.
+  int lane_credits(MsgClass mc, VcLane lane) const;
 
   int credits(int vc) const { return credits_[static_cast<size_t>(vc)]; }
   void consume_credit(int vc);
@@ -144,11 +189,20 @@ class DownstreamState {
   const VcConfig& config() const { return cfg_; }
 
  private:
+  /// Free-queue entry: the VC id plus its release stamp (the merge key for
+  /// lane-Any allocation).
+  struct FreeVc {
+    int8_t vc = 0;
+    uint64_t stamp = 0;
+  };
+
   VcConfig cfg_;
   std::array<int, kMaxTotalVcs> credits_{};
-  /// FIFO free-VC queues (allocation order matters for determinism) plus a
-  /// membership bitmask for O(1) duplicate-release checking.
-  RingBuffer<int8_t, kMaxTotalVcs> free_vcs_[kNumMsgClasses];
+  /// Per-(message class, lane) FIFO free-VC queues (allocation order
+  /// matters for determinism) plus a membership bitmask for O(1)
+  /// duplicate-release checking.
+  RingBuffer<FreeVc, kMaxTotalVcs> free_vcs_[kNumMsgClasses][kNumVcLanes];
+  uint64_t next_stamp_ = 0;
   uint32_t free_mask_ = 0;
 };
 

@@ -66,6 +66,10 @@ PointResult measure_point(NetworkConfig cfg, double offered,
     total.transactions += s.transactions;
     total.latency_sum += s.latency_sum;
     total.latency_max = std::max(total.latency_max, s.latency_max);
+    total.probe_legs += s.probe_legs;
+    total.probe_latency_sum += s.probe_latency_sum;
+    total.response_legs += s.response_legs;
+    total.response_latency_sum += s.response_latency_sum;
   }
   r.transactions = total.transactions;
   r.avg_transaction_latency =
@@ -73,6 +77,16 @@ PointResult measure_point(NetworkConfig cfg, double offered,
           ? total.latency_sum / static_cast<double>(total.transactions)
           : 0.0;
   r.max_transaction_latency = total.latency_max;
+  r.probe_legs = total.probe_legs;
+  r.avg_probe_latency =
+      total.probe_legs > 0
+          ? total.probe_latency_sum / static_cast<double>(total.probe_legs)
+          : 0.0;
+  r.response_legs = total.response_legs;
+  r.avg_response_latency = total.response_legs > 0
+                               ? total.response_latency_sum /
+                                     static_cast<double>(total.response_legs)
+                               : 0.0;
   r.transactions_per_cycle =
       opt.window > 0
           ? static_cast<double>(total.transactions) /
@@ -237,6 +251,16 @@ ExperimentOptions cli_experiment_options(const CliArgs& args,
   opt.measure = cli_measure_options(args, defaults);
   opt.threads = static_cast<int>(args.get_int("threads", 0));
   return opt;
+}
+
+RoutePolicy cli_route_policy(const CliArgs& args, RoutePolicy dflt) {
+  const std::string name = args.get_str("policy", "");
+  if (name.empty()) return dflt;
+  if (const auto p = parse_route_policy(name)) return *p;
+  std::fprintf(stderr,
+               "unknown routing policy: %s (valid: xy yx o1turn adaptive)\n",
+               name.c_str());
+  std::exit(1);
 }
 
 int cli_mesh_radix(const CliArgs& args, int dflt) {

@@ -53,6 +53,17 @@ struct PointResult {
   double max_transaction_latency = 0;
   double transactions_per_cycle = 0;   // aggregate over all nodes
   int closed_loop_window = 0;          // MSHR window this point ran at
+
+  // Closed-loop leg breakdown (zeros for other workloads): the
+  // probe-to-owner leg (miss issue -> probe head at the owning node) and
+  // the data-return leg (response generation at the owner -> response tail
+  // at the requester). Together with the directory latency these
+  // decompose avg_transaction_latency, so a shift in miss latency can be
+  // attributed to the request or the response network.
+  int64_t probe_legs = 0;
+  double avg_probe_latency = 0;
+  int64_t response_legs = 0;
+  double avg_response_latency = 0;
 };
 
 /// Run one point at `offered` flits/node/cycle. For non-open-loop
@@ -165,5 +176,10 @@ ExperimentOptions cli_experiment_options(const CliArgs& args,
 /// the geometry's precondition abort deep in construction (or worse,
 /// silently truncating the way a fixed-width mask once would have).
 int cli_mesh_radix(const CliArgs& args, int dflt);
+
+/// Shared `--policy NAME` flag (xy | yx | o1turn | adaptive): routing
+/// policy for the benches/examples. Unknown names print the valid set and
+/// exit.
+RoutePolicy cli_route_policy(const CliArgs& args, RoutePolicy dflt);
 
 }  // namespace noc

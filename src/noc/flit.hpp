@@ -21,6 +21,17 @@ constexpr int kNumMsgClasses = 2;
 
 enum class FlitType : uint8_t { Head, Body, Tail, HeadTail };
 
+/// Per-packet routing class under the routing-policy subsystem
+/// (noc/route_policy.hpp, docs/ROUTING.md). Stamped at injection from the
+/// network's RoutePolicy; selects both the routing function applied at
+/// each hop and the VC lane the packet may occupy, which is what keeps
+/// mixed-policy traffic deadlock-free. Escape marks a MinimalAdaptive
+/// packet that fell through to the dimension-ordered escape lane -- the
+/// class is sticky from that hop on (the escape subnetwork must stay
+/// acyclic end-to-end).
+enum class RouteClass : uint8_t { XY = 0, YX = 1, Adaptive = 2, Escape = 3 };
+constexpr int kNumRouteClasses = 4;
+
 inline bool is_head(FlitType t) {
   return t == FlitType::Head || t == FlitType::HeadTail;
 }
@@ -48,6 +59,10 @@ struct Flit {
   DestMask branch_mask;
   MsgClass mc = MsgClass::Request;
   FlitType type = FlitType::HeadTail;
+  /// Routing class (see RouteClass above). Routers rewrite it on a fork /
+  /// forward exactly like branch_mask: an Adaptive flit granted an escape
+  /// VC continues downstream as Escape.
+  RouteClass rc = RouteClass::XY;
   /// Workload-level correlation tag carried end-to-end (the hardware encodes
   /// this in head-flit transaction-id fields). Closed-loop sources stamp a
   /// probe's id here and echo it in the response so the requester can match

@@ -5,22 +5,29 @@
 
 namespace noc {
 
-MeshGeometry::MeshGeometry(int k) : k_(k) {
-  NOC_EXPECTS(k >= 2 && k <= kMaxMeshRadix);
+// The k <= kMaxMeshRadix contract needs no separate check: for a square
+// mesh it is exactly the delegated capacity bound (16^2 = kCapacity).
+MeshGeometry::MeshGeometry(int k) : MeshGeometry(k, k) {}
+
+MeshGeometry::MeshGeometry(int kx, int ky) : kx_(kx), ky_(ky) {
+  NOC_EXPECTS(kx >= 2 && ky >= 2);
+  // The mask datapath addresses one bit per node: any shape fits as long
+  // as the node count does (a 4x64 strip is as legal as 16x16).
+  NOC_EXPECTS(kx * ky <= DestMask::kCapacity);
 }
 
 NodeId MeshGeometry::id(Coord c) const {
   NOC_EXPECTS(valid(c));
-  return c.y * k_ + c.x;
+  return c.y * kx_ + c.x;
 }
 
 Coord MeshGeometry::coord(NodeId n) const {
   NOC_EXPECTS(n >= 0 && n < num_nodes());
-  return Coord{n % k_, n / k_};
+  return Coord{n % kx_, n / kx_};
 }
 
 bool MeshGeometry::valid(Coord c) const {
-  return c.x >= 0 && c.x < k_ && c.y >= 0 && c.y < k_;
+  return c.x >= 0 && c.x < kx_ && c.y >= 0 && c.y < ky_;
 }
 
 int MeshGeometry::manhattan(NodeId a, NodeId b) const {
@@ -30,8 +37,8 @@ int MeshGeometry::manhattan(NodeId a, NodeId b) const {
 
 int MeshGeometry::furthest_distance(NodeId src) const {
   const Coord c = coord(src);
-  const int dx = std::max(c.x, k_ - 1 - c.x);
-  const int dy = std::max(c.y, k_ - 1 - c.y);
+  const int dx = std::max(c.x, kx_ - 1 - c.x);
+  const int dy = std::max(c.y, ky_ - 1 - c.y);
   return dx + dy;
 }
 

@@ -1,12 +1,14 @@
 #pragma once
-// k x k mesh geometry: node ids, coordinates, Manhattan distances, and the
-// destination-set bit masks used by the multicast machinery.
+// kx x ky mesh geometry: node ids, coordinates, Manhattan distances, and
+// the destination-set bit masks used by the multicast machinery.
 //
-// Node ids are row-major: id = y * k + x. Destination sets are DestMask
+// Node ids are row-major: id = y * kx + x. Destination sets are DestMask
 // multi-word bitsets (bit i = node i, see common/dest_mask.hpp), which caps
-// the mesh at DestMask::kCapacity = 256 nodes: k <= 16, covering the paper's
-// 4x4 chip, the 8x8 comparisons of Table 2, and the large-k scaling study
-// (docs/SCALING.md).
+// the mesh at DestMask::kCapacity = 256 nodes: square meshes up to k <= 16,
+// covering the paper's 4x4 chip, the 8x8 comparisons of Table 2, and the
+// large-k scaling study (docs/SCALING.md). Rectangular kx x ky shapes are
+// capacity-checked against the same bound (groundwork for non-square
+// networks; the Network itself still builds square meshes).
 
 #include <cstdint>
 #include <vector>
@@ -32,10 +34,21 @@ struct Coord {
 
 class MeshGeometry {
  public:
+  /// Square k x k mesh (every existing caller).
   explicit MeshGeometry(int k);
+  /// Rectangular kx x ky mesh, capacity-checked against
+  /// DestMask::kCapacity (e.g. 4x8 for the rectangular routing tests).
+  MeshGeometry(int kx, int ky);
 
-  int k() const { return k_; }
-  int num_nodes() const { return k_ * k_; }
+  /// Radix of a SQUARE mesh; asserts on rectangular geometries so square
+  /// assumptions (bisection cuts, Tornado wrap) cannot silently misapply.
+  int k() const {
+    NOC_EXPECTS(kx_ == ky_);
+    return kx_;
+  }
+  int kx() const { return kx_; }
+  int ky() const { return ky_; }
+  int num_nodes() const { return kx_ * ky_; }
 
   NodeId id(Coord c) const;
   NodeId id(int x, int y) const { return id(Coord{x, y}); }
@@ -67,7 +80,8 @@ class MeshGeometry {
   double exact_avg_broadcast_hops() const;
 
  private:
-  int k_;
+  int kx_;
+  int ky_;
 };
 
 }  // namespace noc

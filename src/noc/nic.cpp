@@ -1,5 +1,6 @@
 #include "noc/nic.hpp"
 
+#include "noc/route_policy.hpp"
 #include "noc/workload.hpp"
 
 namespace noc {
@@ -43,6 +44,10 @@ void Nic::enqueue_for_send(Packet pkt) {
 void Nic::submit_packet(Packet pkt) {
   NOC_EXPECTS(pkt.src == node_);
   NOC_EXPECTS(pkt.dest_mask.any());
+  // Stamp the routing class here, not in the sources: traffic generation
+  // is policy-agnostic, so traces replay and external submissions inject
+  // correctly under whatever policy this network runs (docs/ROUTING.md).
+  pkt.rc = route_class_for_packet(router_cfg_.routing, pkt);
   // External callers may submit while a gated NIC sleeps; make sure the
   // injection half runs next step (self-submissions fire it redundantly,
   // which is harmless).
@@ -85,6 +90,9 @@ void Nic::submit_packet(Packet pkt) {
       copy.logical_id = pkt.effective_logical_id();
       copy.id = (pkt.id ^ 0x5a5a5a5aULL) + (++copy_idx << 56);
       copy.dest_mask = MeshGeometry::node_mask(d);
+      // Each duplicated copy is its own unicast: re-stamp so O1TURN
+      // spreads the copies over both orders and adaptive copies roam.
+      copy.rc = route_class_for_packet(router_cfg_.routing, copy);
       enqueue_for_send(std::move(copy));
     });
     return;

@@ -16,6 +16,7 @@ void segment_packet_into(const Packet& p, const uint64_t* payloads,
     f.src = p.src;
     f.branch_mask = p.dest_mask;
     f.mc = p.mc;
+    f.rc = p.rc;
     f.tag = p.tag;
     f.seq = i;
     f.packet_len = p.length;

@@ -23,6 +23,11 @@ struct Packet {
   PacketId logical_id = 0;
   /// Workload correlation tag copied into every flit (see Flit::tag).
   uint64_t tag = 0;
+  /// Routing class copied into every flit (see Flit::rc). Sources leave it
+  /// at the default; the NIC stamps it from the network's RoutePolicy at
+  /// submit time (route_class_for_packet), so trace records and externally
+  /// submitted packets pick up whatever policy the network runs.
+  RouteClass rc = RouteClass::XY;
 
   PacketId effective_logical_id() const { return logical_id ? logical_id : id; }
 };

@@ -1,0 +1,102 @@
+#include "noc/route_policy.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace noc {
+
+const char* route_policy_name(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::XY: return "xy";
+    case RoutePolicy::YX: return "yx";
+    case RoutePolicy::O1Turn: return "o1turn";
+    case RoutePolicy::MinimalAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<RoutePolicy> parse_route_policy(std::string_view name) {
+  if (name == "xy") return RoutePolicy::XY;
+  if (name == "yx") return RoutePolicy::YX;
+  if (name == "o1turn") return RoutePolicy::O1Turn;
+  if (name == "adaptive" || name == "minimal-adaptive")
+    return RoutePolicy::MinimalAdaptive;
+  return std::nullopt;
+}
+
+bool route_policy_uses_lanes(RoutePolicy p) {
+  return p == RoutePolicy::O1Turn || p == RoutePolicy::MinimalAdaptive;
+}
+
+RouteClass route_class_for_packet(RoutePolicy policy, const Packet& pkt) {
+  const bool multicast = pkt.dest_mask.count() > 1;
+  switch (policy) {
+    case RoutePolicy::XY:
+      return RouteClass::XY;
+    case RoutePolicy::YX:
+      return RouteClass::YX;
+    case RoutePolicy::O1Turn:
+      // Multicasts stay on the paper's XY tree, inside the XY subnetwork.
+      if (multicast) return RouteClass::XY;
+      // Deterministic per-packet coin. Packet ids carry the per-source
+      // counter in their low bits (make_packet_id), so the id's parity
+      // alternates a source's unicasts XY/YX exactly -- the balanced split
+      // that minimizes per-lane burstiness (an iid hash coin costs a few
+      // percent of uniform saturation to lane-load variance). The bit-56+
+      // XOR folds in the copy index of NIC-duplicated broadcast copies,
+      // whose low bits are shared. A pure function of the packet, so the
+      // choice cannot depend on thread scheduling.
+      return ((pkt.id ^ (pkt.id >> 56)) & 1) != 0 ? RouteClass::YX
+                                                  : RouteClass::XY;
+    case RoutePolicy::MinimalAdaptive:
+      return multicast ? RouteClass::Escape : RouteClass::Adaptive;
+  }
+  return RouteClass::XY;
+}
+
+VcLane route_class_lane(RoutePolicy policy, RouteClass rc, PortDir out) {
+  if (out == PortDir::Local) return VcLane::Any;  // ejection: terminal sink
+  switch (policy) {
+    case RoutePolicy::XY:
+    case RoutePolicy::YX:
+      // Single-order policies: every VC already carries dimension-ordered
+      // traffic, so the whole pool is one deadlock-free class.
+      return VcLane::Any;
+    case RoutePolicy::O1Turn:
+      return rc == RouteClass::YX ? VcLane::Free : VcLane::Ordered;
+    case RoutePolicy::MinimalAdaptive:
+      return rc == RouteClass::Escape ? VcLane::Ordered : VcLane::Free;
+  }
+  return VcLane::Any;
+}
+
+RouteSet class_tree_route(RouteClass rc, const MeshGeometry& geom,
+                          NodeId here, DestMask dests) {
+  NOC_EXPECTS(rc != RouteClass::Adaptive);
+  return rc == RouteClass::YX ? yx_tree_route(geom, here, dests)
+                              : xy_tree_route(geom, here, dests);
+}
+
+PortChoices productive_ports(const MeshGeometry& geom, NodeId here,
+                             NodeId dest) {
+  PortChoices out;
+  const Coord c = geom.coord(here);
+  const Coord d = geom.coord(dest);
+  if (d.x > c.x)
+    out.push_back(PortDir::East);
+  else if (d.x < c.x)
+    out.push_back(PortDir::West);
+  if (d.y > c.y)
+    out.push_back(PortDir::North);
+  else if (d.y < c.y)
+    out.push_back(PortDir::South);
+  return out;
+}
+
+PortDir escape_port(const MeshGeometry& geom, NodeId here, NodeId dest) {
+  // The X-before-Y rule lives once, in productive_ports' ordering.
+  const PortChoices ports = productive_ports(geom, here, dest);
+  return ports.empty() ? PortDir::Local : ports[0];
+}
+
+}  // namespace noc

@@ -8,6 +8,11 @@ namespace noc {
 Router::Router(NodeId node, const MeshGeometry& geom, const RouterConfig& cfg,
                EnergyCounters* energy, Metrics* metrics)
     : node_(node), geom_(geom), cfg_(cfg), energy_(energy), metrics_(metrics) {
+  // Lane-splitting policies partition each message class's VCs; a class
+  // whose Free lane would be empty could never allocate for half its
+  // traffic -- reject the config here rather than deadlock silently.
+  NOC_EXPECTS(!route_policy_uses_lanes(cfg.routing) ||
+              cfg.vc.lanes_available());
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
     ip.vcs.resize(static_cast<size_t>(cfg.vc.total_vcs()));
@@ -91,9 +96,73 @@ void Router::apply_credits(Cycle) {
   }
 }
 
+RouteSet Router::route_head(const Flit& head) const {
+  if (head.rc == RouteClass::Adaptive) {
+    // Adaptive packets are unicasts by construction
+    // (route_class_for_packet); the hop decision is made from live credit
+    // state and revisited by VA on every retry until a VC is granted.
+    NOC_ASSERT(head.branch_mask.count() == 1);
+    const NodeId dest = head.branch_mask.lowest();
+    RouteSet rs;
+    const PortDir out =
+        dest == node_ ? PortDir::Local : adaptive_port_choice(dest, head.mc);
+    rs[out] = head.branch_mask;
+    return rs;
+  }
+  return class_tree_route(head.rc, geom_, node_, head.branch_mask);
+}
+
+PortDir Router::adaptive_port_choice(NodeId dest, MsgClass mc) const {
+  const PortChoices ports = productive_ports(geom_, node_, dest);
+  NOC_ASSERT(!ports.empty());
+  PortDir best = ports[0];
+  int best_key = -1;
+  for (const PortDir p : ports) {
+    const auto& ds = out_[static_cast<size_t>(port_index(p))].ds;
+    // Free VCs weigh above credit slack (a port without a free VC cannot
+    // accept a new packet no matter how empty its buffers; the actionable
+    // mask relies on a free-VC port always outranking a VC-less one); the
+    // strict > keeps the X-productive port on ties, so a congestion-free
+    // mesh degenerates to plain XY.
+    static_assert(kMaxVcDepth * kMaxTotalVcs < 1024,
+                  "free-VC weight must dominate any possible credit sum");
+    const int key = ds.free_vc_count(mc, VcLane::Free) * 1024 +
+                    ds.lane_credits(mc, VcLane::Free);
+    if (key > best_key) {
+      best_key = key;
+      best = p;
+    }
+  }
+  return best;
+}
+
+bool Router::branch_could_get_vc(RouteClass rc, MsgClass mc,
+                                 const Branch& b) const {
+  if (rc == RouteClass::Adaptive && b.out != PortDir::Local) {
+    const NodeId dest = b.dests.lowest();
+    for (const PortDir p : productive_ports(geom_, node_, dest))
+      if (out_[static_cast<size_t>(port_index(p))].ds.has_free_vc(
+              mc, VcLane::Free))
+        return true;
+    const PortDir esc = escape_port(geom_, node_, dest);
+    return out_[static_cast<size_t>(port_index(esc))].ds.has_free_vc(
+        mc, VcLane::Ordered);
+  }
+  return out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(
+      mc, branch_lane(rc, b.out));
+}
+
+RouteClass Router::downstream_rc(const Flit& f, const GrantOut& go) const {
+  if (cfg_.routing == RoutePolicy::MinimalAdaptive &&
+      f.rc == RouteClass::Adaptive && go.out != PortDir::Local &&
+      cfg_.vc.lane_of_vc(go.ds_vc) == VcLane::Ordered)
+    return RouteClass::Escape;
+  return f.rc;
+}
+
 void Router::open_packet_state(int port, const Flit& head) {
   NOC_EXPECTS(is_head(head.type));
-  const RouteSet rs = tree_route(cfg_.routing, geom_, node_, head.branch_mask);
+  const RouteSet rs = route_head(head);
   BranchList branches;
   for (int o = 0; o < kNumPorts; ++o) {
     const DestMask m = rs.port_dests[static_cast<size_t>(o)];
@@ -113,6 +182,7 @@ void Router::forward_copy(Cycle now, const Flit& f, const GrantOut& go) {
   Flit copy = f;
   copy.branch_mask = go.dests;
   copy.vc = go.ds_vc;
+  copy.rc = downstream_rc(f, go);
   if (energy_) ++energy_->xbar_traversals;
   auto* out_ch = in_[static_cast<size_t>(port_index(go.out))].ch.flit_out;
   NOC_ASSERT(out_ch != nullptr);
@@ -142,6 +212,7 @@ void Router::send_lookahead(Cycle now, const Flit& f, const GrantOut& go) {
   la.flit = f;
   la.flit.branch_mask = go.dests;
   la.flit.vc = go.ds_vc;
+  la.flit.rc = downstream_rc(f, go);
   la_ch->send(now, la);
   if (energy_) ++energy_->lookaheads_sent;
 }
@@ -329,7 +400,11 @@ void Router::process_lookaheads(Cycle now,
         if (out_claimed[static_cast<size_t>(o)]) continue;
         auto& ds = out_[static_cast<size_t>(o)].ds;
         int vc = b.ds_vc;
-        if (vc < 0 && !ds.has_free_vc(la.flit.mc)) continue;
+        // Class-aware VA: an Adaptive flit bypasses only through its
+        // primary (Free) lane on the pre-aimed port -- the escape fallback
+        // stays on the buffered path, where VA re-aims every retry.
+        if (vc < 0 && !ds.has_free_vc(la.flit.mc, branch_lane(ivc.rc(), b.out)))
+          continue;
         if (vc >= 0 && ds.credits(vc) <= 0) continue;
         grantable.push_back(GrantOut{b.out, vc, b.dests});
       }
@@ -355,7 +430,7 @@ void Router::process_lookaheads(Cycle now,
           if (w->out == go.out) br = w;
         NOC_ASSERT(br != nullptr);
         if (go.ds_vc < 0) {
-          go.ds_vc = ds.allocate_vc(la.flit.mc);
+          go.ds_vc = ds.allocate_vc(la.flit.mc, branch_lane(ivc.rc(), go.out));
           NOC_ASSERT(go.ds_vc >= 0);
           br->ds_vc = go.ds_vc;
           if (energy_) ++energy_->vc_allocations;
@@ -505,7 +580,7 @@ void Router::phase_sa1_va(Cycle) {
           for (const auto& b : ivc.branches()) {
             if (b.tail_sent || !b.needs_vc() || !ivc.has_seq(b.next_seq))
               continue;
-            if (out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(mc)) {
+            if (branch_could_get_vc(ivc.rc(), mc, b)) {
               actionable = true;
               break;
             }
@@ -533,6 +608,52 @@ void Router::phase_sa1_va(Cycle) {
 void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
   if (!ivc.busy()) return;
   const MsgClass mc = cfg_.vc.mc_of_vc(vc_id);
+
+  if (ivc.rc() == RouteClass::Adaptive) {
+    // Adaptive packets are single-branch unicasts whose output port is
+    // re-aimed on EVERY VA retry while no downstream VC is held: first the
+    // best productive port with a free Free-lane VC, then the
+    // dimension-ordered escape hop on the Ordered lane. Retrying the
+    // escape candidate each cycle -- not just once -- is what makes the
+    // network deadlock-free (Duato): a packet blocked on adaptive
+    // resources always eventually falls through to the acyclic escape
+    // subnetwork, which drains independently.
+    NOC_ASSERT(ivc.branches().size() == 1);
+    Branch& b = ivc.branches()[0];
+    if (b.tail_sent || !b.needs_vc()) return;
+    if (b.out == PortDir::Local) {
+      const int vc =
+          out_[static_cast<size_t>(port_index(PortDir::Local))].ds.allocate_vc(
+              mc, VcLane::Any);
+      if (vc >= 0) {
+        b.ds_vc = vc;
+        if (energy_) ++energy_->vc_allocations;
+      }
+      return;
+    }
+    const NodeId dest = b.dests.lowest();
+    const PortDir aim = adaptive_port_choice(dest, mc);
+    auto& aim_ds = out_[static_cast<size_t>(port_index(aim))].ds;
+    if (aim_ds.has_free_vc(mc, VcLane::Free)) {
+      b.out = aim;
+      b.ds_vc = aim_ds.allocate_vc(mc, VcLane::Free);
+      if (energy_) ++energy_->vc_allocations;
+      return;
+    }
+    const PortDir esc = escape_port(geom_, node_, dest);
+    auto& esc_ds = out_[static_cast<size_t>(port_index(esc))].ds;
+    if (esc_ds.has_free_vc(mc, VcLane::Ordered)) {
+      b.out = esc;
+      b.ds_vc = esc_ds.allocate_vc(mc, VcLane::Ordered);
+      if (energy_) ++energy_->vc_allocations;
+      return;
+    }
+    // Nothing free anywhere: keep the aim on the best adaptive candidate
+    // so next cycle's bypass/actionable checks look at the right port.
+    b.out = aim;
+    return;
+  }
+
   // Multi-flit multicasts must acquire every branch VC atomically: a branch
   // holding its VC while a sibling waits for one deadlocks, because buffer
   // slots only retire once ALL branches have sent a flit (hold-and-wait
@@ -543,13 +664,15 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
   if (atomic) {
     for (const auto& b : ivc.branches()) {
       if (b.tail_sent || !b.needs_vc()) continue;
-      if (!out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(mc))
+      if (!out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(
+              mc, branch_lane(ivc.rc(), b.out)))
         return;  // all-or-nothing: try again next cycle
     }
   }
   for (auto& b : ivc.branches()) {
     if (!b.needs_vc() || b.tail_sent) continue;
-    const int vc = out_[static_cast<size_t>(port_index(b.out))].ds.allocate_vc(mc);
+    const int vc = out_[static_cast<size_t>(port_index(b.out))].ds.allocate_vc(
+        mc, branch_lane(ivc.rc(), b.out));
     if (vc >= 0) {
       b.ds_vc = vc;
       if (energy_) ++energy_->vc_allocations;

@@ -34,6 +34,7 @@
 #include "noc/flit.hpp"
 #include "noc/geometry.hpp"
 #include "noc/metrics.hpp"
+#include "noc/route_policy.hpp"
 #include "noc/routing.hpp"
 #include "sim/channel.hpp"
 
@@ -58,10 +59,12 @@ struct RouterConfig {
   /// feeds raw per-VC outport requests into its round-robin circuit and
   /// wastes switch cycles on credit-blocked VCs.
   bool actionable_sa1_requests = true;
-  /// Dimension order for the routing tree. The chip uses XY; YX is the
-  /// mirror, available to quantify the paper's "XY routing imbalance"
-  /// explanation of the throughput gap (ablation).
-  RoutingMode routing = RoutingMode::XYTree;
+  /// Routing policy (noc/route_policy.hpp, docs/ROUTING.md). The chip
+  /// hardwires XY; YX is the mirror ablation; O1TURN and MinimalAdaptive
+  /// load-balance unicasts over lane-partitioned VCs to attack the paper's
+  /// "XY routing imbalance" share of the throughput gap. Multicasts stay
+  /// on the dimension-ordered tree under every policy.
+  RoutePolicy routing = RoutePolicy::XY;
   VcConfig vc;
 
   bool has_bypass() const { return pipeline == PipelineMode::Proposed; }
@@ -174,6 +177,28 @@ class Router {
                           std::array<bool, kNumPorts>& in_claimed);
   /// Install route/branch state for a head flit arriving at (port, vc).
   void open_packet_state(int port, const Flit& head);
+  /// Route computation for a head under the configured policy: the ordered
+  /// classes use their dimension-ordered tree; Adaptive heads get an
+  /// initial productive-port aim from live credit state (re-aimed by VA
+  /// every retry until a downstream VC is granted).
+  RouteSet route_head(const Flit& head) const;
+  /// Best productive port toward `dest` for an Adaptive packet: most free
+  /// Free-lane VCs, then most Free-lane buffer credits, X-first tie-break.
+  PortDir adaptive_port_choice(NodeId dest, MsgClass mc) const;
+  /// VC lane branch `b` of a class-`rc` packet allocates from (the
+  /// Adaptive class maps to its primary Free lane; escape is requested
+  /// explicitly inside allocate_branch_vcs).
+  VcLane branch_lane(RouteClass rc, PortDir out) const {
+    return route_class_lane(cfg_.routing, rc, out);
+  }
+  /// Could VA equip this branch with a downstream VC right now? (The
+  /// actionable-request mask of mSA-I; considers every adaptive candidate
+  /// port plus the escape fallback for Adaptive packets.)
+  bool branch_could_get_vc(RouteClass rc, MsgClass mc, const Branch& b) const;
+  /// Route class the copy forwarded toward `go` carries downstream:
+  /// an Adaptive flit granted an Ordered-lane (escape) VC continues as
+  /// Escape -- stickiness the deadlock argument relies on.
+  RouteClass downstream_rc(const Flit& f, const GrantOut& go) const;
   /// Forward one flit copy through the crossbar toward `go` (ST; plus LT
   /// for fused pipelines, or into the LT latch for FourStage).
   void forward_copy(Cycle now, const Flit& f, const GrantOut& go);

@@ -92,12 +92,6 @@ RouteSet yx_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests) {
   return rs;
 }
 
-RouteSet tree_route(RoutingMode mode, const MeshGeometry& geom, NodeId here,
-                    DestMask dests) {
-  return mode == RoutingMode::XYTree ? xy_tree_route(geom, here, dests)
-                                     : yx_tree_route(geom, here, dests);
-}
-
 PortDir xy_route(const MeshGeometry& geom, NodeId here, NodeId dest) {
   const RouteSet rs = xy_tree_route(geom, here, MeshGeometry::node_mask(dest));
   for (int i = 0; i < kNumPorts; ++i)

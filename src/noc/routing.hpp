@@ -49,14 +49,9 @@ RouteSet xy_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests);
 
 /// YX variant (Y resolved first): the mirror-image deadlock-free tree.
 /// The paper blames part of its throughput gap on "XY routing imbalance";
-/// this exists to quantify that claim (extension, see ablation bench).
+/// this exists to quantify that claim (and carries O1TURN's YX
+/// subnetwork; the policy layer lives in noc/route_policy.hpp).
 RouteSet yx_tree_route(const MeshGeometry& geom, NodeId here, DestMask dests);
-
-/// Dimension order used by the routers of a network.
-enum class RoutingMode : uint8_t { XYTree, YXTree };
-
-RouteSet tree_route(RoutingMode mode, const MeshGeometry& geom, NodeId here,
-                    DestMask dests);
 
 /// Plain XY next-hop for a unicast destination (convenience wrapper).
 PortDir xy_route(const MeshGeometry& geom, NodeId here, NodeId dest);

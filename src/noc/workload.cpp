@@ -170,17 +170,26 @@ void ClosedLoopSource::on_delivery(const Flit& flit, Cycle now) {
     // A probe reached this node. Exactly one node -- the deterministic
     // owner -- schedules the data response; everyone else just snoops.
     if (!is_head(flit.type) || flit.src == node_) return;
-    if (owner_of(flit.tag, flit.src) == node_)
+    if (owner_of(flit.tag, flit.src) == node_) {
+      // Probe-to-owner leg: the probe's generation stamp travels in the
+      // flit, so the leg is measurable right here without cross-node state.
+      if (in_window_)
+        window_probe_leg_.add(static_cast<double>(now - flit.gen_cycle));
       pending_.push_back(
           {now + cfg_.directory_latency, flit.tag, flit.src});
+    }
     return;
   }
   // A data response: retire the outstanding miss it answers.
   if (!is_tail(flit.type)) return;
   for (int i = 0; i < outstanding_.size(); ++i) {
     if (outstanding_[i].tag != flit.tag) continue;
-    if (in_window_)
+    if (in_window_) {
       window_latency_.add(static_cast<double>(now - outstanding_[i].issued));
+      // Data-return leg: from the response's generation at the owner
+      // (which includes the owner's NIC queueing) to tail delivery here.
+      window_response_leg_.add(static_cast<double>(now - flit.gen_cycle));
+    }
     outstanding_[i] = outstanding_[outstanding_.size() - 1];
     outstanding_.pop_back();
     ++completed_;
@@ -192,6 +201,8 @@ void ClosedLoopSource::on_delivery(const Flit& flit, Cycle now) {
 void ClosedLoopSource::begin_window(Cycle now) {
   (void)now;
   window_latency_.reset();
+  window_probe_leg_.reset();
+  window_response_leg_.reset();
   in_window_ = true;
 }
 
@@ -205,6 +216,10 @@ TrafficSource::WindowStats ClosedLoopSource::window_stats() const {
   s.transactions = window_latency_.count();
   s.latency_sum = window_latency_.sum();
   s.latency_max = window_latency_.max();
+  s.probe_legs = window_probe_leg_.count();
+  s.probe_latency_sum = window_probe_leg_.sum();
+  s.response_legs = window_response_leg_.count();
+  s.response_latency_sum = window_response_leg_.sum();
   return s;
 }
 

@@ -57,7 +57,7 @@ TEST(YxRouting, MirrorsXyTree) {
 
 TEST(YxRouting, NetworkDeliversEverything) {
   NetworkConfig cfg = NetworkConfig::proposed(4);
-  cfg.router.routing = RoutingMode::YXTree;
+  cfg.router.routing = RoutePolicy::YX;
   cfg.traffic.pattern = TrafficPattern::MixedPaper;
   cfg.traffic.offered_flits_per_node_cycle = 0.10;
   Network net(cfg);
@@ -75,7 +75,7 @@ TEST(YxRouting, TransposeFavorsOneOrder) {
   const MeasureOptions fast{.warmup = 1000, .window = 4000};
   NetworkConfig xy = NetworkConfig::proposed(4);
   NetworkConfig yx = NetworkConfig::proposed(4);
-  yx.router.routing = RoutingMode::YXTree;
+  yx.router.routing = RoutePolicy::YX;
   xy.traffic.pattern = yx.traffic.pattern = TrafficPattern::Transpose;
   const auto sx = find_saturation(xy, fast);
   const auto sy = find_saturation(yx, fast);

@@ -104,6 +104,35 @@ TEST(GatingEquivalence, IdenticalPrbsTimedSleep) {
   }
 }
 
+TEST(GatingEquivalence, RoutingPoliciesAllWorkloadShapes) {
+  // The routing-policy axis: O1TURN's lane coin and MinimalAdaptive's
+  // credit-driven port choice read only state a sleeping router cannot
+  // change, so gating must stay metric-invisible under every policy --
+  // including at a sparse load where components actually park, and under
+  // the broadcast-heavy mix where multicasts share the ordered lane.
+  constexpr RoutePolicy kPolicies[] = {
+      RoutePolicy::XY, RoutePolicy::YX, RoutePolicy::O1Turn,
+      RoutePolicy::MinimalAdaptive};
+  for (RoutePolicy policy : kPolicies) {
+    for (TrafficPattern pattern :
+         {TrafficPattern::UniformRequest, TrafficPattern::MixedPaper}) {
+      NetworkConfig cfg = NetworkConfig::proposed(4);
+      cfg.router.routing = policy;
+      cfg.traffic.pattern = pattern;
+      cfg.traffic.seed = 13;
+      expect_gating_invisible(cfg, 0.05);
+      expect_gating_invisible(cfg, 0.30);
+    }
+    NetworkConfig closed = NetworkConfig::proposed(4);
+    closed.router.routing = policy;
+    closed.workload.kind = WorkloadKind::ClosedLoop;
+    closed.workload.closed.window = 4;
+    closed.workload.closed.issue_prob = 0.05;
+    closed.workload.closed.think_time = 6;
+    expect_gating_invisible(closed, 0.0);
+  }
+}
+
 TEST(GatingEquivalence, NearSaturation) {
   // Dense traffic exercises every arbitration path with nothing asleep;
   // gating must degrade into the full walk without perturbing a thing.

@@ -145,5 +145,52 @@ TEST_P(GeometryKTest, ExactAveragesWithinBounds) {
 INSTANTIATE_TEST_SUITE_P(Sizes, GeometryKTest,
                          ::testing::Values(2, 3, 4, 5, 8, 12, 16));
 
+TEST(RectGeometry, FourByEightLayout) {
+  // Rectangular groundwork: 4 columns x 8 rows, row-major ids with the
+  // x-stride = kx (NOT the row count).
+  MeshGeometry g(4, 8);
+  EXPECT_EQ(g.kx(), 4);
+  EXPECT_EQ(g.ky(), 8);
+  EXPECT_EQ(g.num_nodes(), 32);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 4; ++x) {
+      const NodeId n = g.id(x, y);
+      EXPECT_EQ(n, y * 4 + x);
+      EXPECT_EQ(g.coord(n), (Coord{x, y}));
+    }
+  EXPECT_TRUE(g.valid(Coord{3, 7}));
+  EXPECT_FALSE(g.valid(Coord{4, 0}));  // x bound is kx, not ky
+  EXPECT_FALSE(g.valid(Coord{0, 8}));
+  EXPECT_TRUE(MeshGeometry(8, 4).valid(Coord{7, 3}));
+}
+
+TEST(RectGeometry, DistancesAndMasks) {
+  MeshGeometry g(4, 8);
+  EXPECT_EQ(g.manhattan(g.id(0, 0), g.id(3, 7)), 10);
+  // Corner-to-corner dominates from every node; center minimizes it.
+  EXPECT_EQ(g.furthest_distance(g.id(0, 0)), 10);
+  EXPECT_EQ(g.furthest_distance(g.id(3, 7)), 10);
+  EXPECT_EQ(g.furthest_distance(g.id(2, 4)), 2 + 4);
+  EXPECT_EQ(g.all_nodes_mask().count(), 32);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    int want = 0;
+    for (NodeId d = 0; d < g.num_nodes(); ++d)
+      want = std::max(want, g.manhattan(s, d));
+    EXPECT_EQ(g.furthest_distance(s), want);
+  }
+  const double uni = g.exact_avg_unicast_hops();
+  EXPECT_GT(uni, 0.0);
+  EXPECT_LT(uni, 10.0);
+  EXPECT_GE(g.exact_avg_broadcast_hops(), uni);
+}
+
+TEST(RectGeometry, CapacityBoundedShapes) {
+  // Any shape fits as long as the node count does: a 2x128 strip is the
+  // DestMask capacity exactly; 16x16 remains the square maximum.
+  EXPECT_EQ(MeshGeometry(2, 128).num_nodes(), DestMask::kCapacity);
+  EXPECT_EQ(MeshGeometry(128, 2).num_nodes(), DestMask::kCapacity);
+  EXPECT_EQ(MeshGeometry(16, 16).num_nodes(), 256);
+}
+
 }  // namespace
 }  // namespace noc

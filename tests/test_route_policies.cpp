@@ -1,0 +1,311 @@
+// The routing-policy subsystem (noc/route_policy.hpp, docs/ROUTING.md):
+// class assignment, adaptive port selection, end-to-end delivery under
+// every policy, deadlock-freedom soaks at saturation for the
+// lane-partitioned policies, word-boundary unicasts above DestMask bit 63,
+// and serial/parallel bit-identity per policy.
+#include <gtest/gtest.h>
+
+#include "noc/experiment.hpp"
+#include "noc/network.hpp"
+#include "noc/route_policy.hpp"
+#include "sim/simulation.hpp"
+
+namespace noc {
+namespace {
+
+constexpr RoutePolicy kAllPolicies[] = {
+    RoutePolicy::XY, RoutePolicy::YX, RoutePolicy::O1Turn,
+    RoutePolicy::MinimalAdaptive};
+
+Packet unicast(NodeId src, NodeId dest, PacketId id) {
+  Packet p;
+  p.id = id;
+  p.src = src;
+  p.dest_mask = MeshGeometry::node_mask(dest);
+  return p;
+}
+
+TEST(RoutePolicy, NamesRoundTrip) {
+  for (RoutePolicy p : kAllPolicies)
+    EXPECT_EQ(parse_route_policy(route_policy_name(p)), p);
+  EXPECT_EQ(parse_route_policy("minimal-adaptive"),
+            RoutePolicy::MinimalAdaptive);
+  EXPECT_FALSE(parse_route_policy("zigzag").has_value());
+}
+
+TEST(RoutePolicy, ClassAssignment) {
+  Packet multi;
+  multi.id = 9;
+  multi.src = 0;
+  multi.dest_mask = DestMask::first_n(16);
+  // Multicasts are pinned to the ordered tree under every policy.
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::XY, multi), RouteClass::XY);
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::YX, multi), RouteClass::YX);
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::O1Turn, multi),
+            RouteClass::XY);
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::MinimalAdaptive, multi),
+            RouteClass::Escape);
+
+  const Packet uni = unicast(0, 5, 42);
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::XY, uni), RouteClass::XY);
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::YX, uni), RouteClass::YX);
+  EXPECT_EQ(route_class_for_packet(RoutePolicy::MinimalAdaptive, uni),
+            RouteClass::Adaptive);
+}
+
+TEST(RoutePolicy, O1TurnCoinIsDeterministicAndBalanced) {
+  int yx = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const Packet p = unicast(0, 5, static_cast<PacketId>(i) + 1);
+    const RouteClass a = route_class_for_packet(RoutePolicy::O1Turn, p);
+    const RouteClass b = route_class_for_packet(RoutePolicy::O1Turn, p);
+    EXPECT_EQ(a, b);  // pure function of the packet id
+    EXPECT_TRUE(a == RouteClass::XY || a == RouteClass::YX);
+    if (a == RouteClass::YX) ++yx;
+  }
+  // A fair deterministic coin: both orders well represented.
+  EXPECT_GT(yx, n / 4);
+  EXPECT_LT(yx, 3 * n / 4);
+}
+
+TEST(RoutePolicy, ProductivePortsAreMinimalAndXFirst) {
+  MeshGeometry g(12);  // seams at ids 63/64 and 127/128
+  for (NodeId here : {0, 63, 64, 127, 128, 143}) {
+    for (NodeId dest : {0, 63, 64, 127, 128, 143}) {
+      const auto ports = productive_ports(g, here, dest);
+      const Coord c = g.coord(here), d = g.coord(dest);
+      const int expect =
+          static_cast<int>(c.x != d.x) + static_cast<int>(c.y != d.y);
+      ASSERT_EQ(ports.size(), expect) << here << "->" << dest;
+      for (const PortDir p : ports) {
+        // Every productive hop shrinks the Manhattan distance by one.
+        const Coord nc = neighbor_coord(c, p);
+        ASSERT_TRUE(g.valid(nc));
+        EXPECT_EQ(g.manhattan(g.id(nc), dest), g.manhattan(here, dest) - 1);
+      }
+      // The escape hop is the XY-productive one (X before Y).
+      const PortDir esc = escape_port(g, here, dest);
+      if (here == dest) {
+        EXPECT_EQ(esc, PortDir::Local);
+      } else {
+        EXPECT_EQ(esc, ports[0]);
+        EXPECT_EQ(esc, xy_route(g, here, dest));
+      }
+    }
+  }
+}
+
+TEST(RoutePolicy, LanePartitionCoversEveryMessageClass) {
+  const VcConfig cfg;  // paper config: 4x1 REQ + 2x3 RESP
+  EXPECT_TRUE(cfg.lanes_available());
+  for (int m = 0; m < kNumMsgClasses; ++m) {
+    const auto mc = static_cast<MsgClass>(m);
+    EXPECT_EQ(cfg.lane_vcs(mc, VcLane::Ordered) + cfg.lane_vcs(mc, VcLane::Free),
+              cfg.vcs_per_mc[m]);
+    EXPECT_GE(cfg.lane_vcs(mc, VcLane::Ordered), cfg.lane_vcs(mc, VcLane::Free));
+  }
+  // Lane-restricted allocation never hands out the other lane's VCs.
+  DownstreamState ds;
+  ds.configure(cfg);
+  for (int i = 0; i < cfg.lane_vcs(MsgClass::Request, VcLane::Ordered); ++i) {
+    const int vc = ds.allocate_vc(MsgClass::Request, VcLane::Ordered);
+    ASSERT_GE(vc, 0);
+    EXPECT_EQ(cfg.lane_of_vc(vc), VcLane::Ordered);
+  }
+  EXPECT_EQ(ds.allocate_vc(MsgClass::Request, VcLane::Ordered), -1);
+  EXPECT_TRUE(ds.has_free_vc(MsgClass::Request, VcLane::Free));
+  EXPECT_TRUE(ds.has_free_vc(MsgClass::Request, VcLane::Any));
+}
+
+void drain_and_check_conservation(Network& net, Simulation& sim,
+                                  Cycle bound) {
+  for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+    net.nic(n).source().set_rate(0.0);
+  ASSERT_TRUE(sim.run_until([&] { return net.quiescent(); }, bound))
+      << "network failed to drain -- possible deadlock";
+  EXPECT_EQ(net.metrics().total_generated(), net.metrics().total_completed());
+}
+
+TEST(RoutePolicy, EveryPolicyDeliversMixedTraffic) {
+  for (RoutePolicy policy : kAllPolicies) {
+    SCOPED_TRACE(route_policy_name(policy));
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.router.routing = policy;
+    cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    cfg.traffic.offered_flits_per_node_cycle = 0.10;
+    Network net(cfg);
+    Simulation sim(net);
+    sim.run(4000);
+    drain_and_check_conservation(net, sim, 30000);
+  }
+}
+
+// Deadlock-freedom soak: drive the lane-partitioned policies well past
+// saturation and require global forward progress in every sub-window (no
+// packet can starve beyond the window bound if completions keep flowing
+// and the network then drains to empty).
+void saturation_soak(NetworkConfig cfg, double offered) {
+  cfg.traffic.offered_flits_per_node_cycle = offered;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(1000);  // fill the network past saturation
+  int64_t last = net.metrics().total_completed();
+  for (int window = 0; window < 10; ++window) {
+    sim.run(500);
+    const int64_t now = net.metrics().total_completed();
+    ASSERT_GT(now, last) << "no packet completed in a 500-cycle window "
+                         << window << " -- stalled network";
+    last = now;
+  }
+  drain_and_check_conservation(net, sim, 50000);
+}
+
+TEST(RoutePolicy, O1TurnSoakUniformSaturated) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::O1Turn;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  saturation_soak(cfg, 0.80);
+}
+
+TEST(RoutePolicy, AdaptiveSoakUniformSaturated) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  saturation_soak(cfg, 0.80);
+}
+
+TEST(RoutePolicy, AdaptiveSoakTransposeSaturated) {
+  // Transpose concentrates load on the diagonal: the pattern where
+  // adaptive actually exercises both productive ports under pressure.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::Transpose;
+  saturation_soak(cfg, 0.60);
+}
+
+TEST(RoutePolicy, O1TurnSoakMixedWithMulticasts) {
+  // Multicasts pinned to the XY lane share it with half the unicasts:
+  // the multi-flit-response + broadcast mix under lane pressure.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::O1Turn;
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  saturation_soak(cfg, 0.40);
+}
+
+TEST(RoutePolicy, AdaptiveSoakClosedLoopSaturating) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 8;
+  cfg.workload.closed.issue_prob = 1.0;
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(1000);
+  int64_t last = net.metrics().total_completed();
+  for (int window = 0; window < 6; ++window) {
+    sim.run(500);
+    const int64_t now = net.metrics().total_completed();
+    ASSERT_GT(now, last) << "closed loop stalled";
+    last = now;
+  }
+  for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+    net.nic(n).source().set_rate(0.0);
+  ASSERT_TRUE(sim.run_until([&] { return net.quiescent(); }, 50000));
+}
+
+// Word-boundary unicasts: destinations whose mask bits straddle the 64-bit
+// seams of DestMask, injected under every policy. k=10 puts the seam at
+// 63/64 inside a 100-node mesh; k=12 adds the 127/128 seam.
+void seam_unicasts(RoutePolicy policy, int k,
+                   std::initializer_list<std::pair<NodeId, NodeId>> pairs) {
+  SCOPED_TRACE(std::string(route_policy_name(policy)) + " k=" +
+               std::to_string(k));
+  NetworkConfig cfg = NetworkConfig::proposed(k);
+  cfg.router.routing = policy;
+  cfg.traffic.offered_flits_per_node_cycle = 0.0;  // externally driven
+  Network net(cfg);
+  Simulation sim(net);
+  PacketId id = 1;
+  for (const auto& [src, dest] : pairs) {
+    Packet p = unicast(src, dest, id++);
+    p.mc = id % 2 == 0 ? MsgClass::Request : MsgClass::Response;
+    p.length = default_packet_length(p.mc);
+    net.nic(src).submit_packet(std::move(p));
+  }
+  ASSERT_TRUE(sim.run_until([&] { return net.quiescent(); }, 20000));
+  EXPECT_EQ(net.metrics().total_completed(),
+            static_cast<int64_t>(pairs.size()));
+}
+
+TEST(RoutePolicy, WordBoundaryUnicastsAllPolicies) {
+  for (RoutePolicy policy : kAllPolicies) {
+    // k=10: nodes 63 and 64 are adjacent ids in different words.
+    seam_unicasts(policy, 10,
+                  {{0, 63}, {0, 64}, {63, 64}, {64, 63}, {99, 63}, {5, 99}});
+    // k=12: both seams (63/64 and 127/128) populated.
+    seam_unicasts(policy, 12,
+                  {{0, 127}, {0, 128}, {127, 128}, {128, 127}, {143, 64}});
+  }
+}
+
+void expect_point_identical(const PointResult& a, const PointResult& b) {
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.recv_flits_per_cycle, b.recv_flits_per_cycle);
+  EXPECT_EQ(a.completed_packets, b.completed_packets);
+  EXPECT_EQ(a.energy.xbar_traversals, b.energy.xbar_traversals);
+  EXPECT_EQ(a.energy.vc_allocations, b.energy.vc_allocations);
+  EXPECT_EQ(a.energy.bypasses, b.energy.bypasses);
+  EXPECT_EQ(a.energy.sa2_arbitrations, b.energy.sa2_arbitrations);
+}
+
+TEST(RoutePolicy, ParallelSweepBitIdenticalPerPolicy) {
+  // The PR-1 invariant, per policy: adaptive credit inspection and the
+  // O1TURN coin are functions of per-point state only, so a pooled sweep
+  // must reproduce the serial result bit-for-bit.
+  const MeasureOptions measure{.warmup = 300, .window = 900};
+  const std::vector<double> loads = {0.06, 0.14};
+  for (RoutePolicy policy : kAllPolicies) {
+    SCOPED_TRACE(route_policy_name(policy));
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.router.routing = policy;
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 11;
+    const auto serial = sweep_curve(cfg, loads, measure);
+    const ExperimentRunner runner{
+        ExperimentOptions{.measure = measure, .threads = 3}};
+    const auto parallel = runner.sweep(cfg, loads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+      expect_point_identical(parallel[i], serial[i]);
+  }
+}
+
+TEST(RoutePolicy, ClosedLoopLegBreakdownDecomposesMissLatency) {
+  // The per-kind latency satellite: probe and response legs are reported
+  // and bound the full transaction latency from below.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 4;
+  const PointResult r =
+      measure_workload(cfg, {.warmup = 1000, .window = 4000});
+  ASSERT_GT(r.transactions, 0);
+  ASSERT_GT(r.probe_legs, 0);
+  ASSERT_GT(r.response_legs, 0);
+  EXPECT_GT(r.avg_probe_latency, 0.0);
+  EXPECT_GT(r.avg_response_latency, 0.0);
+  // Every retired miss saw one probe delivery at its owner and one data
+  // return; in a steady window the leg counts track transactions closely.
+  EXPECT_NEAR(static_cast<double>(r.probe_legs),
+              static_cast<double>(r.transactions),
+              0.2 * static_cast<double>(r.transactions) + 8.0);
+  EXPECT_EQ(r.response_legs, r.transactions);
+  // The legs compose the transaction: probe leg + directory latency +
+  // response leg can exceed the average transaction only through window
+  // edge effects, and the transaction is never shorter than either leg.
+  EXPECT_GT(r.avg_transaction_latency, r.avg_probe_latency);
+  EXPECT_GT(r.avg_transaction_latency, r.avg_response_latency);
+}
+
+}  // namespace
+}  // namespace noc

@@ -4,6 +4,7 @@
 
 #include <bit>
 #include <queue>
+#include <utility>
 
 #include "common/rng.hpp"
 #include "noc/routing.hpp"
@@ -143,6 +144,31 @@ TEST_P(TreeWalkTest, ArbitraryMulticastSetsCovered) {
 // the multi-word partition logic.
 INSTANTIATE_TEST_SUITE_P(Sizes, TreeWalkTest,
                          ::testing::Values(2, 3, 4, 6, 8, 10, 12));
+
+TEST(Routing, RectangularMeshTreeProperties) {
+  // Rectangular groundwork: the XY tree's coverage/minimality/dimension-
+  // order properties are shape-independent; pin them on a 4x8 mesh (and
+  // its transpose) where an x/y stride mix-up would leave the mesh or
+  // double-deliver immediately.
+  for (const auto& [kx, ky] : {std::pair{4, 8}, std::pair{8, 4}}) {
+    MeshGeometry g(kx, ky);
+    for (NodeId src = 0; src < g.num_nodes(); ++src) {
+      const auto res = walk_tree(g, src, g.all_nodes_mask());
+      EXPECT_EQ(res.deliveries, g.num_nodes());
+      EXPECT_EQ(res.duplicate_deliveries, 0);
+      EXPECT_FALSE(res.y_to_x_turn);
+      EXPECT_EQ(res.max_hops, g.furthest_distance(src));
+      EXPECT_EQ(res.link_traversals, g.num_nodes() - 1);
+    }
+    for (NodeId s = 0; s < g.num_nodes(); ++s)
+      for (NodeId d = 0; d < g.num_nodes(); ++d) {
+        const auto res = walk_tree(g, s, MeshGeometry::node_mask(d));
+        EXPECT_EQ(res.deliveries, 1);
+        EXPECT_EQ(res.max_hops, g.manhattan(s, d));
+        EXPECT_FALSE(res.y_to_x_turn);
+      }
+  }
+}
 
 TEST(Routing, WordBoundaryMulticastPartition) {
   // Destination sets that straddle the 64-bit word seams of DestMask: on a

@@ -147,6 +147,44 @@ TEST(ZeroAlloc, TraceReplaySteadyState) {
   EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
 }
 
+TEST(ZeroAlloc, O1TurnSteadyStateUniformSaturated) {
+  // Lane-partitioned VC allocation (stamped per-lane free queues) and the
+  // per-packet order coin are inline state; saturating load keeps both
+  // lanes churning.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::O1Turn;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.offered_flits_per_node_cycle = 0.50;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, O1TurnSteadyStateMixedTraffic) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::O1Turn;
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.10;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, AdaptiveSteadyStateUniformSaturated) {
+  // The adaptive re-aim path (productive-port scoring + escape fallback)
+  // runs every VA retry under backpressure; it must stay heap-free.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.offered_flits_per_node_cycle = 0.50;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, AdaptiveSteadyStateClosedLoop) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.workload.kind = WorkloadKind::ClosedLoop;
+  cfg.workload.closed.window = 8;
+  cfg.workload.closed.issue_prob = 1.0;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
 TEST(ZeroAlloc, LargeK12SteadyStateMixedTraffic) {
   // k=12 (144 nodes, multi-word DestMask): the widened masks live inline in
   // Flit/Packet/Branch, so the invariant must hold unchanged -- any heap
