@@ -34,6 +34,8 @@
 //        --short     CI-sized measurement windows (same k/policy lists)
 //        --all-policies  add the YX mirror (skipped by default: on uniform
 //                        traffic it is XY reflected)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,6 +44,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
+#include "sim/thread_pool.hpp"
 #include "theory/mesh_limits.hpp"
 
 using namespace noc;
@@ -52,7 +55,8 @@ int main(int argc, char** argv) {
   if (args.help()) {
     std::printf(
         "usage: %s [--warmup N] [--window N] [--threads N]\n"
-        "          [--short] [--all-policies] [--out FILE]\n",
+        "          [--step-threads N] [--short] [--all-policies]\n"
+        "          [--out FILE]\n",
         argv[0]);
     return 0;
   }
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
                        : MeasureOptions{.warmup = 2000, .window = 6000});
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
   const std::string out_path = args.get_str("out", "BENCH_perf.json");
+  const int step_threads = cli_step_threads(args);
   std::vector<RoutePolicy> policies = {RoutePolicy::XY, RoutePolicy::O1Turn,
                                        RoutePolicy::MinimalAdaptive};
   if (args.has("all-policies"))
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
   for (int k : radices) {
     NetworkConfig paper = NetworkConfig::proposed(k);
     paper.traffic.pattern = TrafficPattern::UniformRequest;
+    paper.step_threads = step_threads;
     cfgs.push_back(paper);
     for (RoutePolicy policy : policies) {
       NetworkConfig cfg = paper;
@@ -91,8 +97,8 @@ int main(int argc, char** argv) {
   std::printf(
       "Large-k scaling: proposed router, uniform 1-flit requests, %s mode\n"
       "(saturation = offered load where latency reaches 3x zero-load;\n"
-      " one row per routing policy per radix)\n\n",
-      short_mode ? "short" : "full");
+      " one row per routing policy per radix; step_threads=%d)\n\n",
+      short_mode ? "short" : "full", step_threads);
 
   const auto sats = runner.find_saturations(cfgs);
 
@@ -128,6 +134,39 @@ int main(int argc, char** argv) {
     entries.push_back(e);
   }
   t.print();
+
+  // Intra-network stepping speedup (docs/PERF.md Layer 4): wall-clock of
+  // the k=16 uniform saturation search, serial vs step_threads=4 on the
+  // SAME search. Recorded as its own cross-PR entry; the budget is forced
+  // so the threaded schedule really runs even on small recording hosts
+  // (the absolute ratio is only meaningful on a multi-core machine).
+  {
+    const int saved_budget = thread_budget::total();
+    thread_budget::set_total(std::max(4, saved_budget));
+    NetworkConfig cfg = NetworkConfig::proposed(16);
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    double secs[2] = {0.0, 0.0};
+    for (int pass = 0; pass < 2; ++pass) {
+      cfg.step_threads = pass == 0 ? 1 : 4;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto sat = runner.find_saturations({cfg});
+      const auto t1 = std::chrono::steady_clock::now();
+      secs[pass] = std::chrono::duration<double>(t1 - t0).count();
+      (void)sat;
+    }
+    thread_budget::set_total(saved_budget);
+    const double speedup = secs[1] > 0.0 ? secs[0] / secs[1] : 0.0;
+    std::printf(
+        "\nk=16 uniform saturation-search wall-clock: serial %.2fs,"
+        " step_threads=4 %.2fs -> %.2fx\n",
+        secs[0], secs[1], speedup);
+    benchjson::Entry e;
+    e.name = "large_k_scaling/k=16/step_threads=4_speedup";
+    e.items_per_second = secs[1] > 0.0 ? 1.0 / secs[1] : 0.0;
+    e.extra_key = "speedup_vs_serial";
+    e.extra_value = speedup;
+    entries.push_back(e);
+  }
 
   if (benchjson::append_entries(out_path, entries))
     std::printf("\nAppended %zu large-k entries to %s\n", entries.size(),

@@ -96,6 +96,55 @@ void BM_Proposed8x8O1TURN(benchmark::State& state) {
 }
 BENCHMARK(BM_Proposed8x8O1TURN)->Unit(benchmark::kMicrosecond);
 
+/// Forces a real worker budget for the duration of a benchmark so the
+/// intra-network stepping rows record honest threaded numbers even when the
+/// recording host reports few cores (the CI perf gate normalizes by the
+/// median ratio, so only the relative spread matters).
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(int total)
+      : saved_(thread_budget::total()) {
+    thread_budget::set_total(std::max(total, saved_));
+  }
+  ~ScopedThreadBudget() { thread_budget::set_total(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Saturated uniform load with domain-decomposed stepping (docs/PERF.md
+/// Layer 4). Arg = step_threads: compare the Arg(4) row's items_per_second
+/// against Arg(1) for the intra-network speedup; the Arg(1) row doubles as
+/// the serial-overhead guard (the partition machinery is bypassed at one
+/// span, so it must track BM_Proposed8x8Uniform).
+void BM_Proposed8x8UniformSat(benchmark::State& state) {
+  ScopedThreadBudget budget(4);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.step_threads = static_cast<int>(state.range(0));
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  run_cycles(state, cfg, 0.35);
+}
+BENCHMARK(BM_Proposed8x8UniformSat)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_Proposed16x16UniformSat(benchmark::State& state) {
+  ScopedThreadBudget budget(4);
+  NetworkConfig cfg = NetworkConfig::proposed(16);
+  cfg.step_threads = static_cast<int>(state.range(0));
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  run_cycles(state, cfg, 0.20);
+}
+BENCHMARK(BM_Proposed16x16UniformSat)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 /// Past the single-word DestMask boundary (144 nodes): tracks the cost of
 /// the multi-word mask datapath at a radix the old uint64_t mask could not
 /// represent. items_per_second is node-cycles/s, so this row is comparable

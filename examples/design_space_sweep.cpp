@@ -18,11 +18,15 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
     std::printf(
-        "usage: %s [--warmup N] [--window N] [--threads N] [--k N]\n"
+        "usage: %s [--warmup N] [--window N] [--threads N]\n"
+        "          [--step-threads N] [--k N]\n"
         "  --k extends the radix sweep past its default 2..8 list (even\n"
         "  radices 10..k are appended) and sizes the pattern/pipeline\n"
         "  sweeps (default 4; up to %d -- larger values are rejected, not\n"
-        "  truncated)\n",
+        "  truncated)\n"
+        "  --step-threads parallelizes each individual simulation on top of\n"
+        "  the cross-simulation fan-out (bit-identical results; the shared\n"
+        "  thread budget keeps the two levels from oversubscribing)\n",
         argv[0], kMaxMeshRadix);
     return 0;
   }
@@ -30,7 +34,9 @@ int main(int argc, char** argv) {
       cli_measure_options(args, {.warmup = 1500, .window = 6000});
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
   const int max_k = cli_mesh_radix(args, 4);
+  const int step_threads = cli_step_threads(args);
   if (!args.check_unused()) return 1;
+  std::printf("design-space sweep: step-threads %d\n\n", step_threads);
 
   // 1. Mesh radix sweep: how the proposed router scales past the chip.
   //    --k extends the sweep past the default list (multi-word DestMask:
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   for (int k : radices) {
     NetworkConfig cfg = NetworkConfig::proposed(k);
     cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.step_threads = step_threads;
     k_cfgs.push_back(cfg);
   }
   auto k_sats = runner.find_saturations(k_cfgs);
@@ -73,6 +80,7 @@ int main(int argc, char** argv) {
   for (auto p : patterns) {
     NetworkConfig cfg = NetworkConfig::proposed(max_k);
     cfg.traffic.pattern = p;
+    cfg.step_threads = step_threads;
     pat_cfgs.push_back(cfg);
   }
   auto pat_sats = runner.find_saturations(pat_cfgs);
@@ -99,6 +107,7 @@ int main(int argc, char** argv) {
       NetworkConfig cfg = NetworkConfig::proposed(max_k);
       cfg.router.routing = p;
       cfg.traffic.pattern = pattern;
+      cfg.step_threads = step_threads;
       pol_cfgs.push_back(cfg);
     }
   auto pol_sats = runner.find_saturations(pol_cfgs);
@@ -127,6 +136,7 @@ int main(int argc, char** argv) {
   std::vector<NetworkConfig> pipe_cfgs;
   for (auto& r : rows) {
     r.cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    r.cfg.step_threads = step_threads;
     pipe_cfgs.push_back(r.cfg);
   }
   auto pipe_sats = runner.find_saturations(pipe_cfgs);

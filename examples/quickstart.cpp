@@ -5,6 +5,8 @@
 //        --load R (flits/node/cycle)
 //        --k N (mesh radix, 2..16; beyond DestMask capacity is rejected)
 //        --policy NAME (xy | yx | o1turn | adaptive; default the chip's xy)
+//        --step-threads N (intra-network parallel stepping; 1 = serial,
+//                          results are bit-identical either way)
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -18,8 +20,10 @@ using namespace noc;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
-    std::printf("usage: %s [--pattern NAME] [--load R] [--k N] [--policy NAME]\n",
-                argv[0]);
+    std::printf(
+        "usage: %s [--pattern NAME] [--load R] [--k N] [--policy NAME]\n"
+        "          [--step-threads N]\n",
+        argv[0]);
     return 0;
   }
   // 1. Configure the fabricated design: 4x4 mesh by default (--k scales it
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
   const int k = cli_mesh_radix(args, 4);
   NetworkConfig cfg = NetworkConfig::proposed(k);
   cfg.router.routing = cli_route_policy(args, RoutePolicy::XY);
+  cfg.step_threads = cli_step_threads(args);
   cfg.traffic.pattern = TrafficPattern::MixedPaper;  // Fig 5's traffic
   cfg.traffic.offered_flits_per_node_cycle = args.get_double("load", 0.10);
   if (const std::string p = args.get_str("pattern", ""); !p.empty()) {
@@ -53,10 +58,11 @@ int main(int argc, char** argv) {
   const Metrics& m = net.metrics();
   std::printf(
       "== quickstart: proposed %dx%d NoC, %s routing, %s traffic @ %.2f "
-      "flits/node/cycle ==\n",
+      "flits/node/cycle, step-threads %d (%d worker%s) ==\n",
       k, k, route_policy_name(cfg.router.routing),
       traffic_pattern_name(cfg.traffic.pattern),
-      cfg.traffic.offered_flits_per_node_cycle);
+      cfg.traffic.offered_flits_per_node_cycle, cfg.step_threads,
+      net.step_workers(), net.step_workers() == 1 ? "" : "s");
   std::printf("packets completed        : %lld\n",
               static_cast<long long>(m.completed_packets()));
   std::printf("avg packet latency       : %.2f cycles (theory limit %.2f)\n",

@@ -113,4 +113,16 @@ bool CliArgs::check_unused() const {
   return clean;
 }
 
+int cli_step_threads(const CliArgs& args, int dflt) {
+  const int64_t t = args.get_int("step-threads", dflt);
+  if (t < 1) {
+    std::fprintf(stderr,
+                 "invalid --step-threads %lld: need >= 1 "
+                 "(1 = serial stepping)\n",
+                 static_cast<long long>(t));
+    std::exit(1);
+  }
+  return static_cast<int>(t);
+}
+
 }  // namespace noc

@@ -42,4 +42,10 @@ class CliArgs {
   bool help_ = false;
 };
 
+/// Parse --step-threads (intra-network parallel stepping worker count,
+/// NetworkConfig::step_threads). Defaults to `dflt` (1 = serial); exits
+/// with a clear message on values < 1. Plain int, no simulator types, so
+/// every bench and example shares one validation path.
+int cli_step_threads(const CliArgs& args, int dflt = 1);
+
 }  // namespace noc

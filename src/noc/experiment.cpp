@@ -11,7 +11,7 @@
 namespace noc {
 
 double deliveries_per_offered_flit(const NetworkConfig& cfg) {
-  const MeshGeometry geom(cfg.k);
+  const MeshGeometry geom(cfg.k, cfg.ky > 0 ? cfg.ky : cfg.k);
   const auto n = static_cast<double>(geom.num_nodes());
   const double bdel =
       cfg.traffic.include_self_in_broadcast ? n : n - 1.0;  // per bcast flit

@@ -16,6 +16,18 @@ Metrics::Metrics(const MeshGeometry& geom)
 void Metrics::on_logical_packet(PacketId logical_id, PacketKind kind,
                                 Cycle gen, int deliveries) {
   NOC_EXPECTS(deliveries > 0);
+  if (shared_ != nullptr) {
+    // Capture shard: open-packet map churn is order-sensitive shared state;
+    // buffer the event for the serial replay after the span barrier.
+    captured_[static_cast<size_t>(capture_phase_)].push_back(
+        {.kind = CapturedMetricsEvent::Kind::LogicalPacket,
+         .pkind = kind,
+         .node = capture_node_,
+         .deliveries = deliveries,
+         .id = logical_id,
+         .cycle = gen});
+    return;
+  }
   auto [slot, inserted] = open_.find_or_insert(logical_id);
   if (inserted) {
     slot->gen = gen;
@@ -29,8 +41,21 @@ void Metrics::on_logical_packet(PacketId logical_id, PacketKind kind,
 }
 
 void Metrics::on_flit_received(PacketId logical_id, const Flit& f, Cycle now) {
+  if (shared_ != nullptr) {
+    captured_[static_cast<size_t>(capture_phase_)].push_back(
+        {.kind = CapturedMetricsEvent::Kind::FlitReceived,
+         .tail = is_tail(f.type),
+         .node = capture_node_,
+         .id = logical_id,
+         .cycle = now});
+    return;
+  }
+  apply_flit_received(logical_id, is_tail(f.type), now);
+}
+
+void Metrics::apply_flit_received(PacketId logical_id, bool tail, Cycle now) {
   if (in_window_) ++window_flits_received_;
-  if (!is_tail(f.type)) return;
+  if (!tail) return;
   OpenPacket* op = open_.find(logical_id);
   NOC_ASSERT(op != nullptr);
   NOC_ASSERT(op->remaining > 0);
@@ -47,13 +72,32 @@ void Metrics::on_flit_received(PacketId logical_id, const Flit& f, Cycle now) {
 }
 
 void Metrics::on_link_flit(NodeId node, PortDir port) {
+  // Shards forward per-node counters straight to the shared instance: each
+  // node is ticked by exactly one worker per cycle, so concurrent writers
+  // always hit disjoint counters. in_window_ is only flipped between steps.
+  if (shared_ != nullptr) {
+    shared_->on_link_flit(node, port);
+    return;
+  }
   if (!in_window_) return;
   ++link_flits_[static_cast<size_t>(node)][static_cast<size_t>(port_index(port))];
 }
 
 void Metrics::on_injection_link(NodeId node) {
+  if (shared_ != nullptr) {
+    shared_->on_injection_link(node);
+    return;
+  }
   if (!in_window_) return;
   ++injection_flits_[static_cast<size_t>(node)];
+}
+
+void Metrics::apply(const CapturedMetricsEvent& e) {
+  NOC_EXPECTS(shared_ == nullptr);  // replay targets the shared instance
+  if (e.kind == CapturedMetricsEvent::Kind::LogicalPacket)
+    on_logical_packet(e.id, e.pkind, e.cycle, e.deliveries);
+  else
+    apply_flit_received(e.id, e.tail, e.cycle);
 }
 
 void Metrics::begin_window(Cycle now) {
@@ -85,10 +129,11 @@ double Metrics::received_flits_per_cycle() const {
 double Metrics::max_bisection_link_load() const {
   const Cycle w = window_cycles();
   if (w <= 0) return 0.0;
-  const int k = geom_.k();
-  const int xw = k / 2 - 1;  // west column of the vertical bisection cut
+  // The vertical cut between columns kx/2-1 and kx/2 crosses one E/W link
+  // pair per row; rectangular meshes (kx != ky) cut ky rows.
+  const int xw = geom_.kx() / 2 - 1;  // west column of the bisection cut
   int64_t worst = 0;
-  for (int y = 0; y < k; ++y) {
+  for (int y = 0; y < geom_.ky(); ++y) {
     const NodeId west = geom_.id(xw, y), east = geom_.id(xw + 1, y);
     worst = std::max(
         worst, link_flits_[static_cast<size_t>(west)][port_index(PortDir::East)]);
@@ -101,15 +146,14 @@ double Metrics::max_bisection_link_load() const {
 double Metrics::avg_bisection_link_load() const {
   const Cycle w = window_cycles();
   if (w <= 0) return 0.0;
-  const int k = geom_.k();
-  const int xw = k / 2 - 1;
+  const int xw = geom_.kx() / 2 - 1;
   int64_t total = 0;
-  for (int y = 0; y < k; ++y) {
+  for (int y = 0; y < geom_.ky(); ++y) {
     const NodeId west = geom_.id(xw, y), east = geom_.id(xw + 1, y);
     total += link_flits_[static_cast<size_t>(west)][port_index(PortDir::East)];
     total += link_flits_[static_cast<size_t>(east)][port_index(PortDir::West)];
   }
-  return static_cast<double>(total) / static_cast<double>(2 * k) /
+  return static_cast<double>(total) / static_cast<double>(2 * geom_.ky()) /
          static_cast<double>(w);
 }
 

@@ -23,6 +23,28 @@ namespace noc {
 enum class PacketKind { UnicastRequest, UnicastResponse, Broadcast };
 constexpr int kNumPacketKinds = 3;
 
+/// One deferred packet-lifecycle event recorded by a per-span Metrics shard
+/// during parallel stepping, replayed into the shared Metrics in serial
+/// order (docs/PERF.md Layer 4). `node` is the NIC whose tick produced the
+/// event; replay walks nodes in ascending order, which reconstructs the
+/// exact serial call sequence (and therefore the exact floating-point
+/// accumulation order of the latency statistics).
+struct CapturedMetricsEvent {
+  enum class Kind : uint8_t { LogicalPacket, FlitReceived };
+  Kind kind;
+  bool tail = false;                             // FlitReceived
+  PacketKind pkind = PacketKind::UnicastRequest; // LogicalPacket
+  NodeId node = 0;
+  int deliveries = 0;                            // LogicalPacket
+  PacketId id = 0;
+  Cycle cycle = 0;  // generation (LogicalPacket) or receive (FlitReceived)
+};
+
+/// NIC phases a capture shard distinguishes: events from tick_inject
+/// (submission + NIC-duplicated local deliveries) replay before any
+/// tick_eject event, mirroring the serial phase order.
+enum : int { kCaptureInject = 0, kCaptureEject = 1, kNumCapturePhases = 2 };
+
 class Metrics {
  public:
   explicit Metrics(const MeshGeometry& geom);
@@ -44,6 +66,47 @@ class Metrics {
   /// on_injection_link.
   void on_link_flit(NodeId node, PortDir port);
   void on_injection_link(NodeId node);
+
+  // ---- capture shards (parallel stepping, docs/PERF.md Layer 4) ----
+  //
+  // A shard is a Metrics instance owned by one span worker with set_shared()
+  // installed. Its per-node link counters forward straight to the shared
+  // instance (disjoint nodes -> disjoint memory, race-free), while the
+  // order-sensitive packet-lifecycle events (open-packet map churn, latency
+  // RunningStat adds) are buffered as CapturedMetricsEvents and replayed by
+  // the main thread via apply() in exact serial order after the barrier.
+
+  /// Turn this instance into a capture shard of `shared` (nullptr reverts).
+  void set_shared(Metrics* shared) { shared_ = shared; }
+  bool is_shard() const { return shared_ != nullptr; }
+
+  /// Pre-size the per-phase capture buffers (zero-alloc invariant: sized at
+  /// partition time for the per-cycle worst case, not grown under load).
+  void reserve_capture(size_t per_phase) {
+    captured_[0].reserve(per_phase);
+    captured_[1].reserve(per_phase);
+  }
+
+  /// Tag subsequent captured events with the NIC phase and node whose tick
+  /// is about to run. Shard-only.
+  void set_capture_point(int phase, NodeId node) {
+    capture_phase_ = phase;
+    capture_node_ = node;
+  }
+
+  const std::vector<CapturedMetricsEvent>& captured(int phase) const {
+    return captured_[static_cast<size_t>(phase)];
+  }
+  bool captured_empty() const {
+    return captured_[0].empty() && captured_[1].empty();
+  }
+  void clear_captured() {
+    captured_[0].clear();
+    captured_[1].clear();
+  }
+
+  /// Replay one captured event into this (shared) instance.
+  void apply(const CapturedMetricsEvent& e);
 
   // ---- measurement window ----
 
@@ -86,7 +149,13 @@ class Metrics {
     PacketKind kind = PacketKind::UnicastRequest;
   };
 
+  void apply_flit_received(PacketId logical_id, bool tail, Cycle now);
+
   const MeshGeometry& geom_;
+  Metrics* shared_ = nullptr;  // non-null: this instance is a capture shard
+  int capture_phase_ = kCaptureInject;
+  NodeId capture_node_ = 0;
+  std::vector<CapturedMetricsEvent> captured_[kNumCapturePhases];
   /// Flat open-addressing map: insert/erase churn is allocation-free once
   /// the pre-reserved capacity covers the in-flight packet high-water mark.
   U64FlatMap<OpenPacket> open_{4096};

@@ -1,5 +1,7 @@
 #include "noc/network.hpp"
 
+#include "sim/thread_pool.hpp"
+
 namespace noc {
 
 NetworkConfig NetworkConfig::proposed(int k) {
@@ -44,8 +46,44 @@ Channel<T>* Network::make_channel(
 }
 
 Network::Network(const NetworkConfig& cfg)
-    : cfg_(cfg), geom_(cfg.k), metrics_(geom_) {
+    : cfg_(cfg),
+      geom_(cfg.k, cfg.ky > 0 ? cfg.ky : cfg.k),
+      metrics_(geom_) {
   const int n = geom_.num_nodes();
+
+  // Column-span partition for intra-network parallel stepping. The span
+  // COUNT is fixed by the config (clamped to one span per column), so
+  // results depend only on step_threads, never on how many workers the
+  // budget actually grants.
+  const int spans = SpanPartition::clamp_spans(geom_, cfg.step_threads);
+  if (spans > 1) {
+    part_ = SpanPartition(geom_, spans);
+    spans_.resize(static_cast<size_t>(spans));
+    for (int s = 0; s < spans; ++s) {
+      StepSpan& sp = spans_[static_cast<size_t>(s)];
+      sp.nodes = part_.nodes_of(s);
+      sp.metrics = std::make_unique<Metrics>(geom_);
+      sp.metrics->set_shared(&metrics_);
+      // Per-cycle worst case per node: one packet submission plus the local
+      // flit deliveries of a NIC-duplicated broadcast in the inject phase,
+      // one drained flit in the eject phase. 8 covers both with slack.
+      sp.metrics->reserve_capture(sp.nodes.size() * 8);
+    }
+  }
+  // Each component records events into its owning span's shards; in serial
+  // mode everything points at the globals, exactly as before.
+  auto energy_for = [&](NodeId node) {
+    return spans_.empty() ? &energy_
+                          : &spans_[static_cast<size_t>(
+                                part_.span_of_node(node))].energy;
+  };
+  auto metrics_for = [&](NodeId node) {
+    return spans_.empty()
+               ? &metrics_
+               : spans_[static_cast<size_t>(part_.span_of_node(node))]
+                     .metrics.get();
+  };
+
   routers_.reserve(static_cast<size_t>(n));
   sources_.reserve(static_cast<size_t>(n));
   nics_.reserve(static_cast<size_t>(n));
@@ -57,12 +95,14 @@ Network::Network(const NetworkConfig& cfg)
   }
   for (NodeId node = 0; node < n; ++node) {
     routers_.push_back(std::make_unique<Router>(node, geom_, cfg.router,
-                                                &energy_, &metrics_));
+                                                energy_for(node),
+                                                metrics_for(node)));
     sources_.push_back(
         make_traffic_source(geom_, cfg.traffic, cfg.workload, node, trace));
     nics_.push_back(std::make_unique<Nic>(node, geom_, cfg.router,
-                                          sources_.back().get(), &energy_,
-                                          &metrics_));
+                                          sources_.back().get(),
+                                          energy_for(node),
+                                          metrics_for(node)));
   }
 
   const bool bypass = cfg.router.has_bypass();
@@ -70,9 +110,17 @@ Network::Network(const NetworkConfig& cfg)
 
   // Router-to-router wiring. Each undirected edge gets one channel of each
   // kind per direction. We visit each edge once (East and North neighbors).
-  // With gating, each channel learns which component its arrivals must wake.
+  // With gating, each channel learns which component its arrivals must wake;
+  // wake bits live in the receiver's owning span so every mask write during
+  // a parallel step stays worker-local.
+  auto router_mask = [&](NodeId r) {
+    return spans_.empty()
+               ? &router_awake_
+               : &spans_[static_cast<size_t>(part_.span_of_node(r))]
+                      .router_awake;
+  };
   auto router_wake = [&](NodeId r) {
-    return gated ? WakeHook{&router_awake_, r} : WakeHook{};
+    return gated ? WakeHook{router_mask(r), r} : WakeHook{};
   };
   auto wire_edge = [&](NodeId a, PortDir a_out, NodeId b) {
     const PortDir b_out = opposite(a_out);
@@ -82,6 +130,14 @@ Network::Network(const NetworkConfig& cfg)
     auto* c_ba = make_channel(credit_channels_, 1);  // b's inport -> a's outport
     Channel<Lookahead>* l_ab = bypass ? make_channel(la_channels_, 1) : nullptr;
     Channel<Lookahead>* l_ba = bypass ? make_channel(la_channels_, 1) : nullptr;
+    flit_ep_.push_back({a, b});
+    flit_ep_.push_back({b, a});
+    credit_ep_.push_back({a, b});
+    credit_ep_.push_back({b, a});
+    if (bypass) {
+      la_ep_.push_back({a, b});
+      la_ep_.push_back({b, a});
+    }
     f_ab->set_wake_target(router_wake(b));
     f_ba->set_wake_target(router_wake(a));
     c_ab->set_wake_target(router_wake(b));
@@ -108,25 +164,43 @@ Network::Network(const NetworkConfig& cfg)
     routers_[static_cast<size_t>(b)]->connect(b_out, pb);
   };
 
-  for (int y = 0; y < cfg.k; ++y) {
-    for (int x = 0; x < cfg.k; ++x) {
+  for (int y = 0; y < geom_.ky(); ++y) {
+    for (int x = 0; x < geom_.kx(); ++x) {
       const NodeId a = geom_.id(x, y);
-      if (x + 1 < cfg.k) wire_edge(a, PortDir::East, geom_.id(x + 1, y));
-      if (y + 1 < cfg.k) wire_edge(a, PortDir::North, geom_.id(x, y + 1));
+      if (x + 1 < geom_.kx()) wire_edge(a, PortDir::East, geom_.id(x + 1, y));
+      if (y + 1 < geom_.ky()) wire_edge(a, PortDir::North, geom_.id(x, y + 1));
     }
   }
 
-  // NIC wiring through each router's Local port.
+  // NIC wiring through each router's Local port. All five channels stay
+  // inside the node and therefore inside its span.
+  auto inject_mask = [&](NodeId node) {
+    return spans_.empty()
+               ? &inject_awake_
+               : &spans_[static_cast<size_t>(part_.span_of_node(node))]
+                      .inject_awake;
+  };
+  auto eject_mask = [&](NodeId node) {
+    return spans_.empty()
+               ? &eject_awake_
+               : &spans_[static_cast<size_t>(part_.span_of_node(node))]
+                      .eject_awake;
+  };
   for (NodeId node = 0; node < n; ++node) {
     auto* f_nr = make_channel(flit_channels_, 1);   // NIC -> router
     auto* f_rn = make_channel(flit_channels_, 1);   // router -> NIC
     auto* c_rn = make_channel(credit_channels_, 1); // router local-in -> NIC
     auto* c_nr = make_channel(credit_channels_, 1); // NIC rx -> router local-out
     Channel<Lookahead>* l_nr = bypass ? make_channel(la_channels_, 0) : nullptr;
+    flit_ep_.push_back({node, node});
+    flit_ep_.push_back({node, node});
+    credit_ep_.push_back({node, node});
+    credit_ep_.push_back({node, node});
+    if (bypass) la_ep_.push_back({node, node});
     if (gated) {
       f_nr->set_wake_target(router_wake(node));
-      f_rn->set_wake_target({&eject_awake_, node});
-      c_rn->set_wake_target({&inject_awake_, node});
+      f_rn->set_wake_target({eject_mask(node), node});
+      c_rn->set_wake_target({inject_mask(node), node});
       c_nr->set_wake_target(router_wake(node));
       // Latency 0: the wake fires at send time, during the NIC injection
       // phase, so the router sees the lookahead the same cycle.
@@ -152,36 +226,87 @@ Network::Network(const NetworkConfig& cfg)
   }
 
   setup_activity();
+
+  if (!spans_.empty()) {
+    // Lease extra workers from the shared budget for this network's
+    // lifetime. A lease of 0 (budget exhausted, nested parallelism) leaves
+    // a one-worker team: the spans are then stepped inline, still through
+    // the sharded datapath, so results stay identical.
+    budget_lease_ =
+        thread_budget::acquire(static_cast<int>(spans_.size()) - 1);
+    team_ = std::make_unique<StepTeam>(budget_lease_ + 1);
+  }
+}
+
+Network::~Network() {
+  team_.reset();
+  thread_budget::release(budget_lease_);
 }
 
 void Network::setup_activity() {
   const int n = geom_.num_nodes();
   NOC_EXPECTS(n <= DestMask::kCapacity);  // one awake bit per node
   const bool gated = cfg_.activity_gating;
+  const bool parallel = !spans_.empty();
 
   // Contiguous channel ids per pool so the active-list sweep can recover
   // the typed pointer from the id alone. The in-flight counter is installed
   // unconditionally: quiescent() relies on it in both modes.
-  const int total = static_cast<int>(flit_channels_.size() +
-                                     credit_channels_.size() +
-                                     la_channels_.size());
+  //
+  // In parallel mode every channel is owned by its RECEIVER's span: it
+  // registers on that span's active list and items counter, and a channel
+  // whose sender lives in a different span is the boundary case -- it
+  // becomes deferred (double-buffered sends committed by the owner after
+  // the compute barrier).
+  const int total = num_channels();
   chan_active_.init(total);
-  ActiveList* reg = gated ? &chan_active_ : nullptr;
+  for (auto& sp : spans_) sp.active.init(total);
+
+  auto install = [&](auto& ch, const std::pair<NodeId, NodeId>& ep, int id,
+                     auto cross_of) {
+    if (!parallel) {
+      ch.set_activity(gated ? &chan_active_ : nullptr, id, &chan_items_);
+      return;
+    }
+    StepSpan& sp =
+        spans_[static_cast<size_t>(part_.span_of_node(ep.second))];
+    ch.set_activity(gated ? &sp.active : nullptr, id, &sp.items);
+    sp.channels.push_back(id);
+    if (part_.crosses(ep.first, ep.second)) {
+      ch.set_deferred(true);
+      cross_of(sp).push_back(&ch);
+    }
+  };
   int id = 0;
-  for (auto& ch : flit_channels_) ch->set_activity(reg, id++, &chan_items_);
+  for (size_t i = 0; i < flit_channels_.size(); ++i, ++id)
+    install(*flit_channels_[i], flit_ep_[i], id,
+            [](StepSpan& sp) -> auto& { return sp.cross_flit; });
   credit_id_base_ = id;
-  for (auto& ch : credit_channels_) ch->set_activity(reg, id++, &chan_items_);
+  for (size_t i = 0; i < credit_channels_.size(); ++i, ++id)
+    install(*credit_channels_[i], credit_ep_[i], id,
+            [](StepSpan& sp) -> auto& { return sp.cross_credit; });
   la_id_base_ = id;
-  for (auto& ch : la_channels_) ch->set_activity(reg, id++, &chan_items_);
+  for (size_t i = 0; i < la_channels_.size(); ++i, ++id)
+    install(*la_channels_[i], la_ep_[i], id,
+            [](StepSpan& sp) -> auto& { return sp.cross_la; });
 
   inject_wake_at_.assign(static_cast<size_t>(n), kCycleNever);
   // Everything starts awake; idle components fall asleep after their first
   // tick, which keeps cycle 0 identical to the ungated phase walk.
   router_awake_ = inject_awake_ = eject_awake_ = DestMask::first_n(n);
+  for (auto& sp : spans_) {
+    DestMask m;
+    for (NodeId node : sp.nodes) m.set(node);
+    sp.router_awake = sp.inject_awake = sp.eject_awake = m;
+  }
 
   if (gated) {
     for (NodeId node = 0; node < n; ++node) {
-      const WakeHook inject{&inject_awake_, node};
+      DestMask* mask =
+          parallel ? &spans_[static_cast<size_t>(part_.span_of_node(node))]
+                          .inject_awake
+                   : &inject_awake_;
+      const WakeHook inject{mask, node};
       nics_[static_cast<size_t>(node)]->set_inject_wake_hook(inject);
       sources_[static_cast<size_t>(node)]->set_wake_hook(inject);
     }
@@ -189,7 +314,9 @@ void Network::setup_activity() {
 }
 
 void Network::step(Cycle now) {
-  if (cfg_.activity_gating)
+  if (!spans_.empty())
+    step_parallel(now);
+  else if (cfg_.activity_gating)
     step_gated(now);
   else
     step_full(now);
@@ -227,21 +354,7 @@ void Network::step_gated(Cycle now) {
   //    -- their slots are all empty, so skipping begin_cycle is safe (see
   //    Channel's activity contract). Per-entry work is order-independent:
   //    begin_cycle touches only the channel itself and wake bits are ORed.
-  chan_active_.sweep([&](int id) {
-    if (id < credit_id_base_) {
-      auto& ch = *flit_channels_[static_cast<size_t>(id)];
-      ch.begin_cycle(now);
-      return ch.stored() > 0;
-    }
-    if (id < la_id_base_) {
-      auto& ch = *credit_channels_[static_cast<size_t>(id - credit_id_base_)];
-      ch.begin_cycle(now);
-      return ch.stored() > 0;
-    }
-    auto& ch = *la_channels_[static_cast<size_t>(id - la_id_base_)];
-    ch.begin_cycle(now);
-    return ch.stored() > 0;
-  });
+  chan_active_.sweep([&](int id) { return begin_channel(id, now); });
 
   // 2. NIC injection halves, ascending node id (the phase-walk order, so
   //    shared-accumulator metrics see identical floating-point ordering).
@@ -281,7 +394,229 @@ void Network::step_gated(Cycle now) {
   });
 }
 
+bool Network::begin_channel(int id, Cycle now) {
+  if (id < credit_id_base_) {
+    auto& ch = *flit_channels_[static_cast<size_t>(id)];
+    ch.begin_cycle(now);
+    return ch.stored() > 0;
+  }
+  if (id < la_id_base_) {
+    auto& ch = *credit_channels_[static_cast<size_t>(id - credit_id_base_)];
+    ch.begin_cycle(now);
+    return ch.stored() > 0;
+  }
+  auto& ch = *la_channels_[static_cast<size_t>(id - la_id_base_)];
+  ch.begin_cycle(now);
+  return ch.stored() > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Intra-network parallel stepping (docs/PERF.md Layer 4).
+//
+// Schedule per cycle, with barriers between the phases:
+//
+//   A. compute  (parallel) -- each worker runs its spans' timed wakes,
+//      channel deliveries, NIC-inject / router / NIC-eject passes. Every
+//      write lands in span-owned state; sends on cross-span channels only
+//      stage.
+//   B. commit   (parallel) -- each owner replays the messages other spans
+//      staged into its boundary channels, through the normal send path.
+//   C. merge    (main thread) -- drain per-span energy shards (integer adds,
+//      span order) and replay captured metrics events in exact serial order
+//      (inject phase before eject phase, ascending node within each).
+//
+// Bit-identity to serial stepping holds because every within-cycle wake is
+// intra-node, every cross-node interaction crosses a latency>=1 channel
+// (visible only after the next cycle's begin_cycle), and phase C
+// reconstructs the serial call order of all order-sensitive accumulation.
+
+void Network::step_parallel(Cycle now) {
+  flush_external_captures();
+  if (team_->workers() > 1 && !trace_recording_) {
+    StepCtx ctx{this, now};
+    team_->run(&Network::compute_thunk, &ctx);
+    team_->run(&Network::commit_thunk, &ctx);
+  } else {
+    step_spans_inline(now);
+  }
+  merge_spans();
+}
+
+void Network::compute_thunk(void* ctx, int worker) {
+  auto* c = static_cast<StepCtx*>(ctx);
+  Network& net = *c->net;
+  const int workers = net.team_->workers();
+  const int spans = static_cast<int>(net.spans_.size());
+  // Strided span -> worker assignment: the worker count changes only the
+  // schedule, never which span owns what, so results are grant-invariant.
+  for (int s = worker; s < spans; s += workers) net.span_compute(s, c->now);
+}
+
+void Network::commit_thunk(void* ctx, int worker) {
+  auto* c = static_cast<StepCtx*>(ctx);
+  Network& net = *c->net;
+  const int workers = net.team_->workers();
+  const int spans = static_cast<int>(net.spans_.size());
+  for (int s = worker; s < spans; s += workers) net.span_commit(s, c->now);
+}
+
+void Network::span_begin(int s, Cycle now) {
+  StepSpan& sp = spans_[static_cast<size_t>(s)];
+  if (!cfg_.activity_gating) {
+    for (int id : sp.channels) begin_channel(id, now);
+    return;
+  }
+  // Timed injection wake-ups, then the span's active channels (the per-span
+  // mirror of step_gated's steps 0 and 1).
+  if (sp.next_timed_wake <= now) {
+    sp.next_timed_wake = kCycleNever;
+    for (NodeId i : sp.nodes) {
+      Cycle& at = inject_wake_at_[static_cast<size_t>(i)];
+      if (at <= now) {
+        sp.inject_awake.set(i);
+        at = kCycleNever;
+      } else if (at < sp.next_timed_wake) {
+        sp.next_timed_wake = at;
+      }
+    }
+  }
+  sp.active.sweep([&](int id) { return begin_channel(id, now); });
+}
+
+void Network::span_inject_tick(StepSpan& sp, int node, Cycle now) {
+  const auto i = static_cast<size_t>(node);
+  sp.metrics->set_capture_point(kCaptureInject, node);
+  nics_[i]->tick_inject(now);
+  if (!cfg_.activity_gating) return;
+  if (nics_[i]->inject_busy()) return;
+  const Cycle wake = sources_[i]->next_fire_cycle(now + 1);
+  if (wake <= now + 1) return;
+  sp.inject_awake.clear(node);
+  inject_wake_at_[i] = wake;  // element owned by this span: race-free
+  if (wake < sp.next_timed_wake) sp.next_timed_wake = wake;
+}
+
+void Network::span_router_tick(StepSpan& sp, int node, Cycle now) {
+  const auto i = static_cast<size_t>(node);
+  routers_[i]->tick(now);
+  if (cfg_.activity_gating && routers_[i]->idle()) sp.router_awake.clear(node);
+}
+
+void Network::span_eject_tick(StepSpan& sp, int node, Cycle now) {
+  const auto i = static_cast<size_t>(node);
+  sp.metrics->set_capture_point(kCaptureEject, node);
+  nics_[i]->tick_eject(now);
+  if (cfg_.activity_gating && !nics_[i]->eject_busy())
+    sp.eject_awake.clear(node);
+}
+
+void Network::span_compute(int s, Cycle now) {
+  StepSpan& sp = spans_[static_cast<size_t>(s)];
+  span_begin(s, now);
+  if (cfg_.activity_gating) {
+    sp.pass_scratch = sp.inject_awake;
+    sp.pass_scratch.for_each(
+        [&](int node) { span_inject_tick(sp, node, now); });
+    sp.pass_scratch = sp.router_awake;
+    sp.pass_scratch.for_each(
+        [&](int node) { span_router_tick(sp, node, now); });
+    sp.pass_scratch = sp.eject_awake;
+    sp.pass_scratch.for_each(
+        [&](int node) { span_eject_tick(sp, node, now); });
+  } else {
+    for (NodeId node : sp.nodes) span_inject_tick(sp, node, now);
+    for (NodeId node : sp.nodes) span_router_tick(sp, node, now);
+    for (NodeId node : sp.nodes) span_eject_tick(sp, node, now);
+  }
+}
+
+void Network::span_commit(int s, Cycle now) {
+  StepSpan& sp = spans_[static_cast<size_t>(s)];
+  for (auto* ch : sp.cross_flit) ch->commit_staged(now);
+  for (auto* ch : sp.cross_credit) ch->commit_staged(now);
+  for (auto* ch : sp.cross_la) ch->commit_staged(now);
+}
+
+// Single-threaded drive of the sharded datapath, used when the budget
+// granted no helpers and while recording traces (NIC recorders append in
+// tick order, so the passes must walk nodes in GLOBAL ascending order to
+// keep recorded traces identical to serial runs). Span execution order
+// cannot affect results -- phase A is span-isolated -- so this produces
+// exactly what the threaded schedule produces.
+void Network::step_spans_inline(Cycle now) {
+  const int spans = static_cast<int>(spans_.size());
+  const int n = geom_.num_nodes();
+  for (int s = 0; s < spans; ++s) span_begin(s, now);
+  auto owner = [&](NodeId node) -> StepSpan& {
+    return spans_[static_cast<size_t>(part_.span_of_node(node))];
+  };
+  if (cfg_.activity_gating) {
+    for (auto& sp : spans_) sp.pass_scratch = sp.inject_awake;
+    for (NodeId node = 0; node < n; ++node) {
+      StepSpan& sp = owner(node);
+      if (sp.pass_scratch.test(node)) span_inject_tick(sp, node, now);
+    }
+    for (auto& sp : spans_) sp.pass_scratch = sp.router_awake;
+    for (NodeId node = 0; node < n; ++node) {
+      StepSpan& sp = owner(node);
+      if (sp.pass_scratch.test(node)) span_router_tick(sp, node, now);
+    }
+    for (auto& sp : spans_) sp.pass_scratch = sp.eject_awake;
+    for (NodeId node = 0; node < n; ++node) {
+      StepSpan& sp = owner(node);
+      if (sp.pass_scratch.test(node)) span_eject_tick(sp, node, now);
+    }
+  } else {
+    for (NodeId node = 0; node < n; ++node)
+      span_inject_tick(owner(node), node, now);
+    for (NodeId node = 0; node < n; ++node)
+      span_router_tick(owner(node), node, now);
+    for (NodeId node = 0; node < n; ++node)
+      span_eject_tick(owner(node), node, now);
+  }
+  for (int s = 0; s < spans; ++s) span_commit(s, now);
+}
+
+// Packets submitted through a NIC between steps (tests, external drivers)
+// land in the owner shard tagged with a stale capture point. Their events
+// (packet creation, NIC-duplicated local deliveries) commute across
+// distinct packets, so applying them span-by-span before the cycle starts
+// reproduces the serial bookkeeping exactly.
+void Network::flush_external_captures() {
+  for (auto& sp : spans_) {
+    if (sp.metrics->captured_empty()) continue;
+    for (int phase = 0; phase < kNumCapturePhases; ++phase)
+      for (const auto& e : sp.metrics->captured(phase)) metrics_.apply(e);
+    sp.metrics->clear_captured();
+  }
+}
+
+void Network::merge_spans() {
+  // Deterministic merge, main thread. Energy shards are integer event
+  // counts: span-ordered addition is exact. Metrics events replay in the
+  // serial call order -- all inject-phase events before all eject-phase
+  // events, ascending node id within each; each span captured its own nodes
+  // in ascending order, so a per-span cursor walk needs no sorting.
+  for (auto& sp : spans_) {
+    energy_ += sp.energy;
+    sp.energy.reset();
+  }
+  const int n = geom_.num_nodes();
+  for (int phase = 0; phase < kNumCapturePhases; ++phase) {
+    for (auto& sp : spans_) sp.replay_cursor = 0;
+    for (NodeId node = 0; node < n; ++node) {
+      StepSpan& sp = spans_[static_cast<size_t>(part_.span_of_node(node))];
+      const auto& buf = sp.metrics->captured(phase);
+      while (sp.replay_cursor < buf.size() &&
+             buf[sp.replay_cursor].node == node)
+        metrics_.apply(buf[sp.replay_cursor++]);
+    }
+  }
+  for (auto& sp : spans_) sp.metrics->clear_captured();
+}
+
 void Network::record_trace(Trace* out) {
+  trace_recording_ = out != nullptr;
   for (auto& nic : nics_) nic->set_trace_recorder(out);
 }
 
@@ -295,12 +630,19 @@ void Network::end_measurement_window(Cycle now) {
   for (auto& src : sources_) src->end_window(now);
 }
 
+int64_t Network::channel_items() const {
+  int64_t total = chan_items_;
+  for (const auto& sp : spans_) total += sp.items;
+  return total;
+}
+
 bool Network::quiescent() const {
   if (metrics_.open_packets() != 0) return false;
   // The aggregate counter covers flit, credit AND lookahead channels: the
   // old flit-only scan let a drain phase end with a credit still on a wire,
-  // corrupting back-to-back measurement windows.
-  if (chan_items_ != 0) return false;
+  // corrupting back-to-back measurement windows. In parallel mode the count
+  // is sharded per span.
+  if (channel_items() != 0) return false;
   for (const auto& r : routers_)
     if (!r->idle()) return false;
   for (const auto& nic : nics_)

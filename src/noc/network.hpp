@@ -17,22 +17,36 @@
 // re-arm sleepers; metrics are bit-identical with gating on or off
 // (tests/test_gating_equivalence.cpp, docs/PERF.md).
 
+// With step_threads > 1 the mesh is partitioned into contiguous column
+// spans (src/noc/partition.hpp) stepped by a persistent worker team under a
+// fixed two-phase barrier schedule: compute span-local state, barrier,
+// commit cross-span channel sends, barrier, then merge per-span energy and
+// metrics shards on the main thread in deterministic span/node order.
+// Results are bit-identical to serial stepping for every pattern, workload,
+// policy and gating mode (docs/PERF.md Layer 4).
+
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/active_set.hpp"
 #include "noc/energy_events.hpp"
 #include "noc/metrics.hpp"
 #include "noc/nic.hpp"
+#include "noc/partition.hpp"
 #include "noc/router.hpp"
 #include "noc/traffic.hpp"
 #include "noc/workload.hpp"
 #include "sim/simulation.hpp"
+#include "sim/step_team.hpp"
 
 namespace noc {
 
 struct NetworkConfig {
   int k = 4;
+  /// Mesh rows; 0 (the default) means square (rows = k). Rectangular
+  /// geometries keep row-major node ids (id = y * k + x) with k columns.
+  int ky = 0;
   RouterConfig router;
   TrafficConfig traffic;
   /// Which TrafficSource family drives the NICs (docs/WORKLOADS.md). The
@@ -46,6 +60,13 @@ struct NetworkConfig {
   /// retains the full phase-walk for comparison and debugging.
   bool activity_gating = true;
 
+  /// Intra-network parallel stepping (docs/PERF.md Layer 4): partition the
+  /// mesh into up to `step_threads` column spans driven by a worker team.
+  /// Metrics are bit-identical to serial stepping for ANY value; the number
+  /// of threads actually running is additionally clamped by the process-wide
+  /// thread_budget, which changes scheduling but never results. 1 = serial.
+  int step_threads = 1;
+
   /// The paper's four measured configurations (Fig 5/6/13).
   static NetworkConfig proposed(int k = 4);          // D: bypass + multicast
   static NetworkConfig lowswing_multicast(int k = 4);  // C: multicast, no bypass
@@ -56,6 +77,7 @@ struct NetworkConfig {
 class Network : public Steppable {
  public:
   explicit Network(const NetworkConfig& cfg);
+  ~Network();
 
   // Channels and the activity machinery hold pointers back into this
   // object (wake masks, counters): pin it.
@@ -94,9 +116,65 @@ class Network : public Steppable {
 
   /// Messages of any kind (flits, credits, lookaheads) currently inside
   /// channels, including arrivals not yet recycled.
-  int64_t channel_items() const { return chan_items_; }
+  int64_t channel_items() const;
+
+  // ---- parallel-stepping introspection (tests, docs/PERF.md Layer 4) ----
+
+  /// Number of column spans the step loop drives; 1 in serial mode.
+  int num_step_spans() const {
+    return spans_.empty() ? 1 : static_cast<int>(spans_.size());
+  }
+  /// Workers actually running per step (after thread_budget clamping).
+  int step_workers() const { return team_ ? team_->workers() : 1; }
+  /// The column partition (valid only when num_step_spans() > 1).
+  const SpanPartition& partition() const { return part_; }
+  int num_channels() const {
+    return static_cast<int>(flit_channels_.size() + credit_channels_.size() +
+                            la_channels_.size());
+  }
+  /// Channel ids owned by span `s` (owner = receiver's span).
+  const std::vector<int>& span_channel_ids(int s) const {
+    return spans_[static_cast<size_t>(s)].channels;
+  }
+  const std::vector<NodeId>& span_nodes(int s) const {
+    return spans_[static_cast<size_t>(s)].nodes;
+  }
+  /// Deferred (cross-span) channels owned by span `s`.
+  int span_cross_channel_count(int s) const {
+    const StepSpan& sp = spans_[static_cast<size_t>(s)];
+    return static_cast<int>(sp.cross_flit.size() + sp.cross_credit.size() +
+                            sp.cross_la.size());
+  }
 
  private:
+  /// Everything one worker exclusively owns while stepping its column span:
+  /// the span's activity machinery mirrors the Network-level fields used in
+  /// serial mode, plus integer energy and capture-mode metrics shards that
+  /// the main thread drains each cycle in deterministic order. All scratch
+  /// is sized at partition time (zero-alloc invariant).
+  struct StepSpan {
+    std::vector<NodeId> nodes;  // ascending id order
+    std::vector<int> channels;  // owned channel ids (receiver in span)
+    std::vector<Channel<Flit>*> cross_flit;  // deferred channels owned here
+    std::vector<Channel<Credit>*> cross_credit;
+    std::vector<Channel<Lookahead>*> cross_la;
+    ActiveList active;
+    int64_t items = 0;
+    DestMask router_awake;
+    DestMask inject_awake;
+    DestMask eject_awake;
+    DestMask pass_scratch;  // pre-tick snapshot of the mask being walked
+    Cycle next_timed_wake = kCycleNever;
+    EnergyCounters energy;            // drained into the global every cycle
+    std::unique_ptr<Metrics> metrics; // capture shard of the shared Metrics
+    size_t replay_cursor = 0;
+  };
+
+  struct StepCtx {
+    Network* net;
+    Cycle now;
+  };
+
   template <typename T>
   Channel<T>* make_channel(std::vector<std::unique_ptr<Channel<T>>>& pool,
                            int latency);
@@ -104,6 +182,21 @@ class Network : public Steppable {
   void setup_activity();
   void step_full(Cycle now);
   void step_gated(Cycle now);
+
+  // Parallel stepping (spans_ non-empty).
+  void step_parallel(Cycle now);
+  void step_spans_inline(Cycle now);
+  bool begin_channel(int id, Cycle now);
+  void span_begin(int s, Cycle now);
+  void span_compute(int s, Cycle now);
+  void span_commit(int s, Cycle now);
+  void span_inject_tick(StepSpan& sp, int node, Cycle now);
+  void span_router_tick(StepSpan& sp, int node, Cycle now);
+  void span_eject_tick(StepSpan& sp, int node, Cycle now);
+  void flush_external_captures();
+  void merge_spans();
+  static void compute_thunk(void* ctx, int worker);
+  static void commit_thunk(void* ctx, int worker);
 
   NetworkConfig cfg_;
   MeshGeometry geom_;
@@ -113,9 +206,21 @@ class Network : public Steppable {
   std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
   std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
   std::vector<std::unique_ptr<Channel<Lookahead>>> la_channels_;
+  // (sender, receiver) node per channel, in pool order: span ownership and
+  // boundary classification are derived from these in setup_activity.
+  std::vector<std::pair<NodeId, NodeId>> flit_ep_;
+  std::vector<std::pair<NodeId, NodeId>> credit_ep_;
+  std::vector<std::pair<NodeId, NodeId>> la_ep_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   std::vector<std::unique_ptr<Nic>> nics_;
+
+  // --- intra-network parallelism (docs/PERF.md Layer 4) ---
+  SpanPartition part_;
+  std::vector<StepSpan> spans_;     // empty in serial mode
+  std::unique_ptr<StepTeam> team_;  // non-null iff spans_ non-empty
+  int budget_lease_ = 0;            // extra threads leased from thread_budget
+  bool trace_recording_ = false;
 
   // --- activity machinery (docs/PERF.md) ---
   // Channels self-register here while holding messages; ids are assigned

@@ -58,20 +58,38 @@ class Channel {
   /// are visible the same cycle, before the receiver's phase runs).
   void set_wake_target(const WakeHook& wake) { wake_ = wake; }
 
+  /// Cross-span boundary mode (docs/PERF.md Layer 4). A deferred channel's
+  /// send() only appends to a private staging buffer -- it touches none of
+  /// the ring, counters, registry or wake state, so the sender's worker may
+  /// run concurrently with the receiver's. The receiver-side worker replays
+  /// the staged messages through the normal send path with commit_staged()
+  /// after the compute-phase barrier of the SAME cycle, preserving the
+  /// exact arrival cycle (now + latency) and send order. Latency-0 channels
+  /// cannot be deferred: their wake must fire inside the sender's phase.
+  void set_deferred(bool on) {
+    NOC_EXPECTS(!on || latency_ >= 1);
+    deferred_ = on;
+    // Zero-alloc invariant: pre-size the staging buffer for the per-cycle
+    // worst case (one flit, a credit per VC, one lookahead) at partition
+    // time rather than growing it under load.
+    if (on) staging_.reserve(16);
+  }
+  bool deferred() const { return deferred_; }
+
   /// Send a message during tick `now`; it arrives at `now + latency`.
   void send(Cycle now, T msg) {
-    if (stored_ == 0 && prev_ != now) {
-      // Drained channels may have skipped begin_cycle (activity gating);
-      // every slot is empty, so realigning the ring to `now` is safe.
-      prev_ = now;
-      cur_ = slot_index(now);
+    if (deferred_) {
+      staging_.push_back(std::move(msg));
+      return;
     }
-    NOC_ASSERT(prev_ == now);  // active channels are stepped every cycle
-    slots_[slot_index(now + latency_)].push_back(std::move(msg));
-    ++stored_;
-    if (items_counter_ != nullptr) ++*items_counter_;
-    if (latency_ == 0) wake_.fire();
-    if (registry_ != nullptr) registry_->insert(id_);
+    send_direct(now, std::move(msg));
+  }
+
+  /// Replay messages staged by a cross-span sender during tick `now`. Must
+  /// run on the owning (receiver-side) worker, after the sender's phase.
+  void commit_staged(Cycle now) {
+    for (auto& msg : staging_) send_direct(now, std::move(msg));
+    staging_.clear();
   }
 
   /// Called at the start of a tick, before any component runs: recycles the
@@ -125,6 +143,21 @@ class Channel {
     return static_cast<size_t>(c % (latency_ + 1));
   }
 
+  void send_direct(Cycle now, T msg) {
+    if (stored_ == 0 && prev_ != now) {
+      // Drained channels may have skipped begin_cycle (activity gating);
+      // every slot is empty, so realigning the ring to `now` is safe.
+      prev_ = now;
+      cur_ = slot_index(now);
+    }
+    NOC_ASSERT(prev_ == now);  // active channels are stepped every cycle
+    slots_[slot_index(now + latency_)].push_back(std::move(msg));
+    ++stored_;
+    if (items_counter_ != nullptr) ++*items_counter_;
+    if (latency_ == 0) wake_.fire();
+    if (registry_ != nullptr) registry_->insert(id_);
+  }
+
   int latency_;
   std::vector<std::vector<T>> slots_;
   size_t cur_ = 0;
@@ -134,6 +167,8 @@ class Channel {
   int id_ = -1;
   int64_t* items_counter_ = nullptr;
   WakeHook wake_;
+  bool deferred_ = false;
+  std::vector<T> staging_;  // cross-span sends awaiting commit_staged
 };
 
 }  // namespace noc

@@ -1,0 +1,77 @@
+#include "sim/step_team.hpp"
+
+namespace noc {
+namespace {
+
+// Brief spin before blocking: one simulated cycle is far shorter than a
+// futex round-trip, so helpers almost always catch the next epoch (and the
+// caller the last completion) without a syscall.
+constexpr int kSpinIters = 4096;
+
+}  // namespace
+
+StepTeam::StepTeam(int workers) : workers_(workers < 1 ? 1 : workers) {
+  threads_.reserve(static_cast<size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+StepTeam::~StepTeam() {
+  stop_.store(true, std::memory_order_seq_cst);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  epoch_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void StepTeam::run(WorkerFn fn, void* ctx) {
+  if (threads_.empty()) {
+    fn(ctx, 0);
+    return;
+  }
+  fn_ = fn;
+  ctx_ = ctx;
+  const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) epoch_.notify_all();
+
+  fn(ctx, 0);
+
+  // Barrier: epoch e is complete once the helpers have logged e*(W-1)
+  // cumulative completions.
+  const uint64_t target = epoch * static_cast<uint64_t>(workers_ - 1);
+  uint64_t d = done_.load(std::memory_order_acquire);
+  for (int i = 0; i < kSpinIters && d < target; ++i)
+    d = done_.load(std::memory_order_acquire);
+  if (d >= target) return;
+  caller_waiting_.store(true, std::memory_order_seq_cst);
+  d = done_.load(std::memory_order_seq_cst);
+  while (d < target) {
+    done_.wait(d, std::memory_order_seq_cst);
+    d = done_.load(std::memory_order_seq_cst);
+  }
+  caller_waiting_.store(false, std::memory_order_seq_cst);
+}
+
+void StepTeam::worker_loop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t e = epoch_.load(std::memory_order_acquire);
+    for (int i = 0; i < kSpinIters && e == seen; ++i)
+      e = epoch_.load(std::memory_order_acquire);
+    if (e == seen) {
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      e = epoch_.load(std::memory_order_seq_cst);
+      while (e == seen) {
+        epoch_.wait(seen, std::memory_order_seq_cst);
+        e = epoch_.load(std::memory_order_seq_cst);
+      }
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = e;
+    fn_(ctx_, worker);
+    done_.fetch_add(1, std::memory_order_seq_cst);
+    if (caller_waiting_.load(std::memory_order_seq_cst)) done_.notify_all();
+  }
+}
+
+}  // namespace noc

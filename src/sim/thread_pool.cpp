@@ -64,8 +64,13 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(int threads, int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  // The caller drains too, so only workers-1 extra threads are needed; they
+  // are leased from the shared budget and the loop degrades gracefully to
+  // serial when none are available (nested parallelism, exhausted cap).
   const int workers = std::min(threads, n);
-  if (workers <= 1) {
+  const int extra =
+      workers <= 1 ? 0 : thread_budget::acquire(workers - 1);
+  if (extra == 0) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -88,11 +93,74 @@ void parallel_for(int threads, int n, const std::function<void(int)>& fn) {
   };
 
   {
-    ThreadPool pool(workers);
-    for (int w = 0; w < workers; ++w) pool.submit(drain);
+    ThreadPool pool(extra);
+    for (int w = 0; w < extra; ++w) pool.submit(drain);
+    drain();  // the caller is a worker as well
     pool.wait_idle();
   }
+  thread_budget::release(extra);
   if (first_error) std::rethrow_exception(first_error);
 }
+
+namespace thread_budget {
+namespace {
+
+// used_ starts at 1: the root thread is always running. Function-local
+// statics avoid init-order races with any static-constructed user.
+std::atomic<int>& total_atomic() {
+  static std::atomic<int> v{ThreadPool::hardware_threads()};
+  return v;
+}
+std::atomic<int>& used_atomic() {
+  static std::atomic<int> v{1};
+  return v;
+}
+std::atomic<int>& peak_atomic() {
+  static std::atomic<int> v{1};
+  return v;
+}
+
+void raise_peak(int seen) {
+  auto& peak = peak_atomic();
+  int cur = peak.load(std::memory_order_relaxed);
+  while (cur < seen &&
+         !peak.compare_exchange_weak(cur, seen, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void set_total(int total) {
+  total_atomic().store(total < 1 ? 1 : total, std::memory_order_relaxed);
+  peak_atomic().store(used_atomic().load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+}
+
+int total() { return total_atomic().load(std::memory_order_relaxed); }
+int in_use() { return used_atomic().load(std::memory_order_relaxed); }
+int peak_in_use() { return peak_atomic().load(std::memory_order_relaxed); }
+
+int acquire(int want) {
+  if (want <= 0) return 0;
+  auto& used = used_atomic();
+  int cur = used.load(std::memory_order_relaxed);
+  int grant;
+  do {
+    grant = std::min(want, total() - cur);
+    if (grant <= 0) return 0;
+  } while (!used.compare_exchange_weak(cur, cur + grant,
+                                       std::memory_order_relaxed));
+  raise_peak(cur + grant);
+  return grant;
+}
+
+void release(int granted) {
+  if (granted <= 0) return;
+  const int prev =
+      used_atomic().fetch_sub(granted, std::memory_order_relaxed);
+  NOC_EXPECTS(prev - granted >= 1);
+}
+
+}  // namespace thread_budget
 
 }  // namespace noc

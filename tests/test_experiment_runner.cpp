@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "noc/experiment.hpp"
+#include "noc/network.hpp"
+#include "noc/workload.hpp"
+#include "sim/simulation.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace noc {
@@ -183,6 +188,215 @@ TEST(ExperimentRunner, ThreadsResolution) {
   EXPECT_GE(ExperimentRunner{}.threads(), 1);
   const ExperimentRunner one{ExperimentOptions{.measure = {}, .threads = 1}};
   EXPECT_EQ(one.threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Intra-network parallel stepping (docs/PERF.md Layer 4): for every pattern
+// x workload x policy x gating combination, metrics must be bit-identical
+// across step_threads in {1, 2, 4}.
+
+// Force a real multi-thread budget regardless of the host's core count so
+// the threaded schedule genuinely runs (restored on scope exit: other tests
+// assume the default).
+struct ScopedBudget {
+  int saved;
+  explicit ScopedBudget(int total) : saved(thread_budget::total()) {
+    thread_budget::set_total(total);
+  }
+  ~ScopedBudget() { thread_budget::set_total(saved); }
+};
+
+void expect_step_threads_invisible(NetworkConfig cfg, double offered,
+                                   const MeasureOptions& measure) {
+  cfg.step_threads = 1;
+  const PointResult serial = measure_point(cfg, offered, measure);
+  for (int st : {2, 4}) {
+    SCOPED_TRACE("step_threads=" + std::to_string(st));
+    cfg.step_threads = st;
+    const PointResult par = measure_point(cfg, offered, measure);
+    expect_identical(par, serial);
+    // The full latency statistics too: RunningStat accumulation order must
+    // have been reconstructed exactly, not just the integer counters.
+    EXPECT_EQ(par.avg_latency, serial.avg_latency);
+  }
+}
+
+TEST(ParallelStepping, BitIdenticalAcrossPatternsAndGating) {
+  const MeasureOptions measure{.warmup = 300, .window = 900};
+  for (bool gating : {true, false}) {
+    for (TrafficPattern p : {TrafficPattern::UniformRequest,
+                             TrafficPattern::MixedPaper,
+                             TrafficPattern::BroadcastOnly}) {
+      SCOPED_TRACE("gating=" + std::to_string(gating) +
+                   " pattern=" + std::to_string(static_cast<int>(p)));
+      ScopedBudget budget(8);
+      NetworkConfig cfg = NetworkConfig::proposed(8);
+      cfg.traffic.pattern = p;
+      cfg.traffic.seed = 5;
+      cfg.activity_gating = gating;
+      const double offered = p == TrafficPattern::BroadcastOnly ? 0.01 : 0.08;
+      expect_step_threads_invisible(cfg, offered, measure);
+    }
+  }
+}
+
+TEST(ParallelStepping, BitIdenticalAcrossPoliciesAndPipelines) {
+  const MeasureOptions measure{.warmup = 300, .window = 900};
+  ScopedBudget budget(8);
+  for (RoutePolicy policy : {RoutePolicy::XY, RoutePolicy::O1Turn,
+                             RoutePolicy::MinimalAdaptive}) {
+    SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)));
+    NetworkConfig cfg = NetworkConfig::proposed(8);
+    cfg.router.routing = policy;
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    expect_step_threads_invisible(cfg, 0.10, measure);
+  }
+  {
+    // The unicast baseline exercises NIC broadcast duplication, whose local
+    // deliveries flow through the inject-phase capture path.
+    NetworkConfig cfg = NetworkConfig::baseline_3stage(8);
+    cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    expect_step_threads_invisible(cfg, 0.03, measure);
+  }
+}
+
+TEST(ParallelStepping, BitIdenticalAcrossWorkloads) {
+  const MeasureOptions measure{.warmup = 300, .window = 900};
+  ScopedBudget budget(8);
+  {
+    NetworkConfig cfg = NetworkConfig::proposed(8);
+    cfg.workload.kind = WorkloadKind::ClosedLoop;
+    cfg.workload.closed.window = 4;
+    cfg.workload.closed.issue_prob = 0.3;
+    expect_step_threads_invisible(cfg, 0.0, measure);
+  }
+  {
+    // Trace replay: record serially, then replay under every thread count.
+    auto trace = std::make_shared<Trace>();
+    {
+      NetworkConfig rec = NetworkConfig::proposed(8);
+      rec.traffic.pattern = TrafficPattern::MixedPaper;
+      rec.traffic.offered_flits_per_node_cycle = 0.06;
+      Network net(rec);
+      net.record_trace(trace.get());
+      Simulation sim(net);
+      sim.run(4000);
+    }
+    NetworkConfig cfg = NetworkConfig::proposed(8);
+    cfg.workload.kind = WorkloadKind::Trace;
+    cfg.workload.trace.trace = trace;
+    expect_step_threads_invisible(cfg, 0.0, measure);
+  }
+  {
+    // Identical-PRBS synchronized bursts stress the timed-wake sharding.
+    NetworkConfig cfg = NetworkConfig::proposed(8);
+    cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    cfg.traffic.identical_prbs = true;
+    expect_step_threads_invisible(cfg, 0.04, measure);
+  }
+}
+
+TEST(ParallelStepping, BitIdenticalAtLargeAndRectangularK) {
+  // k=12 / k=16 cross DestMask word boundaries; 4x8 is the rectangular
+  // acceptance case (kx != ky, spans over 4 columns of 8-row height).
+  const MeasureOptions measure{.warmup = 200, .window = 500};
+  ScopedBudget budget(8);
+  for (int k : {12, 16}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    NetworkConfig cfg = NetworkConfig::proposed(k);
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 11;
+    expect_step_threads_invisible(cfg, 0.04, measure);
+  }
+  {
+    SCOPED_TRACE("rect 4x8");
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.ky = 8;
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 3;
+    expect_step_threads_invisible(cfg, 0.06, measure);
+  }
+}
+
+TEST(ParallelStepping, TraceRecordingMatchesSerialRecording) {
+  // Recording runs the inline global-node-order path: the recorded trace
+  // must be byte-for-byte what a serial network records.
+  auto record = [](int step_threads) {
+    auto trace = std::make_shared<Trace>();
+    NetworkConfig cfg = NetworkConfig::proposed(8);
+    cfg.traffic.pattern = TrafficPattern::MixedPaper;
+    cfg.traffic.offered_flits_per_node_cycle = 0.06;
+    cfg.step_threads = step_threads;
+    Network net(cfg);
+    net.record_trace(trace.get());
+    Simulation sim(net);
+    sim.run(2000);
+    return trace;
+  };
+  ScopedBudget budget(8);
+  const auto serial = record(1);
+  const auto par = record(4);
+  ASSERT_EQ(par->records.size(), serial->records.size());
+  for (size_t i = 0; i < serial->records.size(); ++i) {
+    EXPECT_EQ(par->records[i].cycle, serial->records[i].cycle);
+    EXPECT_EQ(par->records[i].src, serial->records[i].src);
+    EXPECT_EQ(par->records[i].length, serial->records[i].length);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread budget: nested parallelism (point fan-out x intra-network teams)
+// must never exceed the configured total.
+
+TEST(ThreadBudget, AcquireReleaseNeverExceedsTotal) {
+  ScopedBudget budget(4);
+  EXPECT_EQ(thread_budget::total(), 4);
+  EXPECT_EQ(thread_budget::in_use(), 1);  // the root thread
+  const int a = thread_budget::acquire(2);
+  EXPECT_EQ(a, 2);
+  const int b = thread_budget::acquire(5);  // only 1 left under the cap
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(thread_budget::acquire(1), 0);  // exhausted
+  EXPECT_EQ(thread_budget::in_use(), 4);
+  thread_budget::release(b);
+  thread_budget::release(a);
+  EXPECT_EQ(thread_budget::in_use(), 1);
+  EXPECT_EQ(thread_budget::peak_in_use(), 4);
+}
+
+TEST(ThreadBudget, NetworkTeamsClampUnderTheCap) {
+  ScopedBudget budget(3);  // root + at most 2 helpers
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.step_threads = 4;
+  Network a(cfg);  // leases 2 of the 3 requested helpers
+  EXPECT_EQ(a.num_step_spans(), 4);
+  EXPECT_EQ(a.step_workers(), 3);
+  Network b(cfg);  // budget exhausted: steps its 4 spans inline
+  EXPECT_EQ(b.num_step_spans(), 4);
+  EXPECT_EQ(b.step_workers(), 1);
+  EXPECT_LE(thread_budget::in_use(), 3);
+  EXPECT_LE(thread_budget::peak_in_use(), 3);
+}
+
+TEST(ThreadBudget, NestedSweepAndSteppingStaysUnderTotal) {
+  ScopedBudget budget(5);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.step_threads = 4;  // each point would like 3 extra threads
+  const MeasureOptions measure{.warmup = 100, .window = 300};
+  const ExperimentRunner runner{
+      ExperimentOptions{.measure = measure, .threads = 4}};
+  const auto results = runner.sweep(cfg, {0.02, 0.04, 0.06, 0.08});
+  EXPECT_EQ(results.size(), 4u);
+  // Whatever the interleaving, the lease arithmetic must have stayed under
+  // the cap, and everything must have been returned.
+  EXPECT_LE(thread_budget::peak_in_use(), 5);
+  EXPECT_EQ(thread_budget::in_use(), 1);
+  // And budget clamping must not have changed results (grant-invariance).
+  cfg.step_threads = 1;
+  const auto serial = sweep_curve(cfg, {0.02, 0.04, 0.06, 0.08}, measure);
+  for (size_t i = 0; i < serial.size(); ++i)
+    expect_identical(results[i], serial[i]);
 }
 
 }  // namespace

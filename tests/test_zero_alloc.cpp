@@ -14,6 +14,7 @@
 #include "noc/network.hpp"
 #include "noc/workload.hpp"
 #include "sim/simulation.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace {
 std::atomic<uint64_t> g_allocations{0};
@@ -201,6 +202,34 @@ TEST(ZeroAlloc, LargeK12ClosedLoopSteadyState) {
   cfg.workload.closed.window = 2;
   cfg.workload.closed.issue_prob = 0.02;
   EXPECT_EQ(allocations_during_run(cfg, 3000, 4000), 0u);
+}
+
+TEST(ZeroAlloc, ParallelSteppingSteadyState) {
+  // Intra-network parallel stepping (docs/PERF.md Layer 4): per-span
+  // scratch (active lists, masks, staging buffers, capture shards) is
+  // preallocated at partition time or grown during warmup; the steady-state
+  // barrier loop itself must never touch the heap. Force a real budget so
+  // the threaded schedule actually runs even on small CI hosts.
+  const int saved = noc::thread_budget::total();
+  noc::thread_budget::set_total(8);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.step_threads = 4;
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.06;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+  noc::thread_budget::set_total(saved);
+}
+
+TEST(ZeroAlloc, ParallelSteppingUngatedSteadyState) {
+  const int saved = noc::thread_budget::total();
+  noc::thread_budget::set_total(8);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.step_threads = 2;
+  cfg.activity_gating = false;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.offered_flits_per_node_cycle = 0.08;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 5000), 0u);
+  noc::thread_budget::set_total(saved);
 }
 
 TEST(ZeroAlloc, SanityCounterIsLive) {
