@@ -1,23 +1,37 @@
 #pragma once
-// Shared helper for benches that append custom rows into BENCH_perf.json
+// Shared helper for binaries that append custom rows into BENCH_perf.json
 // (google-benchmark's JSON schema, the file bench_perf_microbench writes):
-// closed_loop_latency and large_k_scaling both feed the cross-PR perf
-// tracker through this. Header-only on purpose -- bench/ binaries link
-// only noc_core.
+// closed_loop_latency, large_k_scaling, the fig table benches and the
+// campaign gather step all feed the cross-PR perf tracker through this.
+// Header-only on purpose -- bench/ binaries link only noc_core.
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace noc::benchjson {
 
-/// One appended benchmark row: items_per_second plus a single
-/// bench-specific extra metric (named so the JSON stays self-describing).
+/// One appended benchmark row: items_per_second plus any number of
+/// bench-specific extra metrics (named so the JSON stays self-describing).
 struct Entry {
   std::string name;
   double items_per_second = 0;
-  std::string extra_key;
-  double extra_value = 0;
+  std::vector<std::pair<std::string, double>> extras;
+
+  Entry() = default;
+  Entry(std::string name_, double ips) : name(std::move(name_)),
+                                         items_per_second(ips) {}
+  Entry(std::string name_, double ips, std::string extra_key,
+        double extra_value)
+      : name(std::move(name_)), items_per_second(ips) {
+    extras.emplace_back(std::move(extra_key), extra_value);
+  }
+
+  Entry& extra(std::string key, double value) {
+    extras.emplace_back(std::move(key), value);
+    return *this;
+  }
 };
 
 inline std::string read_file(const std::string& path) {
@@ -39,13 +53,16 @@ inline std::string format_entries(const std::vector<Entry>& entries) {
                   "    {\n"
                   "      \"name\": \"%s\",\n"
                   "      \"run_type\": \"iteration\",\n"
-                  "      \"items_per_second\": %.6e,\n"
-                  "      \"%s\": %.6f\n"
-                  "    }%s\n",
-                  entries[i].name.c_str(), entries[i].items_per_second,
-                  entries[i].extra_key.c_str(), entries[i].extra_value,
-                  i + 1 < entries.size() ? "," : "");
+                  "      \"items_per_second\": %.6e",
+                  entries[i].name.c_str(), entries[i].items_per_second);
     out += line;
+    for (const auto& [key, value] : entries[i].extras) {
+      std::snprintf(line, sizeof line, ",\n      \"%s\": %.6f", key.c_str(),
+                    value);
+      out += line;
+    }
+    out += "\n    }";
+    out += i + 1 < entries.size() ? ",\n" : "\n";
   }
   return out;
 }

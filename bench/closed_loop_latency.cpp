@@ -71,14 +71,11 @@ int main(int argc, char** argv) {
                Table::fmt(p.max_transaction_latency, 0),
                Table::fmt(p.avg_latency, 1), Table::fmt(p.recv_gbps, 0),
                Table::fmt(p.bypass_rate, 2)});
-    benchjson::Entry e;
-    e.name = "closed_loop_latency/window=" +
-             std::to_string(p.closed_loop_window);
     // transactions/cycle at 1 GHz -> transactions/second.
-    e.items_per_second = p.transactions_per_cycle * 1e9;
-    e.extra_key = "miss_latency_cycles";
-    e.extra_value = p.avg_transaction_latency;
-    entries.push_back(e);
+    entries.emplace_back(
+        "closed_loop_latency/window=" + std::to_string(p.closed_loop_window),
+        p.transactions_per_cycle * 1e9, "miss_latency_cycles",
+        p.avg_transaction_latency);
   }
   t.print();
 

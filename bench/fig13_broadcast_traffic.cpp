@@ -3,6 +3,7 @@
 // case: the paper's point that broadcast-heavy coherence gains most.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
@@ -14,13 +15,15 @@ using noc::Table;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
-    std::printf("usage: %s [--warmup N] [--window N] [--threads N]\n",
-                argv[0]);
+    std::printf(
+        "usage: %s [--warmup N] [--window N] [--threads N] [--out FILE]\n",
+        argv[0]);
     return 0;
   }
   const MeasureOptions opt =
       cli_measure_options(args, {.warmup = 3000, .window = 12000});
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  const std::string out_path = args.get_str("out", "");
   if (!args.check_unused()) return 1;
   NetworkConfig prop = NetworkConfig::proposed(4);
   NetworkConfig base = NetworkConfig::baseline_3stage(4);
@@ -77,6 +80,28 @@ int main(int argc, char** argv) {
              Table::fmt(sp.saturation_gbps / sb.saturation_gbps, 2) + "x",
              "2.2x"});
   h.print();
+
+  // Headline numbers for the cross-PR tracker, through the shared
+  // bench_json writer when --out is given.
+  if (!out_path.empty()) {
+    std::vector<benchjson::Entry> entries;
+    entries.emplace_back("fig13_broadcast_traffic/proposed",
+                         sp.at_saturation.recv_flits_per_cycle * 1e9);
+    entries.back()
+        .extra("saturation_gbps", sp.saturation_gbps)
+        .extra("zero_load_latency_cycles", sp.zero_load_latency);
+    entries.emplace_back("fig13_broadcast_traffic/baseline3",
+                         sb.at_saturation.recv_flits_per_cycle * 1e9);
+    entries.back()
+        .extra("saturation_gbps", sb.saturation_gbps)
+        .extra("zero_load_latency_cycles", sb.zero_load_latency);
+    if (benchjson::append_entries(out_path, entries))
+      std::printf("\nAppended %zu fig13 entries to %s\n", entries.size(),
+                  out_path.c_str());
+    else
+      std::fprintf(stderr, "\nWARNING: could not write %s\n",
+                   out_path.c_str());
+  }
 
   std::printf(
       "\nCompared to mixed traffic (fig5), both the latency reduction and the\n"

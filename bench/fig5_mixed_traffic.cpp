@@ -6,6 +6,7 @@
 // (paper: RTL sims show 0.04 cycles/hop of contention without it).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
@@ -17,8 +18,9 @@ using noc::Table;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.help()) {
-    std::printf("usage: %s [--warmup N] [--window N] [--threads N]\n",
-                argv[0]);
+    std::printf(
+        "usage: %s [--warmup N] [--window N] [--threads N] [--out FILE]\n",
+        argv[0]);
     return 0;
   }
   const MeasureOptions opt =
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   // Fan every (config, load) point across all cores; results are
   // bit-identical to the serial sweep (each point owns its network + RNG).
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
+  const std::string out_path = args.get_str("out", "");
   if (!args.check_unused()) return 1;
   NetworkConfig prop = NetworkConfig::proposed(4);
   NetworkConfig base = NetworkConfig::baseline_3stage(4);
@@ -99,6 +102,29 @@ int main(int argc, char** argv) {
              Table::fmt(sp.saturation_gbps / sb.saturation_gbps, 2) + "x",
              "2.1x"});
   h.print();
+
+  // Headline numbers for the cross-PR tracker, through the shared
+  // bench_json writer (same file/schema as the other benches) when --out
+  // is given.
+  if (!out_path.empty()) {
+    std::vector<benchjson::Entry> entries;
+    entries.emplace_back("fig5_mixed_traffic/proposed",
+                         sp.at_saturation.recv_flits_per_cycle * 1e9);
+    entries.back()
+        .extra("saturation_gbps", sp.saturation_gbps)
+        .extra("zero_load_latency_cycles", sp.zero_load_latency);
+    entries.emplace_back("fig5_mixed_traffic/baseline3",
+                         sb.at_saturation.recv_flits_per_cycle * 1e9);
+    entries.back()
+        .extra("saturation_gbps", sb.saturation_gbps)
+        .extra("zero_load_latency_cycles", sb.zero_load_latency);
+    if (benchjson::append_entries(out_path, entries))
+      std::printf("\nAppended %zu fig5 entries to %s\n", entries.size(),
+                  out_path.c_str());
+    else
+      std::fprintf(stderr, "\nWARNING: could not write %s\n",
+                   out_path.c_str());
+  }
 
   std::printf(
       "\nGap notes: the residual throughput gap to the limit comes from separable\n"

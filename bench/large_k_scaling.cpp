@@ -38,9 +38,11 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "campaign/grids.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
@@ -67,32 +69,39 @@ int main(int argc, char** argv) {
   const ExperimentRunner runner{cli_experiment_options(args, opt)};
   const std::string out_path = args.get_str("out", "BENCH_perf.json");
   const int step_threads = cli_step_threads(args);
-  std::vector<RoutePolicy> policies = {RoutePolicy::XY, RoutePolicy::O1Turn,
-                                       RoutePolicy::MinimalAdaptive};
-  if (args.has("all-policies"))
-    policies.insert(policies.begin() + 1, RoutePolicy::YX);
+  const bool all_policies = args.has("all-policies");
   if (!args.check_unused()) return 1;
 
-  const std::vector<int> radices = {4, 8, 12, 16};
-  /// Request VCs for the policy rows (4 per lane; see header).
-  constexpr int kPolicyRequestVcs = 8;
-  // One flat batch: every (k, row) saturation search is independent, so
-  // the runner fans them all across the pool at once. Row 0 per radix is
-  // the paper-budget XY continuity point; the rest are the policy rows.
-  const int rows_per_k = 1 + static_cast<int>(policies.size());
-  std::vector<NetworkConfig> cfgs;
-  for (int k : radices) {
-    NetworkConfig paper = NetworkConfig::proposed(k);
-    paper.traffic.pattern = TrafficPattern::UniformRequest;
-    paper.step_threads = step_threads;
-    cfgs.push_back(paper);
-    for (RoutePolicy policy : policies) {
-      NetworkConfig cfg = paper;
-      cfg.router.routing = policy;
-      cfg.router.vc.vcs_per_mc[0] = kPolicyRequestVcs;
-      cfgs.push_back(cfg);
+  // The point grid is campaign::large_k_manifest -- the same manifest
+  // `campaign run --grid large-k` executes resumably -- so this bench and
+  // the campaign engine agree on the grid. Per radix: the paper-budget XY
+  // continuity row ("<k>/chip"), then the policy rows at the lane-capable
+  // VC budget. --all-policies splices the YX mirror in after XY.
+  campaign::Manifest manifest =
+      campaign::large_k_manifest(short_mode, step_threads);
+  if (all_policies) {
+    for (size_t i = 0; i < manifest.points.size(); ++i) {
+      if (manifest.points[i].id.rfind("/policy=xy") == std::string::npos)
+        continue;
+      campaign::CampaignPoint yx = manifest.points[i];
+      yx.id = "k=" + std::to_string(yx.k) + "/policy=yx";
+      yx.policy = RoutePolicy::YX;
+      manifest.points.insert(manifest.points.begin() +
+                                 static_cast<long>(++i),
+                             yx);
     }
   }
+  std::string err;
+  const auto points = campaign::resolve_manifest(manifest, &err);
+  if (points.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  // One flat batch: every (k, row) saturation search is independent, so
+  // the runner fans them all across the pool at once.
+  std::vector<NetworkConfig> cfgs;
+  cfgs.reserve(points.size());
+  for (const auto& p : points) cfgs.push_back(p.cfg);
 
   std::printf(
       "Large-k scaling: proposed router, uniform 1-flit requests, %s mode\n"
@@ -108,8 +117,9 @@ int main(int argc, char** argv) {
                  "Fraction of limit"});
   std::vector<benchjson::Entry> entries;
   for (size_t i = 0; i < cfgs.size(); ++i) {
-    const int k = radices[i / static_cast<size_t>(rows_per_k)];
-    const bool paper_row = i % static_cast<size_t>(rows_per_k) == 0;
+    const int k = points[i].point->k;
+    const bool paper_row =
+        points[i].point->id.rfind("/chip") != std::string::npos;
     const auto& s = sats[i];
     const char* policy = route_policy_name(cfgs[i].router.routing);
     const double limit_r = theory::unicast_max_injection_rate(k);
@@ -121,50 +131,60 @@ int main(int argc, char** argv) {
                Table::fmt(s.zero_load_latency, 2),
                Table::fmt(s.saturation_offered, 3), Table::fmt(limit_r, 3),
                Table::fmt(s.saturation_gbps, 0), Table::fmt(frac, 3)});
-    benchjson::Entry e;
     // The continuity row keeps the PR-4 entry name so the cross-PR
     // trajectory lines up; policy rows carry the policy in the name.
-    e.name = paper_row ? "large_k_scaling/k=" + std::to_string(k)
-                       : "large_k_scaling/k=" + std::to_string(k) +
-                             "/policy=" + policy;
     // Delivered flits/cycle at saturation, at 1 GHz -> flits/second.
-    e.items_per_second = s.at_saturation.recv_flits_per_cycle * 1e9;
-    e.extra_key = "fraction_of_limit";
-    e.extra_value = frac;
-    entries.push_back(e);
+    entries.emplace_back(
+        paper_row ? "large_k_scaling/k=" + std::to_string(k)
+                  : "large_k_scaling/k=" + std::to_string(k) +
+                        "/policy=" + policy,
+        s.at_saturation.recv_flits_per_cycle * 1e9, "fraction_of_limit",
+        frac);
   }
   t.print();
 
   // Intra-network stepping speedup (docs/PERF.md Layer 4): wall-clock of
   // the k=16 uniform saturation search, serial vs step_threads=4 on the
   // SAME search. Recorded as its own cross-PR entry; the budget is forced
-  // so the threaded schedule really runs even on small recording hosts
-  // (the absolute ratio is only meaningful on a multi-core machine).
+  // so the threaded schedule really runs even on small recording hosts.
+  // The entry carries the host context (core count, thread-budget grant) so
+  // a sub-1x ratio recorded on a small machine is interpretable, and on a
+  // single-core host the timed passes are skipped outright: 4 workers
+  // time-slicing 1 core measures the scheduler, not the decomposition.
   {
+    const unsigned cores = std::thread::hardware_concurrency();
     const int saved_budget = thread_budget::total();
-    thread_budget::set_total(std::max(4, saved_budget));
-    NetworkConfig cfg = NetworkConfig::proposed(16);
-    cfg.traffic.pattern = TrafficPattern::UniformRequest;
-    double secs[2] = {0.0, 0.0};
-    for (int pass = 0; pass < 2; ++pass) {
-      cfg.step_threads = pass == 0 ? 1 : 4;
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto sat = runner.find_saturations({cfg});
-      const auto t1 = std::chrono::steady_clock::now();
-      secs[pass] = std::chrono::duration<double>(t1 - t0).count();
-      (void)sat;
-    }
-    thread_budget::set_total(saved_budget);
-    const double speedup = secs[1] > 0.0 ? secs[0] / secs[1] : 0.0;
-    std::printf(
-        "\nk=16 uniform saturation-search wall-clock: serial %.2fs,"
-        " step_threads=4 %.2fs -> %.2fx\n",
-        secs[0], secs[1], speedup);
     benchjson::Entry e;
     e.name = "large_k_scaling/k=16/step_threads=4_speedup";
-    e.items_per_second = secs[1] > 0.0 ? 1.0 / secs[1] : 0.0;
-    e.extra_key = "speedup_vs_serial";
-    e.extra_value = speedup;
+    if (cores < 2) {
+      std::printf(
+          "\nk=16 step_threads=4 speedup: SKIPPED (1 hardware thread; a "
+          "speedup\nratio on a time-sliced core is noise)\n");
+      e.extra("skipped_single_core", 1.0);
+    } else {
+      thread_budget::set_total(std::max(4, saved_budget));
+      NetworkConfig cfg = NetworkConfig::proposed(16);
+      cfg.traffic.pattern = TrafficPattern::UniformRequest;
+      double secs[2] = {0.0, 0.0};
+      for (int pass = 0; pass < 2; ++pass) {
+        cfg.step_threads = pass == 0 ? 1 : 4;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto sat = runner.find_saturations({cfg});
+        const auto t1 = std::chrono::steady_clock::now();
+        secs[pass] = std::chrono::duration<double>(t1 - t0).count();
+        (void)sat;
+      }
+      thread_budget::set_total(saved_budget);
+      const double speedup = secs[1] > 0.0 ? secs[0] / secs[1] : 0.0;
+      std::printf(
+          "\nk=16 uniform saturation-search wall-clock: serial %.2fs,"
+          " step_threads=4 %.2fs -> %.2fx (%u hardware threads)\n",
+          secs[0], secs[1], speedup, cores);
+      e.items_per_second = secs[1] > 0.0 ? 1.0 / secs[1] : 0.0;
+      e.extra("speedup_vs_serial", speedup);
+    }
+    e.extra("host_hw_concurrency", static_cast<double>(cores));
+    e.extra("host_thread_budget", static_cast<double>(saved_budget));
     entries.push_back(e);
   }
 

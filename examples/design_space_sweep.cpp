@@ -2,10 +2,16 @@
 // pipeline, and traffic pattern sweeps -- the early-stage study ORION-class
 // models target (paper Sec 4.4), run on the cycle-accurate model instead.
 //
-// Every sweep fans its independent saturation searches across all cores via
-// ExperimentRunner; results are bit-identical to running them one by one.
+// The point grid is campaign::design_space_manifest (src/campaign/grids.hpp)
+// -- the SAME manifest `campaign run --grid design-space` executes resumably
+// -- so this binary and the campaign engine cannot drift apart on what "the
+// design-space sweep" is. Here every resolved point's saturation search is
+// fanned across all cores in one batch via ExperimentRunner; results are
+// bit-identical to running them one by one (and to the campaign's records).
 #include <cstdio>
+#include <string>
 
+#include "campaign/grids.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "noc/experiment.hpp"
@@ -38,32 +44,43 @@ int main(int argc, char** argv) {
   if (!args.check_unused()) return 1;
   std::printf("design-space sweep: step-threads %d\n\n", step_threads);
 
+  // The declarative grid, resolved to concrete configs. Point ids are
+  // namespaced radix/ pattern/ policy/ pipeline/ in construction order, so
+  // the table sections below slice the one batched result array.
+  const campaign::Manifest manifest =
+      campaign::design_space_manifest(max_k, step_threads);
+  std::string err;
+  const auto points = campaign::resolve_manifest(manifest, &err);
+  if (points.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::vector<NetworkConfig> cfgs;
+  cfgs.reserve(points.size());
+  for (const auto& p : points) cfgs.push_back(p.cfg);
+
+  // Every saturation search in the whole design space, one parallel batch.
+  const auto sats = runner.find_saturations(cfgs);
+
+  auto section = [&](const char* prefix, auto&& row) {
+    for (size_t i = 0; i < points.size(); ++i)
+      if (points[i].point->id.rfind(prefix, 0) == 0) row(points[i], sats[i]);
+  };
+
   // 1. Mesh radix sweep: how the proposed router scales past the chip.
-  //    --k extends the sweep past the default list (multi-word DestMask:
-  //    anything up to kMaxMeshRadix simulates).
   Table k_sweep("Mesh radix sweep, uniform 1-flit requests");
   k_sweep.set_columns({"k", "Zero-load lat (cyc)", "Theory H+2",
                        "Sat throughput (Gb/s)", "Ejection-limit (Gb/s)"});
-  std::vector<int> radices = {2, 3, 4, 5, 6, 8};
-  for (int k = 10; k <= max_k; k += 2) radices.push_back(k);
-  std::vector<NetworkConfig> k_cfgs;
-  for (int k : radices) {
-    NetworkConfig cfg = NetworkConfig::proposed(k);
-    cfg.traffic.pattern = TrafficPattern::UniformRequest;
-    cfg.step_threads = step_threads;
-    k_cfgs.push_back(cfg);
-  }
-  auto k_sats = runner.find_saturations(k_cfgs);
-  for (size_t i = 0; i < k_cfgs.size(); ++i) {
-    const int k = radices[i];
-    const auto& s = k_sats[i];
+  section("radix/", [&](const campaign::ResolvedPoint& p,
+                        const SaturationResult& s) {
+    const int k = p.point->k;
     k_sweep.add_row(
         {Table::fmt_int(k), Table::fmt(s.zero_load_latency, 2),
          Table::fmt(theory::unicast_avg_hops_exact(k) + 2.0, 2),
          Table::fmt(s.saturation_gbps, 0),
          Table::fmt(theory::aggregate_throughput_limit_gbps(k) *
                         theory::unicast_max_injection_rate(k), 0)});
-  }
+  });
   k_sweep.print();
   std::printf("\n");
 
@@ -72,49 +89,34 @@ int main(int argc, char** argv) {
       std::to_string(max_k) + "x" + std::to_string(max_k);
   Table pat("Traffic-pattern sweep, proposed " + kxk);
   pat.set_columns({"Pattern", "Zero-load lat (cyc)", "Sat throughput (Gb/s)"});
-  const TrafficPattern patterns[] = {
-      TrafficPattern::UniformRequest, TrafficPattern::Transpose,
-      TrafficPattern::BitComplement,  TrafficPattern::Tornado,
-      TrafficPattern::NearestNeighbor, TrafficPattern::BroadcastOnly};
-  std::vector<NetworkConfig> pat_cfgs;
-  for (auto p : patterns) {
-    NetworkConfig cfg = NetworkConfig::proposed(max_k);
-    cfg.traffic.pattern = p;
-    cfg.step_threads = step_threads;
-    pat_cfgs.push_back(cfg);
-  }
-  auto pat_sats = runner.find_saturations(pat_cfgs);
-  for (size_t i = 0; i < pat_cfgs.size(); ++i) {
-    pat.add_row({traffic_pattern_name(patterns[i]),
-                 Table::fmt(pat_sats[i].zero_load_latency, 2),
-                 Table::fmt(pat_sats[i].saturation_gbps, 0)});
-  }
+  section("pattern/", [&](const campaign::ResolvedPoint& p,
+                          const SaturationResult& s) {
+    pat.add_row({traffic_pattern_name(p.point->pattern),
+                 Table::fmt(s.zero_load_latency, 2),
+                 Table::fmt(s.saturation_gbps, 0)});
+  });
   pat.print();
   std::printf("\n");
 
   // 3. Routing-policy sweep: the XY-imbalance lever (docs/ROUTING.md) on
   //    uniform traffic and on the adversarial transpose permutation, where
-  //    load balancing shows its largest spread.
+  //    load balancing shows its largest spread. Points alternate
+  //    uniform/transpose per policy (grid construction order).
   Table pol("Routing-policy sweep, proposed " + kxk);
   pol.set_columns({"Policy", "Uniform sat (Gb/s)", "Transpose sat (Gb/s)"});
-  const std::vector<RoutePolicy> policy_list = {
-      RoutePolicy::XY, RoutePolicy::YX, RoutePolicy::O1Turn,
-      RoutePolicy::MinimalAdaptive};
-  std::vector<NetworkConfig> pol_cfgs;
-  for (RoutePolicy p : policy_list)
-    for (TrafficPattern pattern :
-         {TrafficPattern::UniformRequest, TrafficPattern::Transpose}) {
-      NetworkConfig cfg = NetworkConfig::proposed(max_k);
-      cfg.router.routing = p;
-      cfg.traffic.pattern = pattern;
-      cfg.step_threads = step_threads;
-      pol_cfgs.push_back(cfg);
-    }
-  auto pol_sats = runner.find_saturations(pol_cfgs);
-  for (size_t i = 0; i < policy_list.size(); ++i) {
-    pol.add_row({route_policy_name(policy_list[i]),
-                 Table::fmt(pol_sats[2 * i].saturation_gbps, 0),
-                 Table::fmt(pol_sats[2 * i + 1].saturation_gbps, 0)});
+  {
+    const char* policy = nullptr;
+    double uniform_gbps = 0;
+    section("policy/", [&](const campaign::ResolvedPoint& p,
+                           const SaturationResult& s) {
+      if (p.point->pattern == TrafficPattern::UniformRequest) {
+        policy = route_policy_name(p.point->policy);
+        uniform_gbps = s.saturation_gbps;
+        return;
+      }
+      pol.add_row({policy, Table::fmt(uniform_gbps, 0),
+                   Table::fmt(s.saturation_gbps, 0)});
+    });
   }
   pol.print();
   std::printf("\n");
@@ -122,28 +124,18 @@ int main(int argc, char** argv) {
   // 4. Pipeline sweep under the paper's mixed traffic.
   Table pipe("Pipeline sweep, mixed traffic, " + kxk);
   pipe.set_columns({"Router", "Zero-load lat (cyc)", "Sat throughput (Gb/s)"});
-  struct Row {
-    const char* name;
-    NetworkConfig cfg;
-  } rows[] = {
-      {"proposed (1-cycle bypass + multicast)",
-       NetworkConfig::proposed(max_k)},
-      {"3-stage + multicast, no bypass",
-       NetworkConfig::lowswing_multicast(max_k)},
-      {"3-stage unicast baseline", NetworkConfig::baseline_3stage(max_k)},
-      {"4-stage textbook baseline", NetworkConfig::baseline_4stage(max_k)},
+  const char* pipeline_labels[] = {
+      "proposed (1-cycle bypass + multicast)",
+      "3-stage + multicast, no bypass",
+      "3-stage unicast baseline",
+      "4-stage textbook baseline",
   };
-  std::vector<NetworkConfig> pipe_cfgs;
-  for (auto& r : rows) {
-    r.cfg.traffic.pattern = TrafficPattern::MixedPaper;
-    r.cfg.step_threads = step_threads;
-    pipe_cfgs.push_back(r.cfg);
-  }
-  auto pipe_sats = runner.find_saturations(pipe_cfgs);
-  for (size_t i = 0; i < pipe_cfgs.size(); ++i) {
-    pipe.add_row({rows[i].name, Table::fmt(pipe_sats[i].zero_load_latency, 2),
-                  Table::fmt(pipe_sats[i].saturation_gbps, 0)});
-  }
+  section("pipeline/", [&](const campaign::ResolvedPoint& p,
+                           const SaturationResult& s) {
+    pipe.add_row({pipeline_labels[static_cast<int>(p.point->pipeline)],
+                  Table::fmt(s.zero_load_latency, 2),
+                  Table::fmt(s.saturation_gbps, 0)});
+  });
   pipe.print();
 
   std::printf(

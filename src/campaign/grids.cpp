@@ -1,0 +1,179 @@
+#include "campaign/grids.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace noc::campaign {
+
+namespace {
+
+CampaignPoint base_point(std::string id, PointKind kind, int k,
+                         int step_threads) {
+  CampaignPoint p;
+  p.id = std::move(id);
+  p.kind = kind;
+  p.k = k;
+  p.step_threads = step_threads;
+  return p;
+}
+
+}  // namespace
+
+Manifest design_space_manifest(int max_k, int step_threads) {
+  NOC_EXPECTS(max_k >= 2 && max_k <= kMaxMeshRadix);
+  Manifest m;
+  m.name = "design_space";
+  // examples/design_space_sweep.cpp defaults.
+  m.default_warmup = 1500;
+  m.default_window = 6000;
+
+  // 1. Mesh radix sweep, uniform 1-flit requests.
+  std::vector<int> radices = {2, 3, 4, 5, 6, 8};
+  for (int k = 10; k <= max_k; k += 2) radices.push_back(k);
+  for (int k : radices)
+    m.points.push_back(base_point("radix/k=" + std::to_string(k),
+                                  PointKind::Saturation, k, step_threads));
+
+  // 2. Pattern sweep at the selected size.
+  const TrafficPattern patterns[] = {
+      TrafficPattern::UniformRequest, TrafficPattern::Transpose,
+      TrafficPattern::BitComplement,  TrafficPattern::Tornado,
+      TrafficPattern::NearestNeighbor, TrafficPattern::BroadcastOnly};
+  for (TrafficPattern pat : patterns) {
+    CampaignPoint p =
+        base_point(std::string("pattern/") + traffic_pattern_name(pat),
+                   PointKind::Saturation, max_k, step_threads);
+    p.pattern = pat;
+    m.points.push_back(p);
+  }
+
+  // 3. Routing-policy sweep on uniform and the adversarial transpose.
+  for (RoutePolicy policy : {RoutePolicy::XY, RoutePolicy::YX,
+                             RoutePolicy::O1Turn,
+                             RoutePolicy::MinimalAdaptive})
+    for (TrafficPattern pat :
+         {TrafficPattern::UniformRequest, TrafficPattern::Transpose}) {
+      CampaignPoint p = base_point(
+          std::string("policy/") + route_policy_name(policy) + "/" +
+              traffic_pattern_name(pat),
+          PointKind::Saturation, max_k, step_threads);
+      p.policy = policy;
+      p.pattern = pat;
+      m.points.push_back(p);
+    }
+
+  // 4. Pipeline sweep under the paper's mixed traffic.
+  for (PipelinePreset preset :
+       {PipelinePreset::Proposed, PipelinePreset::LowswingMulticast,
+        PipelinePreset::Baseline3, PipelinePreset::Baseline4}) {
+    CampaignPoint p =
+        base_point(std::string("pipeline/") + pipeline_preset_name(preset),
+                   PointKind::Saturation, max_k, step_threads);
+    p.pipeline = preset;
+    p.pattern = TrafficPattern::MixedPaper;
+    m.points.push_back(p);
+  }
+  return m;
+}
+
+Manifest large_k_manifest(bool short_mode, int step_threads) {
+  Manifest m;
+  m.name = "large_k";
+  // bench/large_k_scaling.cpp's full/--short measurement windows.
+  m.default_warmup = short_mode ? 300 : 2000;
+  m.default_window = short_mode ? 800 : 6000;
+  constexpr int kPolicyRequestVcs = 8;  // 4 per lane, see the bench header
+  for (int k : {4, 8, 12, 16}) {
+    // Paper-budget XY continuity row.
+    m.points.push_back(base_point("k=" + std::to_string(k) + "/chip",
+                                  PointKind::Saturation, k, step_threads));
+    for (RoutePolicy policy : {RoutePolicy::XY, RoutePolicy::O1Turn,
+                               RoutePolicy::MinimalAdaptive}) {
+      CampaignPoint p = base_point(
+          "k=" + std::to_string(k) + "/policy=" + route_policy_name(policy),
+          PointKind::Saturation, k, step_threads);
+      p.policy = policy;
+      p.request_vcs = kPolicyRequestVcs;
+      m.points.push_back(p);
+    }
+  }
+  return m;
+}
+
+Manifest trace_ablation_manifest(int k) {
+  NOC_EXPECTS(k >= 2 && k <= kMaxMeshRadix);
+  Manifest m;
+  m.name = "trace_ablation";
+  m.default_warmup = 500;
+  m.default_window = 2000;
+
+  // One capture: saturating closed-loop coherence traffic on the proposed
+  // router -- the workload whose injection schedule the ablation reuses.
+  CampaignPoint cap = base_point("capture/closed-loop", PointKind::Capture,
+                                 k, 1);
+  cap.workload = WorkloadKind::ClosedLoop;
+  cap.mshr_window = 4;
+  m.points.push_back(cap);
+
+  // Replay-many: the other pipeline presets plus a gating-off proposed
+  // build, all fed byte-identical traffic.
+  struct Ablation {
+    const char* id;
+    PipelinePreset preset;
+    bool gating;
+  };
+  const Ablation ablations[] = {
+      {"replay/proposed", PipelinePreset::Proposed, true},
+      {"replay/proposed-nogate", PipelinePreset::Proposed, false},
+      {"replay/lowswing", PipelinePreset::LowswingMulticast, true},
+      {"replay/baseline3", PipelinePreset::Baseline3, true},
+      {"replay/baseline4", PipelinePreset::Baseline4, true},
+  };
+  for (const Ablation& a : ablations) {
+    CampaignPoint p = base_point(a.id, PointKind::Replay, k, 1);
+    p.pipeline = a.preset;
+    p.gating = a.gating;
+    p.trace_from = "capture/closed-loop";
+    m.points.push_back(p);
+  }
+  return m;
+}
+
+Manifest smoke_manifest() {
+  Manifest m;
+  m.name = "smoke";
+  m.default_warmup = 200;
+  m.default_window = 500;
+
+  CampaignPoint measure = base_point("measure/k=2", PointKind::Measure, 2, 1);
+  measure.offered = 0.05;
+  m.points.push_back(measure);
+
+  CampaignPoint mixed = base_point("measure/k=4-mixed", PointKind::Measure,
+                                   4, 1);
+  mixed.pattern = TrafficPattern::MixedPaper;
+  mixed.offered = 0.08;
+  m.points.push_back(mixed);
+
+  m.points.push_back(base_point("saturation/k=2", PointKind::Saturation, 2,
+                                1));
+
+  CampaignPoint cap = base_point("capture/k=4", PointKind::Capture, 4, 1);
+  cap.workload = WorkloadKind::ClosedLoop;
+  cap.mshr_window = 2;
+  m.points.push_back(cap);
+
+  for (PipelinePreset preset :
+       {PipelinePreset::Baseline3, PipelinePreset::Baseline4}) {
+    CampaignPoint p =
+        base_point(std::string("replay/") + pipeline_preset_name(preset),
+                   PointKind::Replay, 4, 1);
+    p.pipeline = preset;
+    p.trace_from = "capture/k=4";
+    m.points.push_back(p);
+  }
+  return m;
+}
+
+}  // namespace noc::campaign

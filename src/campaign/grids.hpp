@@ -1,0 +1,36 @@
+#pragma once
+// The repo's own sweep grids expressed as campaign manifests: the same
+// (config, workload, policy, k) points examples/design_space_sweep.cpp and
+// bench/large_k_scaling.cpp build by hand, declared once so they can run
+// resumably under tools/campaign (and so those binaries and the campaign
+// agree on what "the design-space sweep" is -- the binaries keep their
+// console tables; the manifests are the durable record).
+
+#include "campaign/manifest.hpp"
+
+namespace noc::campaign {
+
+/// examples/design_space_sweep.cpp as a manifest: radix sweep (2..8 plus
+/// even radices up to max_k), pattern sweep, routing-policy x
+/// {uniform, transpose}, and the four-pipeline sweep under mixed traffic --
+/// all saturation searches.
+Manifest design_space_manifest(int max_k = 4, int step_threads = 1);
+
+/// bench/large_k_scaling.cpp's point grid: per radix in {4, 8, 12, 16} the
+/// paper-budget XY continuity row plus {xy, o1turn, adaptive} at the
+/// lane-capable 8-VC request budget. `short_mode` uses the CI-sized
+/// windows.
+Manifest large_k_manifest(bool short_mode = false, int step_threads = 1);
+
+/// Capture-once/replay-many router ablation (docs/CAMPAIGN.md): one
+/// closed-loop capture on the proposed k x k router, replayed across the
+/// other three pipeline presets and a gating-off proposed build -- the
+/// fast inner loop for router ablation under identical offered traffic.
+Manifest trace_ablation_manifest(int k = 4);
+
+/// A seconds-sized campaign for CI smoke and tests: two open-loop measure
+/// points, one saturation point, one capture and two replays at k in
+/// {2, 4} with tiny windows.
+Manifest smoke_manifest();
+
+}  // namespace noc::campaign

@@ -1,0 +1,265 @@
+#include "campaign/result_store.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "sim/thread_pool.hpp"
+
+namespace noc::campaign {
+
+HostContext current_host() {
+  HostContext h;
+  h.hardware_concurrency = std::thread::hardware_concurrency();
+  h.thread_budget = thread_budget::total();
+  return h;
+}
+
+std::string sanitize_id(const std::string& id) {
+  std::string out = id;
+  for (char& c : out)
+    if (c == '/') c = '_';
+  return out;
+}
+
+std::string ResultStore::record_path(const std::string& point_id,
+                                     const std::string& hash) const {
+  return records_dir() + "/" + sanitize_id(point_id) + "." + hash + ".json";
+}
+
+std::string ResultStore::trace_path(const std::string& hash) const {
+  return traces_dir() + "/" + hash + ".trace";
+}
+
+namespace {
+
+bool mkdir_p(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) return true;
+  if (errno != ENOENT) return false;
+  const size_t slash = dir.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return false;
+  if (!mkdir_p(dir.substr(0, slash))) return false;
+  return ::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  std::string s;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, n);
+  std::fclose(f);
+  return s;
+}
+
+// Records are self-written with a fixed serialization (below), so the
+// "parser" is a pair of key scanners, not a JSON library. Anything that
+// does not scan cleanly fails validation and the point reruns -- the safe
+// direction for a result cache.
+
+bool scan_string(const std::string& body, const char* key,
+                 std::string* out) {
+  const std::string pat = std::string("\"") + key + "\": \"";
+  const size_t at = body.find(pat);
+  if (at == std::string::npos) return false;
+  const size_t start = at + pat.size();
+  const size_t end = body.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = body.substr(start, end - start);
+  return true;
+}
+
+bool scan_number(const std::string& body, const char* key, double* out) {
+  const std::string pat = std::string("\"") + key + "\": ";
+  const size_t at = body.find(pat);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  const char* start = body.c_str() + at + pat.size();
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+}  // namespace
+
+bool ResultStore::ensure_dirs() const {
+  return mkdir_p(records_dir()) && mkdir_p(traces_dir());
+}
+
+std::string ResultStore::serialize_record(const CampaignRecord& rec) {
+  std::string out;
+  out.reserve(1024);
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "{\n"
+                "  \"schema\": %d,\n"
+                "  \"campaign\": \"%s\",\n"
+                "  \"point\": \"%s\",\n"
+                "  \"kind\": \"%s\",\n"
+                "  \"hash\": \"%s\",\n"
+                "  \"status\": \"complete\",\n",
+                rec.schema, rec.campaign.c_str(), rec.point_id.c_str(),
+                rec.kind.c_str(), rec.hash.c_str());
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  \"host\": {\n"
+                "    \"hardware_concurrency\": %u,\n"
+                "    \"thread_budget\": %d\n"
+                "  },\n"
+                "  \"report\": {\n",
+                rec.host.hardware_concurrency, rec.host.thread_budget);
+  out += line;
+  for (size_t i = 0; i < rec.report.size(); ++i) {
+    std::snprintf(line, sizeof line, "    \"%s\": %.17g%s\n",
+                  rec.report[i].first.c_str(), rec.report[i].second,
+                  i + 1 < rec.report.size() ? "," : "");
+    out += line;
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+bool ResultStore::save_record(const CampaignRecord& rec) const {
+  const std::string path = record_path(rec.point_id, rec.hash);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = serialize_record(rec);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ResultStore::load_record(const std::string& point_id,
+                              const std::string& hash,
+                              CampaignRecord* out) const {
+  const std::string body = read_file(record_path(point_id, hash));
+  if (body.empty()) return false;
+  CampaignRecord rec;
+  double schema = 0;
+  std::string status;
+  if (!scan_number(body, "schema", &schema) ||
+      static_cast<int>(schema) != kCampaignSchemaVersion)
+    return false;
+  if (!scan_string(body, "status", &status) || status != "complete")
+    return false;
+  if (!scan_string(body, "hash", &rec.hash) || rec.hash != hash) return false;
+  if (!scan_string(body, "point", &rec.point_id) || rec.point_id != point_id)
+    return false;
+  if (!scan_string(body, "campaign", &rec.campaign)) return false;
+  if (!scan_string(body, "kind", &rec.kind)) return false;
+  double hw = 0, budget = 0;
+  if (scan_number(body, "hardware_concurrency", &hw))
+    rec.host.hardware_concurrency = static_cast<unsigned>(hw);
+  if (scan_number(body, "thread_budget", &budget))
+    rec.host.thread_budget = static_cast<int>(budget);
+  // The report object: "name": value pairs between the "report" brace and
+  // the closing brace.
+  const size_t rep = body.find("\"report\": {");
+  if (rep == std::string::npos) return false;
+  size_t pos = rep + std::strlen("\"report\": {");
+  const size_t rep_end = body.find('}', pos);
+  if (rep_end == std::string::npos) return false;
+  while (true) {
+    const size_t q0 = body.find('"', pos);
+    if (q0 == std::string::npos || q0 > rep_end) break;
+    const size_t q1 = body.find('"', q0 + 1);
+    if (q1 == std::string::npos || q1 > rep_end) return false;
+    const size_t colon = body.find(':', q1);
+    if (colon == std::string::npos || colon > rep_end) return false;
+    char* end = nullptr;
+    const char* start = body.c_str() + colon + 1;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    rec.report.emplace_back(body.substr(q0 + 1, q1 - q0 - 1), v);
+    pos = static_cast<size_t>(end - body.c_str());
+  }
+  if (rec.report.empty()) return false;
+  *out = std::move(rec);
+  return true;
+}
+
+bool ResultStore::has_record(const std::string& point_id,
+                             const std::string& hash) const {
+  CampaignRecord rec;
+  return load_record(point_id, hash, &rec);
+}
+
+int ResultStore::remove_campaign(const Manifest& m) const {
+  std::string err;
+  const auto resolved = resolve_manifest(m, &err);
+  int removed = 0;
+  for (const ResolvedPoint& r : resolved) {
+    if (std::remove(record_path(r.point->id, r.hash).c_str()) == 0)
+      ++removed;
+    if (r.point->kind == PointKind::Capture &&
+        std::remove(trace_path(r.hash).c_str()) == 0)
+      ++removed;
+  }
+  return removed;
+}
+
+GatherResult gather_campaign(const Manifest& m, const ResultStore& store,
+                             const std::string& out_path) {
+  GatherResult g;
+  std::string err;
+  const auto resolved = resolve_manifest(m, &err);
+  std::string out;
+  out.reserve(4096);
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "{\n"
+                "  \"context\": {\n"
+                "    \"campaign\": \"%s\",\n"
+                "    \"schema\": %d,\n"
+                "    \"points\": %zu\n"
+                "  },\n"
+                "  \"benchmarks\": [\n",
+                m.name.c_str(), kCampaignSchemaVersion, resolved.size());
+  out += line;
+  bool first = true;
+  for (const ResolvedPoint& r : resolved) {
+    CampaignRecord rec;
+    if (!store.load_record(r.point->id, r.hash, &rec)) {
+      g.missing.push_back(r.point->id);
+      continue;
+    }
+    ++g.complete;
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(line, sizeof line,
+                  "    {\n"
+                  "      \"name\": \"%s/%s\",\n"
+                  "      \"run_type\": \"iteration\",\n"
+                  "      \"hash\": \"%s\",\n"
+                  "      \"kind\": \"%s\"",
+                  m.name.c_str(), r.point->id.c_str(), rec.hash.c_str(),
+                  rec.kind.c_str());
+    out += line;
+    for (const auto& [key, value] : rec.report) {
+      std::snprintf(line, sizeof line, ",\n      \"%s\": %.17g", key.c_str(),
+                    value);
+      out += line;
+    }
+    out += "\n    }";
+  }
+  out += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) return g;
+  g.wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size() &&
+            std::fclose(f) == 0;
+  return g;
+}
+
+}  // namespace noc::campaign

@@ -1,0 +1,69 @@
+#pragma once
+// Campaign execution: resolve a manifest, skip every point the result store
+// already holds a valid record for, and fan the rest across the
+// thread-budget-aware pool (sim/thread_pool.hpp) -- each point is a fully
+// independent simulation writing one record file, so the schedule cannot
+// change any byte of any record.
+//
+// Points run in two waves: everything without a trace dependency first
+// (captures included), then the replay points, whose input trace is ALWAYS
+// reloaded from the store's trace file -- never passed through memory --
+// so a replay in the same process and a replay after a crash/resume see
+// byte-for-byte the same input.
+//
+// `max_points` bounds how many incomplete points this invocation executes,
+// in manifest order. It is the deterministic stand-in for "the campaign
+// got killed here": tests and the CI smoke job run with a small
+// max_points, then resume and assert the completed points were skipped.
+
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/result_store.hpp"
+
+namespace noc::campaign {
+
+struct RunOptions {
+  /// Worker threads for point fan-out. 0 = all hardware threads, 1 = serial.
+  int threads = 0;
+  /// Execute at most this many incomplete points (manifest order), < 0 =
+  /// all. Skipped points do not count against it.
+  int max_points = -1;
+  /// Per-point console progress lines.
+  bool verbose = false;
+};
+
+struct RunSummary {
+  int executed = 0;
+  int skipped = 0;   // valid record already present
+  int deferred = 0;  // not attempted: max_points cut, or dep trace not yet
+                     // on disk (runs on resume)
+  int failed = 0;
+  std::vector<std::string> errors;
+
+  bool ok() const { return failed == 0; }
+  bool complete() const { return failed == 0 && deferred == 0; }
+};
+
+/// Run `m` against `store`. The manifest must resolve (validate_manifest);
+/// a resolve failure returns failed = 1 with the diagnostic in errors.
+RunSummary run_campaign(const Manifest& m, const ResultStore& store,
+                        const RunOptions& opt = {});
+
+/// The canonical record metrics for a measured point / saturation search --
+/// "items_per_second" first (flits/s at 1 GHz; delivered at saturation for
+/// searches) so gathered reports feed tools/check_perf_regression.py.
+/// Exposed so tests can build the expected record from a standalone
+/// measure_workload/find_saturation run and diff bytes.
+std::vector<std::pair<std::string, double>> point_report(
+    const PointResult& r);
+std::vector<std::pair<std::string, double>> saturation_report(
+    const SaturationResult& s);
+
+/// The record run_campaign would write for resolved point `r` completed
+/// with `report` (host context filled from current_host()).
+CampaignRecord make_record(const Manifest& m, const ResolvedPoint& r,
+                           std::vector<std::pair<std::string, double>> report);
+
+}  // namespace noc::campaign

@@ -34,12 +34,13 @@ double deliveries_per_offered_flit(const NetworkConfig& cfg) {
 }
 
 PointResult measure_point(NetworkConfig cfg, double offered,
-                          const MeasureOptions& opt) {
+                          const MeasureOptions& opt, Trace* capture) {
   // Only the open loop has an offered rate to set; closed-loop and trace
   // workloads carry their own load knobs in the WorkloadSpec.
   if (cfg.workload.kind == WorkloadKind::OpenLoop)
     cfg.traffic.offered_flits_per_node_cycle = offered;
   Network net(cfg);
+  if (capture != nullptr) net.record_trace(capture);
   Simulation sim(net);
   sim.run(opt.warmup);
   net.begin_measurement_window(sim.now());
@@ -98,8 +99,9 @@ PointResult measure_point(NetworkConfig cfg, double offered,
 }
 
 PointResult measure_workload(const NetworkConfig& cfg,
-                             const MeasureOptions& opt) {
-  return measure_point(cfg, cfg.traffic.offered_flits_per_node_cycle, opt);
+                             const MeasureOptions& opt, Trace* capture) {
+  return measure_point(cfg, cfg.traffic.offered_flits_per_node_cycle, opt,
+                       capture);
 }
 
 double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt) {

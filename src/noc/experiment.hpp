@@ -69,13 +69,17 @@ struct PointResult {
 /// Run one point at `offered` flits/node/cycle. For non-open-loop
 /// workloads the offered load is ignored (the workload's own knobs --
 /// window, issue probability, trace -- set the load); use measure_workload.
+/// A non-null `capture` records every injection (warmup included) via
+/// Network::record_trace -- the campaign capture stage (src/campaign/).
 PointResult measure_point(NetworkConfig cfg, double offered,
-                          const MeasureOptions& opt = {});
+                          const MeasureOptions& opt = {},
+                          Trace* capture = nullptr);
 
 /// Measure whatever workload `cfg` carries (open-loop at its configured
 /// offered load, closed-loop at its window, trace replay).
 PointResult measure_workload(const NetworkConfig& cfg,
-                             const MeasureOptions& opt = {});
+                             const MeasureOptions& opt = {},
+                             Trace* capture = nullptr);
 
 /// Latency at (near) zero load.
 double zero_load_latency(NetworkConfig cfg, const MeasureOptions& opt = {});

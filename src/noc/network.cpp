@@ -617,6 +617,12 @@ void Network::merge_spans() {
 
 void Network::record_trace(Trace* out) {
   trace_recording_ = out != nullptr;
+  if (out != nullptr) {
+    // Stamp the capture geometry so replay layers can reject a trace fed
+    // to the wrong mesh (trace_geometry_error / the v2 file header).
+    out->kx = geom_.kx();
+    out->ky = geom_.ky();
+  }
   for (auto& nic : nics_) nic->set_trace_recorder(out);
 }
 

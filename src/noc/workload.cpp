@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 #include "common/assert.hpp"
 
@@ -23,7 +24,10 @@ const char* workload_kind_name(WorkloadKind k) {
 bool save_trace(const std::string& path, const Trace& trace) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "# noc-trace v1\n");
+  if (trace.kx > 0)
+    std::fprintf(f, "# noc-trace v2 geometry %dx%d\n", trace.kx, trace.ky);
+  else
+    std::fprintf(f, "# noc-trace v1\n");
   std::fprintf(f, "# cycle src dest_mask(hex) length class\n");
   char mask_hex[DestMask::kMaxHexChars + 1];
   for (const TraceRecord& r : trace.records) {
@@ -37,9 +41,24 @@ bool save_trace(const std::string& path, const Trace& trace) {
   return std::fclose(f) == 0;
 }
 
-std::shared_ptr<Trace> load_trace(const std::string& path) {
+namespace {
+
+std::shared_ptr<Trace> trace_fail(std::FILE* f, std::string* error,
+                                  const std::string& path, int lineno,
+                                  const char* what) {
+  if (f != nullptr) std::fclose(f);
+  if (error != nullptr)
+    *error = path + ":" + std::to_string(lineno) + ": " + what;
+  return nullptr;
+}
+
+}  // namespace
+
+std::shared_ptr<Trace> load_trace(const std::string& path,
+                                  std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return nullptr;
+  if (f == nullptr) return trace_fail(nullptr, error, path, 0,
+                                      "cannot open trace file");
   auto trace = std::make_shared<Trace>();
   char line[256];
   char mask_hex[DestMask::kMaxHexChars + 2];  // overflow sentinel slot
@@ -48,7 +67,30 @@ std::shared_ptr<Trace> load_trace(const std::string& path) {
   // from_hex rejects it instead of the tail bleeding into the %d fields.
   static_assert(DestMask::kMaxHexChars + 1 == 65,
                 "update the %65s scan width below to kMaxHexChars + 1");
+  int lineno = 0;
+  bool saw_header = false;
   while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++lineno;
+    if (!saw_header) {
+      // The first line must identify the format: geometry-stamped v2 or
+      // the legacy geometry-less v1. Anything else is not a trace file --
+      // bail with a message instead of misparsing whatever it really is.
+      saw_header = true;
+      int kx = 0, ky = 0;
+      if (std::sscanf(line, "# noc-trace v2 geometry %dx%d", &kx, &ky) == 2) {
+        if (kx < 2 || kx > kMaxMeshRadix || ky < 2 || ky > kMaxMeshRadix ||
+            kx * ky > DestMask::kCapacity)
+          return trace_fail(f, error, path, lineno,
+                            "trace geometry out of range");
+        trace->kx = kx;
+        trace->ky = ky;
+        continue;
+      }
+      if (std::strncmp(line, "# noc-trace v1", 14) == 0) continue;
+      return trace_fail(f, error, path, lineno,
+                        "not a noc-trace file (missing '# noc-trace v1' or "
+                        "'# noc-trace v2 geometry KXxKY' header)");
+    }
     if (line[0] == '#' || line[0] == '\n') continue;
     TraceRecord r;
     int mc = 0;
@@ -57,15 +99,26 @@ std::shared_ptr<Trace> load_trace(const std::string& path) {
         !DestMask::from_hex(mask_hex, r.dest_mask) || r.cycle < 0 ||
         r.src < 0 || r.src >= DestMask::kCapacity || r.dest_mask.none() ||
         r.length < 1 || r.length > kMaxPacketFlits || mc < 0 ||
-        mc >= kNumMsgClasses) {
-      std::fclose(f);
-      return nullptr;
-    }
+        mc >= kNumMsgClasses)
+      return trace_fail(f, error, path, lineno, "malformed trace record");
+    if (trace->kx > 0 && r.src >= trace->kx * trace->ky)
+      return trace_fail(f, error, path, lineno,
+                        "record source outside the declared geometry");
     r.mc = static_cast<MsgClass>(mc);
     trace->records.push_back(r);
   }
   std::fclose(f);
+  if (!saw_header)
+    return trace_fail(nullptr, error, path, lineno, "empty trace file");
   return trace;
+}
+
+std::string trace_geometry_error(const Trace& trace, int kx, int ky) {
+  if (trace.kx == 0) return {};  // legacy v1: geometry unknown
+  if (trace.kx == kx && trace.ky == ky) return {};
+  return "trace was captured on a " + std::to_string(trace.kx) + "x" +
+         std::to_string(trace.ky) + " mesh, cannot replay on " +
+         std::to_string(kx) + "x" + std::to_string(ky);
 }
 
 std::shared_ptr<const Trace> resolve_trace(const TraceConfig& cfg) {
@@ -233,6 +286,9 @@ TraceSource::TraceSource(const MeshGeometry& geom,
       payload_prbs_(Prbs::Poly::PRBS31, node_prbs_seed(traffic.seed, node)),
       trace_(std::move(trace)) {
   NOC_EXPECTS(trace_ != nullptr);
+  // Geometry-stamped traces must match the mesh exactly; callers with a
+  // message channel should pre-check trace_geometry_error themselves.
+  NOC_EXPECTS(trace_geometry_error(*trace_, geom.kx(), geom.ky()).empty());
   const DestMask valid = geom.all_nodes_mask();
   for (const TraceRecord& r : trace_->records) {
     // Every record must fit this geometry -- a trace from a bigger mesh

@@ -72,15 +72,31 @@ struct TraceRecord {
 };
 
 /// An in-memory trace: records ordered by cycle (ties in capture order).
+/// kx/ky is the mesh the trace was captured on (0 = unknown, a legacy v1
+/// file); Network::record_trace stamps it, and replay layers check it with
+/// trace_geometry_error before building a network, so a trace from the
+/// wrong mesh fails with a message instead of a deep assert (or, worse, a
+/// partial replay).
 struct Trace {
+  int kx = 0;
+  int ky = 0;
   std::vector<TraceRecord> records;
 };
 
-/// Plain-text trace file I/O ("# noc-trace v1" header, one record per
-/// line: cycle src dest_mask(hex) length class). Returns false / nullptr on
-/// I/O or parse failure.
+/// Plain-text trace file I/O. Files with known geometry carry a
+/// "# noc-trace v2 geometry KXxKY" header; geometry-less traces write (and
+/// v1 files load under) the legacy "# noc-trace v1" header. One record per
+/// line: cycle src dest_mask(hex) length class. save returns false on I/O
+/// failure; load returns nullptr and, when `error` is non-null, a
+/// path:line diagnostic on I/O or parse failure.
 bool save_trace(const std::string& path, const Trace& trace);
-std::shared_ptr<Trace> load_trace(const std::string& path);
+std::shared_ptr<Trace> load_trace(const std::string& path,
+                                  std::string* error = nullptr);
+
+/// Empty when `trace` fits a kx x ky mesh (unknown geometry passes -- v1
+/// files keep working and TraceSource still bound-checks every record);
+/// else a printable mismatch description.
+std::string trace_geometry_error(const Trace& trace, int kx, int ky);
 
 struct TraceConfig {
   /// In-memory trace (preferred; shared read-only across sweep threads).

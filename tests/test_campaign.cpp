@@ -1,0 +1,296 @@
+// Campaign subsystem (src/campaign/): content hashing, manifest file
+// round-trips, crash-resume via the result store, and the
+// capture-once/replay-many guarantee -- replayed records must be
+// bit-identical to standalone runs of the same trace, and the record bytes
+// must not depend on thread count or on where a run was killed.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "campaign/grids.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/result_store.hpp"
+#include "campaign/runner.hpp"
+#include "noc/experiment.hpp"
+#include "noc/workload.hpp"
+
+using namespace noc;
+using namespace noc::campaign;
+
+namespace {
+
+std::string fresh_root(const std::string& name, const Manifest& m) {
+  const std::string root = ::testing::TempDir() + "campaign_" + name;
+  // Tests may rerun in a dirty TempDir: wipe any records from a previous
+  // invocation so "executed" counts are deterministic.
+  ResultStore store(root);
+  (void)store.remove_campaign(m);
+  return root;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Record files for every resolved point of `m`, concatenated in manifest
+// order -- one string to diff across runs.
+std::string all_record_bytes(const Manifest& m, const ResultStore& store) {
+  std::string err;
+  const auto points = resolve_manifest(m, &err);
+  EXPECT_FALSE(points.empty()) << err;
+  std::string all;
+  for (const auto& p : points) {
+    const std::string bytes =
+        slurp(store.record_path(p.point->id, p.hash));
+    EXPECT_FALSE(bytes.empty()) << "missing record for " << p.point->id;
+    all += bytes;
+  }
+  return all;
+}
+
+// A tiny capture-once/replay-many ablation: one open-loop capture replayed
+// across three router pipelines. Open-loop capture keeps the test fast and
+// replay-exact at these window sizes.
+Manifest tiny_ablation_manifest() {
+  Manifest m;
+  m.name = "test-ablation";
+  m.default_warmup = 200;
+  m.default_window = 600;
+  CampaignPoint cap;
+  cap.id = "capture/uniform";
+  cap.kind = PointKind::Capture;
+  cap.k = 4;
+  cap.pattern = TrafficPattern::MixedPaper;
+  cap.offered = 0.08;
+  cap.seed = 11;
+  m.points.push_back(cap);
+  const PipelinePreset presets[] = {PipelinePreset::Proposed,
+                                    PipelinePreset::Baseline3,
+                                    PipelinePreset::Baseline4};
+  for (PipelinePreset p : presets) {
+    CampaignPoint rep;
+    rep.id = std::string("replay/") + pipeline_preset_name(p);
+    rep.kind = PointKind::Replay;
+    rep.pipeline = p;
+    rep.k = 4;
+    rep.trace_from = cap.id;
+    m.points.push_back(rep);
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(CampaignManifest, SameManifestResolvesToIdenticalHashes) {
+  const Manifest a = smoke_manifest();
+  const Manifest b = smoke_manifest();
+  std::string err;
+  const auto pa = resolve_manifest(a, &err);
+  ASSERT_FALSE(pa.empty()) << err;
+  const auto pb = resolve_manifest(b, &err);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].key, pb[i].key) << pa[i].point->id;
+    EXPECT_EQ(pa[i].hash, pb[i].hash) << pa[i].point->id;
+    EXPECT_EQ(pa[i].hash.size(), 16u);
+  }
+}
+
+TEST(CampaignManifest, FileRoundTripPreservesHashes) {
+  const Manifest m = smoke_manifest();
+  const std::string path = ::testing::TempDir() + "campaign_roundtrip.campaign";
+  ASSERT_TRUE(save_manifest(path, m));
+  std::string err;
+  const auto loaded = load_manifest(path, &err);
+  ASSERT_NE(loaded, nullptr) << err;
+  EXPECT_EQ(loaded->name, m.name);
+  const auto pa = resolve_manifest(m, &err);
+  const auto pb = resolve_manifest(*loaded, &err);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].point->id, pb[i].point->id);
+    EXPECT_EQ(pa[i].hash, pb[i].hash) << pa[i].point->id;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CampaignManifest, HashTracksConfigAndDependencyChanges) {
+  Manifest m = smoke_manifest();
+  std::string err;
+  const auto base = resolve_manifest(m, &err);
+  ASSERT_FALSE(base.empty()) << err;
+
+  // A knob change on one point moves exactly that point's hash.
+  Manifest knob = smoke_manifest();
+  knob.points[0].offered += 0.01;
+  const auto moved = resolve_manifest(knob, &err);
+  ASSERT_EQ(moved.size(), base.size());
+  EXPECT_NE(moved[0].hash, base[0].hash);
+  for (size_t i = 1; i < base.size(); ++i)
+    EXPECT_EQ(moved[i].hash, base[i].hash) << base[i].point->id;
+
+  // A capture change cascades into every dependent replay's hash.
+  Manifest recap = smoke_manifest();
+  for (auto& p : recap.points)
+    if (p.kind == PointKind::Capture) p.seed += 1;
+  const auto cascaded = resolve_manifest(recap, &err);
+  ASSERT_EQ(cascaded.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    const PointKind kind = base[i].point->kind;
+    if (kind == PointKind::Capture || kind == PointKind::Replay)
+      EXPECT_NE(cascaded[i].hash, base[i].hash) << base[i].point->id;
+    else
+      EXPECT_EQ(cascaded[i].hash, base[i].hash) << base[i].point->id;
+  }
+}
+
+TEST(CampaignRunner, RecordsBitIdenticalSerialVsParallel) {
+  const Manifest m = smoke_manifest();
+  ResultStore serial(fresh_root("serial", m));
+  ResultStore parallel(fresh_root("parallel", m));
+
+  RunOptions opt;
+  opt.threads = 1;
+  const RunSummary rs = run_campaign(m, serial, opt);
+  ASSERT_TRUE(rs.complete()) << (rs.errors.empty() ? "" : rs.errors[0]);
+  EXPECT_EQ(rs.executed, static_cast<int>(m.points.size()));
+
+  opt.threads = 4;
+  const RunSummary rp = run_campaign(m, parallel, opt);
+  ASSERT_TRUE(rp.complete()) << (rp.errors.empty() ? "" : rp.errors[0]);
+
+  EXPECT_EQ(all_record_bytes(m, serial), all_record_bytes(m, parallel));
+}
+
+TEST(CampaignRunner, KillAndResumeSkipsCompletedPoints) {
+  const Manifest m = smoke_manifest();
+  ResultStore oneshot(fresh_root("oneshot", m));
+  ResultStore resumed(fresh_root("resumed", m));
+
+  RunOptions opt;
+  opt.threads = 2;
+  ASSERT_TRUE(run_campaign(m, oneshot, opt).complete());
+
+  // "Kill" after two points: max_points is the deterministic stand-in for
+  // a campaign killed mid-run (runner.hpp).
+  RunOptions cut = opt;
+  cut.max_points = 2;
+  const RunSummary first = run_campaign(m, resumed, cut);
+  ASSERT_TRUE(first.ok()) << (first.errors.empty() ? "" : first.errors[0]);
+  EXPECT_EQ(first.executed, 2);
+  EXPECT_EQ(first.skipped, 0);
+  EXPECT_GT(first.deferred, 0);
+
+  // Resume: completed hashes are skipped, the rest run to completion.
+  const RunSummary second = run_campaign(m, resumed, opt);
+  ASSERT_TRUE(second.complete())
+      << (second.errors.empty() ? "" : second.errors[0]);
+  EXPECT_EQ(second.skipped, 2);
+  EXPECT_EQ(second.executed,
+            static_cast<int>(m.points.size()) - 2);
+
+  // The kill point must not leak into any record byte.
+  EXPECT_EQ(all_record_bytes(m, oneshot), all_record_bytes(m, resumed));
+
+  // And a third run is a pure no-op.
+  const RunSummary third = run_campaign(m, resumed, opt);
+  EXPECT_TRUE(third.complete());
+  EXPECT_EQ(third.executed, 0);
+  EXPECT_EQ(third.skipped, static_cast<int>(m.points.size()));
+}
+
+TEST(CampaignRunner, CorruptRecordIsRerunNotTrusted) {
+  const Manifest m = smoke_manifest();
+  ResultStore store(fresh_root("corrupt", m));
+  RunOptions opt;
+  opt.threads = 2;
+  ASSERT_TRUE(run_campaign(m, store, opt).complete());
+
+  std::string err;
+  const auto points = resolve_manifest(m, &err);
+  ASSERT_FALSE(points.empty()) << err;
+  const std::string victim =
+      store.record_path(points[0].point->id, points[0].hash);
+  const std::string good = slurp(victim);
+  ASSERT_FALSE(good.empty());
+
+  // Truncate the record mid-file: has_record must reject it and the next
+  // run must re-execute exactly that point.
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << good.substr(0, good.size() / 2);
+  }
+  EXPECT_FALSE(store.has_record(points[0].point->id, points[0].hash));
+  const RunSummary again = run_campaign(m, store, opt);
+  ASSERT_TRUE(again.complete());
+  EXPECT_EQ(again.executed, 1);
+  EXPECT_EQ(again.skipped, static_cast<int>(m.points.size()) - 1);
+  EXPECT_EQ(slurp(victim), good);
+}
+
+TEST(CampaignRunner, ReplayRecordsMatchStandaloneTraceRuns) {
+  const Manifest m = tiny_ablation_manifest();
+  ResultStore store(fresh_root("ablation", m));
+  RunOptions opt;
+  opt.threads = 2;
+  const RunSummary rs = run_campaign(m, store, opt);
+  ASSERT_TRUE(rs.complete()) << (rs.errors.empty() ? "" : rs.errors[0]);
+
+  std::string err;
+  const auto points = resolve_manifest(m, &err);
+  ASSERT_EQ(points.size(), 4u) << err;
+
+  // One trace on disk, stamped with the capture's geometry.
+  const std::string trace_file = store.trace_path(points[0].hash);
+  std::string load_err;
+  const auto trace = load_trace(trace_file, &load_err);
+  ASSERT_NE(trace, nullptr) << load_err;
+  EXPECT_EQ(trace->kx, 4);
+  ASSERT_GT(trace->records.size(), 50u);
+
+  // Each replay record must equal, byte for byte, a standalone
+  // measure_workload over the same loaded trace -- the campaign layer adds
+  // bookkeeping, never perturbation.
+  for (size_t i = 1; i < points.size(); ++i) {
+    NetworkConfig cfg = points[i].cfg;
+    cfg.workload.trace.trace = trace;
+    const PointResult r = measure_workload(cfg, points[i].measure);
+    const CampaignRecord expect =
+        make_record(m, points[i], point_report(r));
+    EXPECT_EQ(ResultStore::serialize_record(expect),
+              slurp(store.record_path(points[i].point->id, points[i].hash)))
+        << points[i].point->id;
+  }
+}
+
+TEST(CampaignGather, ReportCoversEveryPointOrNamesTheMissing) {
+  const Manifest m = smoke_manifest();
+  ResultStore store(fresh_root("gather", m));
+  const std::string report = store.root() + "/report.json";
+
+  // Partial store: gather still writes, naming the missing points.
+  RunOptions cut;
+  cut.threads = 2;
+  cut.max_points = 2;
+  ASSERT_TRUE(run_campaign(m, store, cut).ok());
+  const GatherResult partial = gather_campaign(m, store, report);
+  EXPECT_TRUE(partial.wrote);
+  EXPECT_EQ(partial.complete, 2);
+  EXPECT_EQ(partial.missing.size(), m.points.size() - 2);
+
+  // Complete store: every row present, none missing.
+  ASSERT_TRUE(run_campaign(m, store, {.threads = 2}).complete());
+  const GatherResult full = gather_campaign(m, store, report);
+  EXPECT_TRUE(full.wrote);
+  EXPECT_EQ(full.complete, static_cast<int>(m.points.size()));
+  EXPECT_TRUE(full.missing.empty());
+  const std::string bytes = slurp(report);
+  EXPECT_NE(bytes.find("\"benchmarks\""), std::string::npos);
+  for (const auto& p : m.points)
+    EXPECT_NE(bytes.find(m.name + "/" + p.id), std::string::npos) << p.id;
+}

@@ -280,6 +280,68 @@ TEST(TraceWorkload, FileSaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TraceWorkload, GeometryHeaderRoundTripAtK12) {
+  // Capture on a k=12 network so record_trace stamps the geometry and
+  // save_trace emits the v2 header; masks at k=12 straddle 64-bit word
+  // boundaries, so this also exercises multi-word serialization through
+  // the capture path (not just hand-built records).
+  NetworkConfig cfg = NetworkConfig::proposed(12);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.02;
+  cfg.traffic.seed = 7;
+  Trace trace;
+  {
+    Network net(cfg);
+    net.record_trace(&trace);
+    Simulation sim(net);
+    sim.run(600);
+  }
+  ASSERT_GT(trace.records.size(), 20u);
+  EXPECT_EQ(trace.kx, 12);
+  EXPECT_EQ(trace.ky, 12);
+
+  const std::string path = ::testing::TempDir() + "noc_trace_v2_k12.txt";
+  ASSERT_TRUE(save_trace(path, trace));
+  std::string err;
+  const auto loaded = load_trace(path, &err);
+  ASSERT_NE(loaded, nullptr) << err;
+  EXPECT_EQ(loaded->kx, 12);
+  EXPECT_EQ(loaded->ky, 12);
+  ASSERT_EQ(loaded->records.size(), trace.records.size());
+  for (size_t i = 0; i < trace.records.size(); ++i)
+    EXPECT_EQ(loaded->records[i], trace.records[i]) << "record " << i;
+
+  // Geometry checks: the stamped trace replays on its own mesh but is
+  // rejected -- with a message naming both geometries -- on a 4x4 one.
+  EXPECT_EQ(trace_geometry_error(*loaded, 12, 12), "");
+  const std::string mismatch = trace_geometry_error(*loaded, 4, 4);
+  EXPECT_NE(mismatch.find("12x12"), std::string::npos) << mismatch;
+  EXPECT_NE(mismatch.find("4x4"), std::string::npos) << mismatch;
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkload, LoadRequiresTraceHeader) {
+  // A headerless file (pre-versioning format) must be rejected with a
+  // diagnostic that says what went wrong, not silently mis-parsed.
+  const std::string path = ::testing::TempDir() + "noc_trace_nohdr.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "100 0 1 1 0\n");
+  std::fclose(f);
+  std::string err;
+  EXPECT_EQ(load_trace(path, &err), nullptr);
+  EXPECT_NE(err.find("not a noc-trace file"), std::string::npos) << err;
+  // v2 header with geometry outside [2, kMaxMeshRadix] is also rejected.
+  f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# noc-trace v2 geometry 99x99\n100 0 1 1 0\n");
+  std::fclose(f);
+  err.clear();
+  EXPECT_EQ(load_trace(path, &err), nullptr);
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
 TEST(TraceWorkload, LargeKMultiWordMaskFileRoundTrip) {
   // k=12 broadcasts carry 144-bit destination masks: the trace text format
   // must round-trip masks wider than one word (they serialize as one big
@@ -326,12 +388,12 @@ TEST(TraceWorkload, LoadRejectsMissingAndMalformedFiles) {
   // must be rejected too, not cast into the simulator.
   f = std::fopen(path.c_str(), "w");
   ASSERT_NE(f, nullptr);
-  std::fprintf(f, "100 0 1 1 7\n");
+  std::fprintf(f, "# noc-trace v1\n100 0 1 1 7\n");
   std::fclose(f);
   EXPECT_EQ(load_trace(path), nullptr);
   f = std::fopen(path.c_str(), "w");
   ASSERT_NE(f, nullptr);
-  std::fprintf(f, "100 0 0 1 0\n");
+  std::fprintf(f, "# noc-trace v1\n100 0 0 1 0\n");
   std::fclose(f);
   EXPECT_EQ(load_trace(path), nullptr);
   std::remove(path.c_str());

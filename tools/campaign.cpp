@@ -1,0 +1,222 @@
+// `campaign`: run / status / gather / clean for campaign manifests
+// (src/campaign/, docs/CAMPAIGN.md).
+//
+//   campaign run    <manifest> [--threads N] [--max-points N] [--quiet]
+//   campaign status <manifest>
+//   campaign gather <manifest> [--out FILE]
+//   campaign clean  <manifest>
+//   campaign emit --grid NAME [--out FILE] [grid options]
+//
+// <manifest> is either a manifest file path or `--grid NAME` for one of the
+// built-in grids (design-space | large-k | trace-ablation | smoke), with
+// grid options --k N, --step-threads N, --short. Results live under
+// --results DIR (default: campaign-results/<campaign-name>).
+//
+// `run` executes only the points without a valid record -- re-running a
+// killed or partially-invalidated campaign resumes where it left off;
+// --max-points N bounds one invocation (the CI smoke job's deterministic
+// "kill"). `gather` merges the records into one google-benchmark-schema
+// report for tools/check_perf_regression.py-style consumers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "campaign/grids.hpp"
+#include "campaign/runner.hpp"
+#include "common/cli.hpp"
+
+using namespace noc;
+using namespace noc::campaign;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s <run|status|gather|clean|emit> [<manifest-file>]\n"
+      "  manifest source: a positional manifest file path, or\n"
+      "    --grid NAME   built-in grid: design-space | large-k |\n"
+      "                  trace-ablation | smoke\n"
+      "    --k N         grid mesh radix (design-space, trace-ablation)\n"
+      "    --step-threads N  intra-network stepping threads (grids)\n"
+      "    --short       CI-sized windows (large-k)\n"
+      "  common:\n"
+      "    --results DIR results root (default campaign-results/<name>)\n"
+      "  run:\n"
+      "    --threads N   point fan-out workers (0 = all cores)\n"
+      "    --max-points N  execute at most N incomplete points\n"
+      "    --quiet       suppress per-point lines\n"
+      "  gather/emit:\n"
+      "    --out FILE    output path (gather: campaign_report.json;\n"
+      "                  emit: stdout manifest path, default <name>.campaign)\n",
+      argv0);
+}
+
+bool build_manifest(const CliArgs& args, const std::string& path,
+                    Manifest* out) {
+  const std::string grid = args.get_str("grid", "");
+  if (!grid.empty()) {
+    const int k = static_cast<int>(args.get_int("k", 4));
+    const int step_threads = cli_step_threads(args);
+    if (grid == "design-space") {
+      *out = design_space_manifest(k, step_threads);
+    } else if (grid == "large-k") {
+      *out = large_k_manifest(args.has("short"), step_threads);
+    } else if (grid == "trace-ablation") {
+      *out = trace_ablation_manifest(k);
+    } else if (grid == "smoke") {
+      *out = smoke_manifest();
+    } else {
+      std::fprintf(stderr,
+                   "unknown grid '%s' (valid: design-space large-k "
+                   "trace-ablation smoke)\n",
+                   grid.c_str());
+      return false;
+    }
+    return true;
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "no manifest: pass a manifest file or --grid NAME\n");
+    return false;
+  }
+  std::string err;
+  auto m = load_manifest(path, &err);
+  if (m == nullptr) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return false;
+  }
+  *out = *m;
+  return true;
+}
+
+int cmd_run(const Manifest& m, const ResultStore& store,
+            const CliArgs& args) {
+  RunOptions opt;
+  opt.threads = static_cast<int>(args.get_int("threads", 0));
+  opt.max_points = static_cast<int>(args.get_int("max-points", -1));
+  opt.verbose = !args.has("quiet");
+  if (!args.check_unused()) return 1;
+  std::printf("campaign '%s': %zu points -> %s\n", m.name.c_str(),
+              m.points.size(), store.root().c_str());
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunSummary sum = run_campaign(m, store, opt);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (const std::string& e : sum.errors)
+    std::fprintf(stderr, "error: %s\n", e.c_str());
+  std::printf(
+      "executed %d, skipped %d (already complete), deferred %d, failed %d "
+      "in %.1fs\n",
+      sum.executed, sum.skipped, sum.deferred, sum.failed,
+      std::chrono::duration<double>(t1 - t0).count());
+  if (sum.deferred > 0)
+    std::printf("re-run to continue (deferred points resume where this "
+                "invocation stopped)\n");
+  return sum.ok() ? 0 : 1;
+}
+
+int cmd_status(const Manifest& m, const ResultStore& store,
+               const CliArgs& args) {
+  if (!args.check_unused()) return 1;
+  std::string err;
+  const auto resolved = resolve_manifest(m, &err);
+  if (resolved.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  int complete = 0;
+  for (const ResolvedPoint& r : resolved) {
+    const bool done = store.has_record(r.point->id, r.hash);
+    complete += done ? 1 : 0;
+    std::printf("  %-9s %s  %s (%s)\n", done ? "complete" : "pending",
+                r.hash.c_str(), r.point->id.c_str(),
+                point_kind_name(r.point->kind));
+  }
+  std::printf("campaign '%s': %d/%zu points complete under %s\n",
+              m.name.c_str(), complete, resolved.size(),
+              store.root().c_str());
+  return 0;
+}
+
+int cmd_gather(const Manifest& m, const ResultStore& store,
+               const CliArgs& args) {
+  const std::string out =
+      args.get_str("out", store.root() + "/campaign_report.json");
+  if (!args.check_unused()) return 1;
+  const GatherResult g = gather_campaign(m, store, out);
+  for (const std::string& id : g.missing)
+    std::fprintf(stderr, "missing record: %s\n", id.c_str());
+  if (!g.wrote) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("gathered %d/%zu records into %s\n", g.complete,
+              m.points.size(), out.c_str());
+  return g.missing.empty() ? 0 : 1;
+}
+
+int cmd_clean(const Manifest& m, const ResultStore& store,
+              const CliArgs& args) {
+  if (!args.check_unused()) return 1;
+  const int removed = store.remove_campaign(m);
+  std::printf("removed %d file(s) for campaign '%s' under %s\n", removed,
+              m.name.c_str(), store.root().c_str());
+  return 0;
+}
+
+int cmd_emit(const Manifest& m, const CliArgs& args) {
+  const std::string out = args.get_str("out", m.name + ".campaign");
+  if (!args.check_unused()) return 1;
+  if (!save_manifest(out, m)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu-point manifest '%s' to %s\n", m.points.size(),
+              m.name.c_str(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (argc < 2 || args.help()) {
+    usage(argv[0]);
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string cmd = argv[1];
+  // The first non-flag token after the subcommand is the manifest path
+  // (CliArgs ignores positionals; flag values are consumed by their flag).
+  std::string manifest_path;
+  for (int i = 2; i < argc; ++i) {
+    const bool is_flag = argv[i][0] == '-';
+    if (is_flag) {
+      // Skip this flag's value token ("--name value" form).
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc &&
+          argv[i + 1][0] != '-')
+        ++i;
+      continue;
+    }
+    manifest_path = argv[i];
+    break;
+  }
+
+  Manifest m;
+  if (!build_manifest(args, manifest_path, &m)) return 1;
+  if (std::string err = validate_manifest(m); !err.empty()) {
+    std::fprintf(stderr, "invalid manifest: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (cmd == "emit") return cmd_emit(m, args);
+
+  const ResultStore store(
+      args.get_str("results", "campaign-results/" + m.name));
+  if (cmd == "run") return cmd_run(m, store, args);
+  if (cmd == "status") return cmd_status(m, store, args);
+  if (cmd == "gather") return cmd_gather(m, store, args);
+  if (cmd == "clean") return cmd_clean(m, store, args);
+  std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+  usage(argv[0]);
+  return 1;
+}
