@@ -12,6 +12,9 @@
 #include <array>
 #include <cstdint>
 
+#include "noc/buffers.hpp"
+#include "noc/routing.hpp"
+
 namespace noc {
 
 /// Rotating-priority (round-robin) arbiter over n requesters.
@@ -23,6 +26,11 @@ class RoundRobinArbiter {
   /// starting the search after the previous winner. Returns the winner
   /// index, or -1 if no requests. Advances the pointer on a grant.
   int arbitrate(uint32_t requests);
+  /// mSA-I request vector straight from the router's per-VC eligibility
+  /// mask (kMaxTotalVcs <= 32, so word 0 is the whole vector).
+  int arbitrate(const VcMask& requests) {
+    return arbitrate(static_cast<uint32_t>(requests.word(0)));
+  }
 
   /// Inspect without state change.
   int peek(uint32_t requests) const;
@@ -48,6 +56,10 @@ class MatrixArbiter {
 
   /// Grant one requester from the bitmask, or -1. Updates the matrix.
   int arbitrate(uint32_t requests);
+  /// mSA-II input-port request vector from a per-port mask.
+  int arbitrate(const PortMask& requests) {
+    return arbitrate(static_cast<uint32_t>(requests.word(0)));
+  }
 
   int peek(uint32_t requests) const;
 

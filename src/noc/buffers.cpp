@@ -73,15 +73,29 @@ void DownstreamState::configure(const VcConfig& cfg) {
   for (auto& per_mc : free_vcs_)
     for (auto& q : per_mc) q.clear();
   next_stamp_ = 0;
-  free_mask_ = 0;
+  free_ = VcMask{};
+  credit_ = VcMask{};
+  for (int m = 0; m < kNumMsgClasses; ++m) {
+    class_member_[m] = VcMask{};
+    for (int l = 0; l < kNumVcLanes; ++l) {
+      member_[m][l] = VcMask{};
+      lane_credit_sum_[m][l] = 0;
+    }
+  }
   // Ascending VC id with ascending stamps: the lane-Any merge order starts
   // out as plain id order, exactly the pre-lane single queue.
   for (int vc = 0; vc < cfg.total_vcs(); ++vc) {
+    const int m = static_cast<int>(cfg.mc_of_vc(vc));
+    const int l = static_cast<int>(cfg.lane_of_vc(vc));
+    mc_of_[vc] = static_cast<int8_t>(m);
+    lane_of_[vc] = static_cast<int8_t>(l);
     credits_[static_cast<size_t>(vc)] = cfg.depth_of_vc(vc);
-    free_vcs_[static_cast<int>(cfg.mc_of_vc(vc))]
-             [static_cast<int>(cfg.lane_of_vc(vc))]
-                 .push_back({static_cast<int8_t>(vc), next_stamp_++});
-    free_mask_ |= uint32_t{1} << vc;
+    free_vcs_[m][l].push_back({static_cast<int8_t>(vc), next_stamp_++});
+    free_.set(vc);
+    credit_.set(vc);
+    member_[m][l].set(vc);
+    class_member_[m].set(vc);
+    lane_credit_sum_[m][l] += cfg.depth_of_vc(vc);
   }
 }
 
@@ -99,50 +113,34 @@ int DownstreamState::allocate_vc(MsgClass mc, VcLane lane) {
   }
   if (q->empty()) return -1;
   const int vc = q->pop_front().vc;
-  free_mask_ &= ~(uint32_t{1} << vc);
+  free_.clear(vc);
   return vc;
 }
 
 void DownstreamState::release_vc(int vc) {
   NOC_EXPECTS(vc >= 0 && vc < cfg_.total_vcs());
-  NOC_ASSERT((free_mask_ & (uint32_t{1} << vc)) == 0);
-  free_vcs_[static_cast<int>(cfg_.mc_of_vc(vc))]
-           [static_cast<int>(cfg_.lane_of_vc(vc))]
-               .push_back({static_cast<int8_t>(vc), next_stamp_++});
-  free_mask_ |= uint32_t{1} << vc;
+  NOC_ASSERT(!free_.test(vc));
+  free_vcs_[mc_of_[vc]][lane_of_[vc]].push_back(
+      {static_cast<int8_t>(vc), next_stamp_++});
+  free_.set(vc);
 }
 
-bool DownstreamState::has_free_vc(MsgClass mc, VcLane lane) const {
+VcMask DownstreamState::lane_members(MsgClass mc, VcLane lane) const {
   const int m = static_cast<int>(mc);
-  if (lane == VcLane::Any)
-    return !free_vcs_[m][0].empty() || !free_vcs_[m][1].empty();
-  return !free_vcs_[m][static_cast<int>(lane)].empty();
-}
-
-int DownstreamState::free_vc_count(MsgClass mc, VcLane lane) const {
-  const int m = static_cast<int>(mc);
-  if (lane == VcLane::Any)
-    return free_vcs_[m][0].size() + free_vcs_[m][1].size();
-  return free_vcs_[m][static_cast<int>(lane)].size();
-}
-
-int DownstreamState::lane_credits(MsgClass mc, VcLane lane) const {
-  int total = 0;
-  const int base = cfg_.vc_base(mc);
-  const int end = base + cfg_.vcs_per_mc[static_cast<int>(mc)];
-  for (int vc = base; vc < end; ++vc)
-    if (lane == VcLane::Any || cfg_.lane_of_vc(vc) == lane)
-      total += credits_[static_cast<size_t>(vc)];
-  return total;
+  if (lane == VcLane::Any) return class_member_[m];
+  return member_[m][static_cast<int>(lane)];
 }
 
 void DownstreamState::consume_credit(int vc) {
   NOC_EXPECTS(credits_[static_cast<size_t>(vc)] > 0);
-  --credits_[static_cast<size_t>(vc)];
+  if (--credits_[static_cast<size_t>(vc)] == 0) credit_.clear(vc);
+  --lane_credit_sum_[mc_of_[vc]][lane_of_[vc]];
 }
 
 void DownstreamState::return_credit(int vc) {
   ++credits_[static_cast<size_t>(vc)];
+  credit_.set(vc);
+  ++lane_credit_sum_[mc_of_[vc]][lane_of_[vc]];
   NOC_ENSURES(credits_[static_cast<size_t>(vc)] <= cfg_.depth_of_vc(vc));
 }
 

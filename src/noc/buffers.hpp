@@ -13,9 +13,11 @@
 // (docs/PERF.md).
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "common/assert.hpp"
+#include "common/bit_mask.hpp"
 #include "common/inline_vec.hpp"
 #include "common/ring_buffer.hpp"
 #include "noc/flit.hpp"
@@ -27,6 +29,18 @@ namespace noc {
 /// 1 and 3 over 6 VCs; the bounds leave headroom for ablation configs.
 constexpr int kMaxVcDepth = 8;
 constexpr int kMaxTotalVcs = 16;
+
+/// One bit per VC id of a single port (downstream free/credit sets, SA-I
+/// eligibility vectors). kMaxTotalVcs <= 32 so the arbiters can consume
+/// word 0 directly.
+using VcMask = BitMask<kMaxTotalVcs>;
+static_assert(kMaxTotalVcs <= 32, "arbiters consume VcMask as one word");
+
+/// One bit per (input port, VC id) pair of a whole router, laid out
+/// structure-of-arrays: bit p * kMaxTotalVcs + v. The router's busy-VC set
+/// lives in one of these, so "which ports hold work" and "how many VCs are
+/// busy" are word ops instead of 5x16 object walks (docs/PERF.md Layer 5).
+using VcSetMask = BitMask<kNumPorts * kMaxTotalVcs>;
 
 /// VC lanes partition each message class's VCs for route-class isolation
 /// (noc/route_policy.hpp, docs/ROUTING.md): lane Ordered carries only
@@ -174,17 +188,39 @@ class DownstreamState {
   /// A vc_free credit arrived: the downstream VC finished its packet.
   void release_vc(int vc);
 
-  bool has_free_vc(MsgClass mc, VcLane lane = VcLane::Any) const;
-  int free_vc_count(MsgClass mc, VcLane lane = VcLane::Any) const;
+  bool has_free_vc(MsgClass mc, VcLane lane = VcLane::Any) const {
+    return (free_.word(0) & member_word(mc, lane)) != 0;
+  }
+  int free_vc_count(MsgClass mc, VcLane lane = VcLane::Any) const {
+    return std::popcount(free_.word(0) & member_word(mc, lane));
+  }
 
   /// Buffer credits currently available across `lane`'s VCs of `mc`, free
   /// or allocated -- the downstream-occupancy signal the MinimalAdaptive
-  /// policy scores productive ports by.
-  int lane_credits(MsgClass mc, VcLane lane) const;
+  /// policy scores productive ports by. Maintained incrementally (one add
+  /// per consume/return), not recomputed per query.
+  int lane_credits(MsgClass mc, VcLane lane) const {
+    const int m = static_cast<int>(mc);
+    if (lane == VcLane::Any)
+      return lane_credit_sum_[m][0] + lane_credit_sum_[m][1];
+    return lane_credit_sum_[m][static_cast<int>(lane)];
+  }
 
   int credits(int vc) const { return credits_[static_cast<size_t>(vc)]; }
+  /// Mask-backed credits(vc) > 0: the hot predicate of serviceable_seq /
+  /// the SA-II request build (bit v of credit_mask() tracks exactly
+  /// credits(v) > 0; consume/return keep it in sync).
+  bool has_credit(int vc) const { return credit_.test(vc); }
   void consume_credit(int vc);
   void return_credit(int vc);
+
+  /// Incrementally-maintained availability masks (exposed so the
+  /// randomized cross-checks in tests/test_bit_mask.cpp can diff them
+  /// against a from-scratch recompute).
+  VcMask free_mask() const { return free_; }
+  VcMask credit_mask() const { return credit_; }
+  /// Static per-(mc, lane) VC membership, fixed at configure().
+  VcMask lane_members(MsgClass mc, VcLane lane) const;
 
   const VcConfig& config() const { return cfg_; }
 
@@ -196,14 +232,36 @@ class DownstreamState {
     uint64_t stamp = 0;
   };
 
+  /// Word-0 view of the (mc, lane) membership mask; lane Any spans both
+  /// lanes of the class.
+  uint64_t member_word(MsgClass mc, VcLane lane) const {
+    const int m = static_cast<int>(mc);
+    if (lane == VcLane::Any) return class_member_[m].word(0);
+    return member_[m][static_cast<int>(lane)].word(0);
+  }
+
   VcConfig cfg_;
   std::array<int, kMaxTotalVcs> credits_{};
-  /// Per-(message class, lane) FIFO free-VC queues (allocation order
-  /// matters for determinism) plus a membership bitmask for O(1)
-  /// duplicate-release checking.
+  /// Per-(message class, lane) FIFO free-VC queues: the masks answer the
+  /// availability predicates, but allocation ORDER comes from these rings
+  /// (least-recently-freed; lane-Any merges the two rings by stamp), which
+  /// is what keeps VC allocation bit-identical across gating/threading
+  /// modes.
   RingBuffer<FreeVc, kMaxTotalVcs> free_vcs_[kNumMsgClasses][kNumVcLanes];
   uint64_t next_stamp_ = 0;
-  uint32_t free_mask_ = 0;
+  /// SoA availability state (docs/PERF.md Layer 5): bit v of free_ <=> VC v
+  /// is in some free ring; bit v of credit_ <=> credits_[v] > 0;
+  /// member_/class_member_ are the static lane/class partitions; the lane
+  /// credit sums mirror sum(credits_ over lane members).
+  VcMask free_;
+  VcMask credit_;
+  VcMask member_[kNumMsgClasses][kNumVcLanes];
+  VcMask class_member_[kNumMsgClasses];
+  int lane_credit_sum_[kNumMsgClasses][kNumVcLanes] = {};
+  /// mc/lane of each VC id, precomputed at configure() (consume/return use
+  /// them every credit event).
+  int8_t mc_of_[kMaxTotalVcs] = {};
+  int8_t lane_of_[kMaxTotalVcs] = {};
 };
 
 }  // namespace noc

@@ -39,10 +39,12 @@ NetworkConfig NetworkConfig::baseline_4stage(int k) {
 }
 
 template <typename T>
-Channel<T>* Network::make_channel(
-    std::vector<std::unique_ptr<Channel<T>>>& pool, int latency) {
-  pool.push_back(std::make_unique<Channel<T>>(latency));
-  return pool.back().get();
+Channel<T>* Network::make_channel(std::vector<Channel<T>>& pool, int latency) {
+  // The constructor reserved the exact pool size up front; growing past it
+  // would reallocate and dangle every pointer already wired in.
+  NOC_ASSERT(pool.size() < pool.capacity());
+  pool.emplace_back(latency);
+  return &pool.back();
 }
 
 Network::Network(const NetworkConfig& cfg)
@@ -108,6 +110,15 @@ Network::Network(const NetworkConfig& cfg)
   const bool bypass = cfg.router.has_bypass();
   const bool gated = cfg.activity_gating;
 
+  // Exact pool sizes (pointer stability: see make_channel). Per undirected
+  // mesh edge: one flit/credit/lookahead channel per direction; per node:
+  // NIC flit + credit channels both ways, lookahead toward the router only.
+  const int n_edges =
+      (geom_.kx() - 1) * geom_.ky() + geom_.kx() * (geom_.ky() - 1);
+  flit_channels_.reserve(static_cast<size_t>(2 * n_edges + 2 * n));
+  credit_channels_.reserve(static_cast<size_t>(2 * n_edges + 2 * n));
+  if (bypass) la_channels_.reserve(static_cast<size_t>(2 * n_edges + n));
+
   // Router-to-router wiring. Each undirected edge gets one channel of each
   // kind per direction. We visit each edge once (East and North neighbors).
   // With gating, each channel learns which component its arrivals must wake;
@@ -121,6 +132,22 @@ Network::Network(const NetworkConfig& cfg)
   };
   auto router_wake = [&](NodeId r) {
     return gated ? WakeHook{router_mask(r), r} : WakeHook{};
+  };
+  // Per-port wake refinement (docs/PERF.md Layer 5): a channel toward
+  // router r arrives at exactly one input port, so its hook also ORs that
+  // port's bit into r's wake word -- the ticking router then sweeps only
+  // ports with work. Channels fire during the receiver-owned channel sweep
+  // (or the same node's inject phase for the latency-0 NIC lookahead), both
+  // before the router pass, so the bits are complete when r ticks; in
+  // parallel mode the channel and the word share r's span, so the raw-word
+  // OR stays worker-local.
+  auto router_port_wake = [&](NodeId r, PortDir in_at_r) {
+    WakeHook h = router_wake(r);
+    if (gated && cfg.router.port_gating) {
+      h.port_word = routers_[static_cast<size_t>(r)]->arm_port_wake();
+      h.port_bits = uint64_t{1} << port_index(in_at_r);
+    }
+    return h;
   };
   auto wire_edge = [&](NodeId a, PortDir a_out, NodeId b) {
     const PortDir b_out = opposite(a_out);
@@ -138,12 +165,12 @@ Network::Network(const NetworkConfig& cfg)
       la_ep_.push_back({a, b});
       la_ep_.push_back({b, a});
     }
-    f_ab->set_wake_target(router_wake(b));
-    f_ba->set_wake_target(router_wake(a));
-    c_ab->set_wake_target(router_wake(b));
-    c_ba->set_wake_target(router_wake(a));
-    if (l_ab != nullptr) l_ab->set_wake_target(router_wake(b));
-    if (l_ba != nullptr) l_ba->set_wake_target(router_wake(a));
+    f_ab->set_wake_target(router_port_wake(b, b_out));
+    f_ba->set_wake_target(router_port_wake(a, a_out));
+    c_ab->set_wake_target(router_port_wake(b, b_out));
+    c_ba->set_wake_target(router_port_wake(a, a_out));
+    if (l_ab != nullptr) l_ab->set_wake_target(router_port_wake(b, b_out));
+    if (l_ba != nullptr) l_ba->set_wake_target(router_port_wake(a, a_out));
 
     Router::PortChannels pa;  // router a, port a_out
     pa.flit_out = f_ab;
@@ -198,13 +225,14 @@ Network::Network(const NetworkConfig& cfg)
     credit_ep_.push_back({node, node});
     if (bypass) la_ep_.push_back({node, node});
     if (gated) {
-      f_nr->set_wake_target(router_wake(node));
+      f_nr->set_wake_target(router_port_wake(node, PortDir::Local));
       f_rn->set_wake_target({eject_mask(node), node});
       c_rn->set_wake_target({inject_mask(node), node});
-      c_nr->set_wake_target(router_wake(node));
+      c_nr->set_wake_target(router_port_wake(node, PortDir::Local));
       // Latency 0: the wake fires at send time, during the NIC injection
       // phase, so the router sees the lookahead the same cycle.
-      if (l_nr != nullptr) l_nr->set_wake_target(router_wake(node));
+      if (l_nr != nullptr)
+        l_nr->set_wake_target(router_port_wake(node, PortDir::Local));
     }
 
     Router::PortChannels pl;
@@ -279,15 +307,15 @@ void Network::setup_activity() {
   };
   int id = 0;
   for (size_t i = 0; i < flit_channels_.size(); ++i, ++id)
-    install(*flit_channels_[i], flit_ep_[i], id,
+    install(flit_channels_[i], flit_ep_[i], id,
             [](StepSpan& sp) -> auto& { return sp.cross_flit; });
   credit_id_base_ = id;
   for (size_t i = 0; i < credit_channels_.size(); ++i, ++id)
-    install(*credit_channels_[i], credit_ep_[i], id,
+    install(credit_channels_[i], credit_ep_[i], id,
             [](StepSpan& sp) -> auto& { return sp.cross_credit; });
   la_id_base_ = id;
   for (size_t i = 0; i < la_channels_.size(); ++i, ++id)
-    install(*la_channels_[i], la_ep_[i], id,
+    install(la_channels_[i], la_ep_[i], id,
             [](StepSpan& sp) -> auto& { return sp.cross_la; });
 
   inject_wake_at_.assign(static_cast<size_t>(n), kCycleNever);
@@ -324,9 +352,9 @@ void Network::step(Cycle now) {
 }
 
 void Network::step_full(Cycle now) {
-  for (auto& ch : flit_channels_) ch->begin_cycle(now);
-  for (auto& ch : credit_channels_) ch->begin_cycle(now);
-  for (auto& ch : la_channels_) ch->begin_cycle(now);
+  for (auto& ch : flit_channels_) ch.begin_cycle(now);
+  for (auto& ch : credit_channels_) ch.begin_cycle(now);
+  for (auto& ch : la_channels_) ch.begin_cycle(now);
   for (auto& nic : nics_) nic->tick_inject(now);
   for (auto& r : routers_) r->tick(now);
   for (auto& nic : nics_) nic->tick_eject(now);
@@ -396,16 +424,16 @@ void Network::step_gated(Cycle now) {
 
 bool Network::begin_channel(int id, Cycle now) {
   if (id < credit_id_base_) {
-    auto& ch = *flit_channels_[static_cast<size_t>(id)];
+    auto& ch = flit_channels_[static_cast<size_t>(id)];
     ch.begin_cycle(now);
     return ch.stored() > 0;
   }
   if (id < la_id_base_) {
-    auto& ch = *credit_channels_[static_cast<size_t>(id - credit_id_base_)];
+    auto& ch = credit_channels_[static_cast<size_t>(id - credit_id_base_)];
     ch.begin_cycle(now);
     return ch.stored() > 0;
   }
-  auto& ch = *la_channels_[static_cast<size_t>(id - la_id_base_)];
+  auto& ch = la_channels_[static_cast<size_t>(id - la_id_base_)];
   ch.begin_cycle(now);
   return ch.stored() > 0;
 }

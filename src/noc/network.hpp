@@ -176,8 +176,7 @@ class Network : public Steppable {
   };
 
   template <typename T>
-  Channel<T>* make_channel(std::vector<std::unique_ptr<Channel<T>>>& pool,
-                           int latency);
+  Channel<T>* make_channel(std::vector<Channel<T>>& pool, int latency);
 
   void setup_activity();
   void step_full(Cycle now);
@@ -203,9 +202,14 @@ class Network : public Steppable {
   Metrics metrics_;
   EnergyCounters energy_;
 
-  std::vector<std::unique_ptr<Channel<Flit>>> flit_channels_;
-  std::vector<std::unique_ptr<Channel<Credit>>> credit_channels_;
-  std::vector<std::unique_ptr<Channel<Lookahead>>> la_channels_;
+  // Contiguous channel pools (docs/PERF.md Layer 5): the gated per-cycle
+  // sweep touches most channels at saturation, so keeping the Channel
+  // objects themselves in one array (instead of heap-scattered unique_ptrs)
+  // makes that walk cache-friendly. Capacity is reserved exactly in the
+  // constructor before wiring -- handed-out pointers stay stable.
+  std::vector<Channel<Flit>> flit_channels_;
+  std::vector<Channel<Credit>> credit_channels_;
+  std::vector<Channel<Lookahead>> la_channels_;
   // (sender, receiver) node per channel, in pool order: span ownership and
   // boundary classification are derived from these in setup_activity.
   std::vector<std::pair<NodeId, NodeId>> flit_ep_;

@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <climits>
 
 namespace noc {
@@ -32,14 +33,39 @@ void Router::connect(PortDir port, const PortChannels& ch) {
 }
 
 bool Router::idle() const {
-  for (const auto& ip : in_) {
+  // busy_ covers every buffered flit: a VC's FIFO is only non-empty while
+  // its packet holds the VC (push requires busy, close requires empty).
+  if (busy_.any()) return false;
+  for (const auto& ip : in_)
     if (ip.st.valid || ip.bypass.valid || ip.stage2_vc >= 0) return false;
-    for (const auto& vc : ip.vcs)
-      if (vc.busy() || !vc.empty()) return false;
-  }
   for (const auto& op : out_)
     if (op.lt.has_value()) return false;
   return true;
+}
+
+PortMask Router::internal_work_ports() const {
+  // Collapse each port's 16-bit busy slice to one bit straight off the
+  // words (the generic extract() straddle logic is overkill for the fixed
+  // vc_bit layout), then consult the latch state only for non-busy ports --
+  // at saturation most ports are busy, skipping all ten struct loads.
+  static_assert(kMaxTotalVcs == 16 && kNumPorts == 5,
+                "slice constants below assume the vc_bit layout");
+  const uint64_t w0 = busy_.word(0);
+  uint64_t bits = 0;
+  if ((w0 & 0x000000000000FFFFull) != 0) bits |= 1u << 0;
+  if ((w0 & 0x00000000FFFF0000ull) != 0) bits |= 1u << 1;
+  if ((w0 & 0x0000FFFF00000000ull) != 0) bits |= 1u << 2;
+  if ((w0 & 0xFFFF000000000000ull) != 0) bits |= 1u << 3;
+  if ((busy_.word(1) & 0xFFFFull) != 0) bits |= 1u << 4;
+  PortMask m(bits);
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (m.test(p)) continue;
+    const auto& ip = in_[static_cast<size_t>(p)];
+    if (ip.st.valid || ip.bypass.valid || ip.stage2_vc >= 0 ||
+        out_[static_cast<size_t>(p)].lt.has_value())
+      m.set(p);
+  }
+  return m;
 }
 
 void Router::dump_state(FILE* out) const {
@@ -73,20 +99,32 @@ void Router::dump_state(FILE* out) const {
 }
 
 void Router::tick(Cycle now) {
-  apply_credits(now);
-  phase_st_and_bw(now);
-  phase_sa2(now);
-  phase_sa1_va(now);
-  if (energy_) {
-    for (const auto& ip : in_)
-      for (const auto& vc : ip.vcs)
-        if (vc.busy()) ++energy_->vc_active_cycles;
+  // Port-gated sweep set: carried-over work plus this cycle's deliveries.
+  // Every phase below only ever ACTS on a port in this set -- an excluded
+  // port has no arrivals (its channels' wake hooks would have set its bit),
+  // no latched state, and no busy VC, so each phase's body is a no-op for
+  // it. Skipping is therefore pure scheduling; per-policy equivalence
+  // tests pin the bit-identity (tests/test_gating_equivalence.cpp).
+  PortMask active = PortMask::first_n(kNumPorts);
+  if (port_wake_armed_) {
+    active = internal_work_ports();
+    active |= wake_ports_;
+    // All wakes for this cycle fired before the router pass (channel sweep
+    // and latency-0 NIC lookaheads during injection), so the snapshot is
+    // complete and the bits can be retired now.
+    wake_ports_.clear_all();
   }
+  apply_credits(now, active);
+  phase_st_and_bw(now, active);
+  phase_sa2(now, active);
+  phase_sa1_va(now, active);
+  if (energy_) energy_->vc_active_cycles += busy_.count();
 }
 
-void Router::apply_credits(Cycle) {
+void Router::apply_credits(Cycle, const PortMask& active) {
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
+    if (!active.test(p)) continue;
     if (!ip.connected || ip.ch.credit_in == nullptr) continue;
     for (const Credit& c : ip.ch.credit_in->arrivals()) {
       auto& ds = out_[static_cast<size_t>(p)].ds;
@@ -163,9 +201,10 @@ RouteClass Router::downstream_rc(const Flit& f, const GrantOut& go) const {
 void Router::open_packet_state(int port, const Flit& head) {
   NOC_EXPECTS(is_head(head.type));
   const RouteSet rs = route_head(head);
-  BranchList branches;
+  BranchList& branches = open_branches_;  // persistent scratch, see router.hpp
+  branches.clear();
   for (int o = 0; o < kNumPorts; ++o) {
-    const DestMask m = rs.port_dests[static_cast<size_t>(o)];
+    const DestMask& m = rs.port_dests[static_cast<size_t>(o)];
     if (m.none()) continue;
     Branch b;
     b.out = port_dir(o);
@@ -176,6 +215,7 @@ void Router::open_packet_state(int port, const Flit& head) {
   if (!cfg_.multicast) NOC_ASSERT(branches.size() == 1);
   in_[static_cast<size_t>(port)].vcs[static_cast<size_t>(head.vc)].open_packet(
       head, branches);
+  busy_.set(vc_bit(port, head.vc));
 }
 
 void Router::forward_copy(Cycle now, const Flit& f, const GrantOut& go) {
@@ -207,9 +247,9 @@ void Router::send_lookahead(Cycle now, const Flit& f, const GrantOut& go) {
   if (!cfg_.has_bypass() || go.out == PortDir::Local) return;
   auto* la_ch = in_[static_cast<size_t>(port_index(go.out))].ch.la_out;
   if (la_ch == nullptr) return;
-  Lookahead la;
-  la.in_port = port_index(opposite(go.out));
-  la.flit = f;
+  // Aggregate-init so the flit is copy-constructed from f directly rather
+  // than default-constructed and then overwritten.
+  Lookahead la{port_index(opposite(go.out)), f};
   la.flit.branch_mask = go.dests;
   la.flit.vc = go.ds_vc;
   la.flit.rc = downstream_rc(f, go);
@@ -232,7 +272,7 @@ int Router::serviceable_seq(const InputVc& ivc) const {
   for (const auto& b : ivc.branches()) {
     if (b.tail_sent || b.ds_vc < 0) continue;
     if (!ivc.has_seq(b.next_seq)) continue;
-    if (out_[static_cast<size_t>(port_index(b.out))].ds.credits(b.ds_vc) <= 0)
+    if (!out_[static_cast<size_t>(port_index(b.out))].ds.has_credit(b.ds_vc))
       continue;
     s = std::min(s, b.next_seq);
   }
@@ -260,14 +300,18 @@ void Router::retire_sent_flits(Cycle now, int port, int vc) {
     const bool last = is_tail(f.type) && ivc.all_branches_done();
     send_credit_upstream(now, port, vc, last);
   }
-  if (ivc.empty() && ivc.all_branches_done()) ivc.close_packet();
+  if (ivc.empty() && ivc.all_branches_done()) {
+    ivc.close_packet();
+    busy_.clear(vc_bit(port, vc));
+  }
 }
 
-void Router::phase_st_and_bw(Cycle now) {
+void Router::phase_st_and_bw(Cycle now, const PortMask& active) {
   // LT stage of the FourStage pipeline: drain last cycle's ST results.
   if (cfg_.pipeline == PipelineMode::FourStage) {
     for (int o = 0; o < kNumPorts; ++o) {
       auto& op = out_[static_cast<size_t>(o)];
+      if (!active.test(o)) continue;  // pending LT implies membership
       if (!op.lt.has_value()) continue;
       auto* ch = in_[static_cast<size_t>(o)].ch.flit_out;
       NOC_ASSERT(ch != nullptr);
@@ -289,19 +333,24 @@ void Router::phase_st_and_bw(Cycle now) {
   // the credit protocol sizes occupancy assuming exactly this.
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
-    if (!ip.st.valid) continue;
+    if (!active.test(p) || !ip.st.valid) continue;
     const int vcid = ip.st.vc;
     auto& ivc = ip.vcs[static_cast<size_t>(vcid)];
-    const Flit f = ivc.flit_at_seq(ip.st.seq);
+    // Safe to borrow: forward_copy only sends downstream, and the pops in
+    // retire_sent_flits happen after the loop.
+    const Flit& f = ivc.flit_at_seq(ip.st.seq);
     if (energy_) ++energy_->buffer_reads;
     for (const auto& go : ip.st.outs) forward_copy(now, f, go);
-    ip.st = StLatch{};
+    ip.st.valid = false;  // in-place: a fresh StLatch would re-run the
+    ip.st.outs.clear();   // GrantList constructors (see granted_scratch_)
     retire_sent_flits(now, p, vcid);
   }
 
-  // Arriving flits: bypass or buffer-write.
+  // Arriving flits: bypass or buffer-write. A skipped port has no arrival
+  // (the flit channel's wake hook carries this port's bit).
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
+    if (!active.test(p)) continue;
     if (!ip.connected || ip.ch.flit_in == nullptr) continue;
     const auto& arrivals = ip.ch.flit_in->arrivals();
     NOC_ASSERT(arrivals.size() <= 1);  // one flit per link per cycle
@@ -321,7 +370,10 @@ void Router::phase_st_and_bw(Cycle now) {
         if (energy_) ++energy_->bypasses;
         const bool last = is_tail(f.type) && ivc.all_branches_done();
         send_credit_upstream(now, p, f.vc, last);
-        if (ivc.empty() && ivc.all_branches_done()) ivc.close_packet();
+        if (ivc.empty() && ivc.all_branches_done()) {
+          ivc.close_packet();
+          busy_.clear(vc_bit(p, f.vc));
+        }
       } else {
         // Partial bypass: the flit stays buffered for the remaining branches.
         if (energy_) {
@@ -330,7 +382,8 @@ void Router::phase_st_and_bw(Cycle now) {
         }
         ivc.push(f);
       }
-      ip.bypass = BypassGrant{};
+      ip.bypass.valid = false;
+      ip.bypass.outs.clear();
       continue;
     }
 
@@ -346,22 +399,22 @@ void Router::phase_st_and_bw(Cycle now) {
   }
 }
 
-void Router::phase_sa2(Cycle now) {
+void Router::phase_sa2(Cycle now, const PortMask& active) {
   std::array<bool, kNumPorts> out_claimed{};
   std::array<bool, kNumPorts> in_claimed{};
 
   if (cfg_.has_bypass() && cfg_.lookahead_priority) {
-    process_lookaheads(now, out_claimed, in_claimed);
+    process_lookaheads(now, active, out_claimed, in_claimed);
     arbitrate_buffered(now, out_claimed, in_claimed);
   } else if (cfg_.has_bypass()) {
     arbitrate_buffered(now, out_claimed, in_claimed);
-    process_lookaheads(now, out_claimed, in_claimed);
+    process_lookaheads(now, active, out_claimed, in_claimed);
   } else {
     arbitrate_buffered(now, out_claimed, in_claimed);
   }
 }
 
-void Router::process_lookaheads(Cycle now,
+void Router::process_lookaheads(Cycle now, const PortMask& active,
                                 std::array<bool, kNumPorts>& out_claimed,
                                 std::array<bool, kNumPorts>& in_claimed) {
   // Rotating priority across input ports keeps lookahead-vs-lookahead
@@ -372,8 +425,14 @@ void Router::process_lookaheads(Cycle now,
   const int rot = static_cast<int>(now % kNumPorts);
 
   for (int off = 0; off < kNumPorts; ++off) {
-    const int p = (rot + off) % kNumPorts;
+    // rot + off < 2 * kNumPorts, so one conditional subtract replaces the
+    // per-iteration modulo (kNumPorts is not a power of two).
+    int p = rot + off;
+    if (p >= kNumPorts) p -= kNumPorts;
     auto& ip = in_[static_cast<size_t>(p)];
+    // A skipped port has no lookahead arrival; the relative rotation order
+    // among ports that DO is unchanged, so arbitration is unaffected.
+    if (!active.test(p)) continue;
     if (!ip.connected || ip.ch.la_in == nullptr) continue;
     for (const Lookahead& la : ip.ch.la_in->arrivals()) {
       NOC_ASSERT(la.in_port == p);
@@ -391,8 +450,10 @@ void Router::process_lookaheads(Cycle now,
       if (ivc.current_seq() != la.flit.seq) continue;
 
       // Which branches can be granted right now?
-      InlineVec<Branch*, kNumPorts> want;
-      GrantList grantable;
+      auto& want = la_want_;
+      auto& grantable = la_grantable_;
+      want.clear();
+      grantable.clear();
       for (auto& b : ivc.branches()) {
         if (b.tail_sent || b.next_seq != la.flit.seq) continue;
         want.push_back(&b);
@@ -405,7 +466,7 @@ void Router::process_lookaheads(Cycle now,
         // stays on the buffered path, where VA re-aims every retry.
         if (vc < 0 && !ds.has_free_vc(la.flit.mc, branch_lane(ivc.rc(), b.out)))
           continue;
-        if (vc >= 0 && ds.credits(vc) <= 0) continue;
+        if (vc >= 0 && !ds.has_credit(vc)) continue;
         grantable.push_back(GrantOut{b.out, vc, b.dests});
       }
       if (grantable.empty()) continue;
@@ -416,8 +477,11 @@ void Router::process_lookaheads(Cycle now,
       // hold-and-wait deadlock that atomic VA exists to prevent.
       if (!full && la.flit.packet_len > 1 && want.size() > 1) continue;
 
-      // Commit the grant.
-      BypassGrant grant;
+      // Commit the grant, built in place (the latch is always invalid by
+      // the time phase_sa2 runs: phase_st_and_bw consumed any prior grant).
+      NOC_ASSERT(!ip.bypass.valid);
+      BypassGrant& grant = ip.bypass;
+      grant.outs.clear();
       grant.valid = true;
       grant.vc = la.flit.vc;
       grant.seq = la.flit.seq;
@@ -442,7 +506,6 @@ void Router::process_lookaheads(Cycle now,
         grant.outs.push_back(go);
       }
       in_claimed[static_cast<size_t>(p)] = true;
-      ip.bypass = grant;
     }
   }
 }
@@ -457,6 +520,13 @@ void Router::arbitrate_buffered(Cycle now,
     int seq = 0;
   };
   std::array<Cand, kNumPorts> cand{};
+  // Transposed request build (docs/PERF.md Layer 5): one branch walk per
+  // candidate input scatters its requests into per-output PortMask rows,
+  // replacing the old output-major 5x5 rescan of every input's branch
+  // list. No credit state changes between here and the output loop below
+  // (grants only consume in the commit loop), so the rows the output loop
+  // reads match what the rescan would have recomputed.
+  std::array<PortMask, kNumPorts> requests{};  // per output, bit = input
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
     if (in_claimed[static_cast<size_t>(p)] || ip.stage2_vc < 0) continue;
@@ -469,29 +539,24 @@ void Router::arbitrate_buffered(Cycle now,
     const int s = serviceable_seq(ivc);
     if (s == INT_MAX) continue;
     cand[static_cast<size_t>(p)] = Cand{true, ip.stage2_vc, s};
+    for (const auto& b : ivc.branches()) {
+      if (b.tail_sent || b.next_seq != s) continue;
+      if (b.ds_vc < 0) continue;  // VA not yet successful for this branch
+      if (!out_[static_cast<size_t>(port_index(b.out))].ds.has_credit(b.ds_vc))
+        continue;
+      requests[static_cast<size_t>(port_index(b.out))].set(p);
+    }
   }
 
   // Output-port arbitration (mSA-II): matrix arbiter per output.
-  std::array<GrantList, kNumPorts> granted{};  // per input
+  auto& granted = granted_scratch_;  // per input
+  for (auto& g : granted) g.clear();
   for (int o = 0; o < kNumPorts; ++o) {
     if (out_claimed[static_cast<size_t>(o)]) continue;
-    uint32_t requests = 0;
-    for (int p = 0; p < kNumPorts; ++p) {
-      if (!cand[static_cast<size_t>(p)].valid) continue;
-      const auto& ivc = in_[static_cast<size_t>(p)]
-                            .vcs[static_cast<size_t>(cand[static_cast<size_t>(p)].vc)];
-      for (const auto& b : ivc.branches()) {
-        if (b.tail_sent || b.next_seq != cand[static_cast<size_t>(p)].seq)
-          continue;
-        if (port_index(b.out) != o) continue;
-        if (b.ds_vc < 0) continue;  // VA not yet successful for this branch
-        if (out_[static_cast<size_t>(o)].ds.credits(b.ds_vc) <= 0) continue;
-        requests |= uint32_t{1} << p;
-      }
-    }
-    if (requests == 0) continue;
+    if (requests[static_cast<size_t>(o)].none()) continue;
     if (energy_) ++energy_->sa2_arbitrations;
-    const int w = out_[static_cast<size_t>(o)].sa2.arbitrate(requests);
+    const int w =
+        out_[static_cast<size_t>(o)].sa2.arbitrate(requests[static_cast<size_t>(o)]);
     NOC_ASSERT(w >= 0);
     const auto& ivc =
         in_[static_cast<size_t>(w)].vcs[static_cast<size_t>(cand[static_cast<size_t>(w)].vc)];
@@ -513,7 +578,11 @@ void Router::arbitrate_buffered(Cycle now,
       auto& c = cand[static_cast<size_t>(p)];
       auto& ivc = ip.vcs[static_cast<size_t>(c.vc)];
       const Flit& f = ivc.flit_at_seq(c.seq);
-      StLatch st;
+      // Fill the ST latch in place (always invalid here: phase_st_and_bw
+      // consumed any prior grant earlier this tick).
+      NOC_ASSERT(!ip.st.valid);
+      StLatch& st = ip.st;
+      st.outs.clear();
       st.valid = true;
       st.vc = c.vc;
       st.seq = c.seq;
@@ -527,8 +596,6 @@ void Router::arbitrate_buffered(Cycle now,
         send_lookahead(now, f, go);
         st.outs.push_back(go);
       }
-      NOC_ASSERT(!ip.st.valid);
-      ip.st = st;
       in_claimed[static_cast<size_t>(p)] = true;
     }
     // Stage-2 candidate lifetime: a multicast flit that won SOME of its
@@ -553,9 +620,12 @@ void Router::arbitrate_buffered(Cycle now,
   }
 }
 
-void Router::phase_sa1_va(Cycle) {
+void Router::phase_sa1_va(Cycle, const PortMask& active) {
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
+    // A skipped port has stage2_vc < 0 and an empty busy slice, so the scan
+    // below would land on the eligible.none() branch and re-store -1.
+    if (!active.test(p)) continue;
     if (ip.stage2_vc >= 0) {
       // A partially-served multicast is holding stage 2; retry VA for any
       // of its branches that still lack a downstream VC, but do not run
@@ -563,10 +633,13 @@ void Router::phase_sa1_va(Cycle) {
       allocate_branch_vcs(ip.stage2_vc, ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
       continue;
     }
-    uint32_t eligible = 0;
-    for (int v = 0; v < cfg_.vc.total_vcs(); ++v) {
+    // mSA-I scan over the port's busy-VC word: bit iteration is ascending
+    // VC id, the exact order of the old 0..total_vcs object walk.
+    VcMask eligible;
+    for (uint32_t scan = busy_slice(p); scan != 0; scan &= scan - 1) {
+      const int v = std::countr_zero(scan);
       const auto& ivc = ip.vcs[static_cast<size_t>(v)];
-      if (!ivc.busy()) continue;
+      NOC_ASSERT(ivc.busy());
       const int s = ivc.current_seq();
       if (s == INT_MAX) continue;
       // The output-port request is only raised when it is actionable: some
@@ -590,9 +663,9 @@ void Router::phase_sa1_va(Cycle) {
       } else if (!ivc.has_seq(s)) {
         continue;
       }
-      eligible |= uint32_t{1} << v;
+      eligible.set(v);
     }
-    if (eligible == 0) {
+    if (eligible.none()) {
       ip.stage2_vc = -1;
       continue;
     }

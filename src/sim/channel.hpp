@@ -77,18 +77,21 @@ class Channel {
   bool deferred() const { return deferred_; }
 
   /// Send a message during tick `now`; it arrives at `now + latency`.
-  void send(Cycle now, T msg) {
+  /// By const reference: messages here are trivially copyable and copied
+  /// into the slot exactly once (a by-value parameter cost a second copy
+  /// per send on the hot path).
+  void send(Cycle now, const T& msg) {
     if (deferred_) {
-      staging_.push_back(std::move(msg));
+      staging_.push_back(msg);
       return;
     }
-    send_direct(now, std::move(msg));
+    send_direct(now, msg);
   }
 
   /// Replay messages staged by a cross-span sender during tick `now`. Must
   /// run on the owning (receiver-side) worker, after the sender's phase.
   void commit_staged(Cycle now) {
-    for (auto& msg : staging_) send_direct(now, std::move(msg));
+    for (const auto& msg : staging_) send_direct(now, msg);
     staging_.clear();
   }
 
@@ -97,21 +100,27 @@ class Channel {
   /// tick's send target) and exposes this tick's arrivals, waking the
   /// receiver when they are non-empty.
   void begin_cycle(Cycle now) {
-    if (prev_ >= 0 && now != prev_ + 1) {
-      // A gap is only legal while fully drained (activity contract above);
-      // all slots are empty, so there is nothing to recycle.
-      NOC_EXPECTS(stored_ == 0);
-    } else {
-      auto& recycle = slots_[slot_index(now + latency_)];
+    if (prev_ >= 0 && now == prev_ + 1) {
+      // Consecutive tick (the hot path, modulo-free): the ring advances one
+      // slot per cycle, so the slot to recycle -- slot_index(now + latency_)
+      // -- is exactly the slot exposed last tick, i.e. the old cur_.
+      auto& recycle = slots_[cur_];
       if (!recycle.empty()) {
         stored_ -= static_cast<int>(recycle.size());
         if (items_counter_ != nullptr)
           *items_counter_ -= static_cast<int64_t>(recycle.size());
         recycle.clear();
       }
+      ++cur_;
+      if (cur_ == slots_.size()) cur_ = 0;
+    } else {
+      // First call, a gap, or a same-cycle restep. A gap is only legal
+      // while fully drained (activity contract above); all slots are empty,
+      // so there is nothing to recycle.
+      NOC_EXPECTS(prev_ < 0 || stored_ == 0);
+      cur_ = slot_index(now);
     }
     prev_ = now;
-    cur_ = slot_index(now);
     if (!slots_[cur_].empty()) wake_.fire();
   }
 
@@ -143,7 +152,7 @@ class Channel {
     return static_cast<size_t>(c % (latency_ + 1));
   }
 
-  void send_direct(Cycle now, T msg) {
+  void send_direct(Cycle now, const T& msg) {
     if (stored_ == 0 && prev_ != now) {
       // Drained channels may have skipped begin_cycle (activity gating);
       // every slot is empty, so realigning the ring to `now` is safe.
@@ -151,7 +160,11 @@ class Channel {
       cur_ = slot_index(now);
     }
     NOC_ASSERT(prev_ == now);  // active channels are stepped every cycle
-    slots_[slot_index(now + latency_)].push_back(std::move(msg));
+    // cur_ == slot_index(now), so the send target slot_index(now + latency_)
+    // is cur_ + latency_ with a single conditional wrap (latency_ < ring).
+    size_t tgt = cur_ + static_cast<size_t>(latency_);
+    if (tgt >= slots_.size()) tgt -= slots_.size();
+    slots_[tgt].push_back(msg);
     ++stored_;
     if (items_counter_ != nullptr) ++*items_counter_;
     if (latency_ == 0) wake_.fire();

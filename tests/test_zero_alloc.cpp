@@ -232,6 +232,38 @@ TEST(ZeroAlloc, ParallelSteppingUngatedSteadyState) {
   noc::thread_budget::set_total(saved);
 }
 
+TEST(ZeroAlloc, PortGatingSteadyState) {
+  // Per-port gating (docs/PERF.md Layer 5): the wake-port words, the
+  // internal-work mask build and the phase skips are all inline state; the
+  // sparse identical-PRBS regime churns ports on and off every burst.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.port_gating = true;
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.identical_prbs = true;
+  cfg.traffic.offered_flits_per_node_cycle = 0.05;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+  cfg.router.port_gating = false;  // router-level gating only
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, PortGatingParallelSteppingSteadyState) {
+  // The per-port axis under domain-decomposed stepping: wake-port words are
+  // written by channel hooks on the receiver's span, so the threaded
+  // schedule exercises the same inline paths (and must stay heap-free) with
+  // the bits armed.
+  const int saved = noc::thread_budget::total();
+  noc::thread_budget::set_total(8);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.06;
+  cfg.router.port_gating = true;
+  cfg.step_threads = 1;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+  cfg.step_threads = 4;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+  noc::thread_budget::set_total(saved);
+}
+
 TEST(ZeroAlloc, SanityCounterIsLive) {
   // Guard against the override silently not linking: an explicit heap
   // allocation must bump the counter.
