@@ -175,6 +175,42 @@ void BM_Proposed12x12Uniform(benchmark::State& state) {
 }
 BENCHMARK(BM_Proposed12x12Uniform)->Unit(benchmark::kMicrosecond);
 
+/// Degraded-mesh rows (docs/FAULTS.md): uniform 8x8 with Arg dead links
+/// from the seeded planner, killed at cycle 0. Fault-mode adaptive routes
+/// off the surviving escape tree while xy wedges on the dead links, so
+/// these rows are expected slower than their pristine twins and are
+/// exempted from the CI perf gate via --allow-slower 'Degraded'.
+void BM_Degraded8x8Adaptive(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.fault = make_random_fault_plan(MeshGeometry(8), /*seed=*/7,
+                                     static_cast<int>(state.range(0)),
+                                     /*degrades=*/0, /*kill_at=*/0,
+                                     /*revive_after=*/0);
+  run_cycles(state, cfg, 0.10);
+}
+BENCHMARK(BM_Degraded8x8Adaptive)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Degraded8x8XY(benchmark::State& state) {
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.fault = make_random_fault_plan(MeshGeometry(8), /*seed=*/7,
+                                     static_cast<int>(state.range(0)),
+                                     /*degrades=*/0, /*kill_at=*/0,
+                                     /*revive_after=*/0);
+  run_cycles(state, cfg, 0.10);
+}
+BENCHMARK(BM_Degraded8x8XY)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_NetworkConstruction(benchmark::State& state) {
   const auto k = static_cast<int>(state.range(0));
   for (auto _ : state) {

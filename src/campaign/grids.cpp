@@ -74,6 +74,24 @@ Manifest design_space_manifest(int max_k, int step_threads) {
     p.pattern = TrafficPattern::MixedPaper;
     m.points.push_back(p);
   }
+
+  // 5. Fault axis (docs/FAULTS.md): degraded-mesh measure points, adaptive
+  // (fault-aware rerouting) against xy (wedge-until-revival), at 1/2/4
+  // permanently dead links. Measure -- not saturation -- because on a
+  // faulted mesh the latency-3x search can chase drops instead of load.
+  for (int links : {1, 2, 4})
+    for (RoutePolicy policy : {RoutePolicy::MinimalAdaptive, RoutePolicy::XY}) {
+      CampaignPoint p = base_point(
+          std::string("fault/links=") + std::to_string(links) + "/" +
+              route_policy_name(policy),
+          PointKind::Measure, max_k, step_threads);
+      p.policy = policy;
+      p.offered = 0.20;
+      p.fault_links = links;
+      p.fault_seed = 7;
+      p.fault_kill_at = 0;
+      m.points.push_back(p);
+    }
   return m;
 }
 

@@ -91,6 +91,14 @@ std::string validate_manifest(const Manifest& m) {
       return point_error(p, "step_threads must be >= 1");
     if (p.warmup < 0 || p.window < 0)
       return point_error(p, "warmup/window overrides must be >= 0");
+    if (p.fault_links < 0 || p.fault_degrade < 0 || p.fault_kill_at < 0 ||
+        p.fault_revive_after < 0)
+      return point_error(p, "fault knobs must be >= 0");
+    const int num_links = (p.k - 1) * ky + p.k * (ky - 1);
+    if (p.fault_links > num_links)
+      return point_error(p, "fault-links exceeds the mesh's link count");
+    if (p.fault_degrade > p.k * ky)
+      return point_error(p, "fault-degrade exceeds the node count");
     if (p.kind == PointKind::Saturation &&
         p.workload != WorkloadKind::OpenLoop)
       return point_error(p, "saturation points must be open-loop");
@@ -165,6 +173,12 @@ NetworkConfig point_config(const CampaignPoint& p) {
   cfg.workload.closed.issue_prob = p.issue_prob;
   cfg.workload.closed.directory_latency = p.directory_latency;
   cfg.workload.closed.think_time = p.think_time;
+  if (p.fault_links > 0 || p.fault_degrade > 0) {
+    const MeshGeometry geom(p.k, p.ky > 0 ? p.ky : p.k);
+    cfg.fault = make_random_fault_plan(geom, p.fault_seed, p.fault_links,
+                                       p.fault_degrade, p.fault_kill_at,
+                                       p.fault_revive_after);
+  }
   return cfg;
 }
 
@@ -248,6 +262,16 @@ std::string campaign_point_key(const Manifest& m, const CampaignPoint& p,
   append_int(key, "resp_len", cfg.workload.closed.response_length);
   append_int(key, "warmup", opt.warmup);
   append_int(key, "window", opt.window);
+  // Fault knobs hash CONDITIONALLY: pristine points keep their pre-fault
+  // key byte-for-byte, so existing result stores stay valid across the
+  // schema's fault extension.
+  if (p.fault_links > 0 || p.fault_degrade > 0) {
+    append_int(key, "fault_links", p.fault_links);
+    append_int(key, "fault_degrade", p.fault_degrade);
+    append_u64(key, "fault_seed", p.fault_seed);
+    append_int(key, "fault_kill_at", p.fault_kill_at);
+    append_int(key, "fault_revive_after", p.fault_revive_after);
+  }
   if (!dep_hash.empty()) append_kv(key, "trace", dep_hash);
   return key;
 }
@@ -335,6 +359,14 @@ bool save_manifest(const std::string& path, const Manifest& m) {
       std::fprintf(f, "  directory-latency %" PRId64 "\n",
                    p.directory_latency);
       std::fprintf(f, "  think-time %" PRId64 "\n", p.think_time);
+    }
+    if (p.fault_links > 0 || p.fault_degrade > 0) {
+      std::fprintf(f, "  fault-links %d\n", p.fault_links);
+      std::fprintf(f, "  fault-degrade %d\n", p.fault_degrade);
+      std::fprintf(f, "  fault-seed %" PRIu64 "\n", p.fault_seed);
+      std::fprintf(f, "  fault-kill-at %" PRId64 "\n", p.fault_kill_at);
+      std::fprintf(f, "  fault-revive-after %" PRId64 "\n",
+                   p.fault_revive_after);
     }
     if (p.warmup > 0) std::fprintf(f, "  warmup %" PRId64 "\n", p.warmup);
     if (p.window > 0) std::fprintf(f, "  window %" PRId64 "\n", p.window);
@@ -474,6 +506,16 @@ std::shared_ptr<Manifest> load_manifest(const std::string& path,
       cur->directory_latency = std::atoll(val.c_str());
     } else if (kw == "think-time") {
       cur->think_time = std::atoll(val.c_str());
+    } else if (kw == "fault-links") {
+      cur->fault_links = std::atoi(val.c_str());
+    } else if (kw == "fault-degrade") {
+      cur->fault_degrade = std::atoi(val.c_str());
+    } else if (kw == "fault-seed") {
+      cur->fault_seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (kw == "fault-kill-at") {
+      cur->fault_kill_at = std::atoll(val.c_str());
+    } else if (kw == "fault-revive-after") {
+      cur->fault_revive_after = std::atoll(val.c_str());
     } else if (kw == "warmup") {
       cur->warmup = std::atoll(val.c_str());
     } else if (kw == "window") {

@@ -86,6 +86,20 @@ struct CampaignPoint {
   Cycle directory_latency = 2;
   Cycle think_time = 0;
 
+  // --- faults (docs/FAULTS.md) ---
+  /// Non-zero fault_links / fault_degrade turns the point into a degraded-
+  /// mesh run: a deterministic plan from make_random_fault_plan(seed =
+  /// fault_seed) kills `fault_links` links and degrades `fault_degrade`
+  /// routers at `fault_kill_at`, reviving `fault_revive_after` cycles later
+  /// (0 = permanent). All five fields feed the content hash -- but ONLY for
+  /// faulted points, so every pre-fault hash in existing result stores
+  /// stays valid.
+  int fault_links = 0;
+  int fault_degrade = 0;
+  uint64_t fault_seed = 1;
+  Cycle fault_kill_at = 0;
+  Cycle fault_revive_after = 0;
+
   // --- measurement ---
   /// 0 = the manifest's defaults.
   Cycle warmup = 0;

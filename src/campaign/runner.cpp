@@ -21,6 +21,8 @@ std::vector<std::pair<std::string, double>> point_report(
   rep.emplace_back("bypass_rate", r.bypass_rate);
   rep.emplace_back("completed_packets",
                    static_cast<double>(r.completed_packets));
+  rep.emplace_back("dropped_packets",
+                   static_cast<double>(r.dropped_packets));
   rep.emplace_back("max_ejection_load", r.max_ejection_load);
   rep.emplace_back("max_bisection_load", r.max_bisection_load);
   rep.emplace_back("transactions", static_cast<double>(r.transactions));

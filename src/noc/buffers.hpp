@@ -104,12 +104,20 @@ struct Branch {
   int ds_vc = -1;        // downstream VC (VA result); -1 = not yet allocated
   int next_seq = 0;      // next flit sequence number to send on this branch
   bool tail_sent = false;
+  /// Fault-mode drop branch (docs/FAULTS.md): `dests` cannot be reached on
+  /// the surviving topology. The branch never allocates a VC or requests
+  /// the switch; the router's per-tick fault sweep consumes its flits as if
+  /// sent (one per cycle) and counts the tail as a dropped delivery, so the
+  /// shared FIFO drains and sibling branches are never blocked. `out` is a
+  /// meaningless placeholder.
+  bool drop = false;
 
-  bool needs_vc() const { return ds_vc < 0; }
+  bool needs_vc() const { return ds_vc < 0 && !drop; }
 };
 
-/// A packet forks to at most one branch per output port.
-using BranchList = InlineVec<Branch, kNumPorts>;
+/// A packet forks to at most one live branch per output port, plus at most
+/// one fault-mode drop branch for unreachable destinations.
+using BranchList = InlineVec<Branch, kNumPorts + 1>;
 
 /// State of one input VC: the flit FIFO plus the active packet's branch
 /// bookkeeping. The branch state is also used by fully-bypassed packets

@@ -56,6 +56,7 @@ PointResult measure_point(NetworkConfig cfg, double offered,
   r.recv_flits_per_cycle = net.metrics().received_flits_per_cycle();
   r.recv_gbps = flits_per_cycle_to_gbps(r.recv_flits_per_cycle);
   r.completed_packets = net.metrics().completed_packets();
+  r.dropped_packets = net.metrics().dropped_packets();
   r.max_ejection_load = net.metrics().max_ejection_link_load();
   r.max_bisection_load = net.metrics().max_bisection_link_load();
   r.energy = net.energy().delta_since(before);

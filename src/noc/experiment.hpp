@@ -41,6 +41,12 @@ struct PointResult {
   double recv_gbps = 0;         // at 1 GHz, 64b flits
   double bypass_rate = 0;       // fraction of hops fully bypassed
   int64_t completed_packets = 0;
+  /// Packets retired inside the window with at least one destination lost
+  /// to a fault (docs/FAULTS.md). Zero on a pristine mesh. Conservation:
+  /// every generated packet ends up completed or dropped, never wedged in
+  /// an open ledger entry -- unreachable destinations surface here instead
+  /// of hanging the run.
+  int64_t dropped_packets = 0;
   double max_ejection_load = 0;
   double max_bisection_load = 0;
   EnergyCounters energy;        // window-scoped event counts

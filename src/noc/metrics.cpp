@@ -59,7 +59,45 @@ void Metrics::apply_flit_received(PacketId logical_id, bool tail, Cycle now) {
   OpenPacket* op = open_.find(logical_id);
   NOC_ASSERT(op != nullptr);
   NOC_ASSERT(op->remaining > 0);
-  if (--op->remaining == 0) {
+  --op->remaining;
+  retire_if_closed(logical_id, op, now);
+}
+
+void Metrics::on_packet_dropped(PacketId logical_id, int count, Cycle now) {
+  NOC_EXPECTS(count > 0);
+  if (shared_ != nullptr) {
+    // Order-sensitive like the other lifecycle events: buffer for the
+    // serial replay (NIC drops in the inject phase, router drop-branch
+    // retirements in the router phase).
+    captured_[static_cast<size_t>(capture_phase_)].push_back(
+        {.kind = CapturedMetricsEvent::Kind::PacketDropped,
+         .node = capture_node_,
+         .deliveries = count,
+         .id = logical_id,
+         .cycle = now});
+    return;
+  }
+  apply_packet_dropped(logical_id, count);
+}
+
+void Metrics::apply_packet_dropped(PacketId logical_id, int count) {
+  OpenPacket* op = open_.find(logical_id);
+  NOC_ASSERT(op != nullptr);
+  NOC_ASSERT(op->remaining >= count);
+  op->remaining -= count;
+  op->dropped += count;
+  retire_if_closed(logical_id, op, /*now=*/0);
+}
+
+void Metrics::retire_if_closed(PacketId logical_id, OpenPacket* op,
+                               Cycle now) {
+  if (op->remaining != 0) return;
+  if (op->dropped > 0) {
+    // Any lost delivery disqualifies the packet from the latency sample
+    // (its "complete action" never happens); it is conserved as a drop.
+    ++total_dropped_;
+    if (in_window_) ++window_packets_dropped_;
+  } else {
     ++total_completed_;
     if (in_window_) {
       const auto lat = static_cast<double>(now - op->gen);
@@ -67,8 +105,8 @@ void Metrics::apply_flit_received(PacketId logical_id, bool tail, Cycle now) {
       latency_by_kind_[static_cast<int>(op->kind)].add(lat);
       ++window_packets_completed_;
     }
-    open_.erase(logical_id);
   }
+  open_.erase(logical_id);
 }
 
 void Metrics::on_link_flit(NodeId node, PortDir port) {
@@ -96,6 +134,8 @@ void Metrics::apply(const CapturedMetricsEvent& e) {
   NOC_EXPECTS(shared_ == nullptr);  // replay targets the shared instance
   if (e.kind == CapturedMetricsEvent::Kind::LogicalPacket)
     on_logical_packet(e.id, e.pkind, e.cycle, e.deliveries);
+  else if (e.kind == CapturedMetricsEvent::Kind::PacketDropped)
+    apply_packet_dropped(e.id, e.deliveries);
   else
     apply_flit_received(e.id, e.tail, e.cycle);
 }
@@ -108,6 +148,7 @@ void Metrics::begin_window(Cycle now) {
   for (auto& s : latency_by_kind_) s.reset();
   window_flits_received_ = 0;
   window_packets_completed_ = 0;
+  window_packets_dropped_ = 0;
   for (auto& arr : link_flits_) arr.fill(0);
   std::fill(injection_flits_.begin(), injection_flits_.end(), 0);
 }

@@ -30,20 +30,27 @@ constexpr int kNumPacketKinds = 3;
 /// exact serial call sequence (and therefore the exact floating-point
 /// accumulation order of the latency statistics).
 struct CapturedMetricsEvent {
-  enum class Kind : uint8_t { LogicalPacket, FlitReceived };
+  enum class Kind : uint8_t { LogicalPacket, FlitReceived, PacketDropped };
   Kind kind;
   bool tail = false;                             // FlitReceived
   PacketKind pkind = PacketKind::UnicastRequest; // LogicalPacket
   NodeId node = 0;
-  int deliveries = 0;                            // LogicalPacket
+  int deliveries = 0;  // LogicalPacket: required; PacketDropped: lost
   PacketId id = 0;
-  Cycle cycle = 0;  // generation (LogicalPacket) or receive (FlitReceived)
+  Cycle cycle = 0;  // generation (LogicalPacket) or receive/drop cycle
 };
 
-/// NIC phases a capture shard distinguishes: events from tick_inject
-/// (submission + NIC-duplicated local deliveries) replay before any
-/// tick_eject event, mirroring the serial phase order.
-enum : int { kCaptureInject = 0, kCaptureEject = 1, kNumCapturePhases = 2 };
+/// Tick phases a capture shard distinguishes: events from tick_inject
+/// (submission + NIC-duplicated local deliveries + injection-side drops)
+/// replay before any router-tick event (fault-mode drop retirements),
+/// which replay before any tick_eject event -- mirroring the serial phase
+/// order exactly.
+enum : int {
+  kCaptureInject = 0,
+  kCaptureRouter = 1,
+  kCaptureEject = 2,
+  kNumCapturePhases = 3
+};
 
 class Metrics {
  public:
@@ -60,6 +67,14 @@ class Metrics {
 
   /// A flit was drained at a destination NIC.
   void on_flit_received(PacketId logical_id, const Flit& f, Cycle now);
+
+  /// `count` of a logical packet's required deliveries will never happen
+  /// (docs/FAULTS.md): destinations unreachable on the surviving topology,
+  /// counted by the NIC at submission or by a router retiring a fault-mode
+  /// drop branch. A packet with any dropped delivery counts toward
+  /// dropped_packets (never completed_packets) once nothing remains open,
+  /// keeping generated == completed + dropped conservation exact.
+  void on_packet_dropped(PacketId logical_id, int count, Cycle now);
 
   /// A flit crossed the link leaving `node` through `port` (Local = ejection
   /// link toward the NIC). Injection links are recorded via
@@ -83,8 +98,7 @@ class Metrics {
   /// Pre-size the per-phase capture buffers (zero-alloc invariant: sized at
   /// partition time for the per-cycle worst case, not grown under load).
   void reserve_capture(size_t per_phase) {
-    captured_[0].reserve(per_phase);
-    captured_[1].reserve(per_phase);
+    for (auto& buf : captured_) buf.reserve(per_phase);
   }
 
   /// Tag subsequent captured events with the NIC phase and node whose tick
@@ -98,11 +112,12 @@ class Metrics {
     return captured_[static_cast<size_t>(phase)];
   }
   bool captured_empty() const {
-    return captured_[0].empty() && captured_[1].empty();
+    for (const auto& buf : captured_)
+      if (!buf.empty()) return false;
+    return true;
   }
   void clear_captured() {
-    captured_[0].clear();
-    captured_[1].clear();
+    for (auto& buf : captured_) buf.clear();
   }
 
   /// Replay one captured event into this (shared) instance.
@@ -128,6 +143,9 @@ class Metrics {
   double received_flits_per_cycle() const;
   int64_t received_flits() const { return window_flits_received_; }
   int64_t completed_packets() const { return window_packets_completed_; }
+  /// Packets retired inside the window with at least one dropped delivery
+  /// (fault mode only; always 0 on a pristine mesh).
+  int64_t dropped_packets() const { return window_packets_dropped_; }
 
   /// Flits per cycle on the busiest / average bisection link (the k vertical
   /// cut E/W channels in each direction), Table 1's L_bisection.
@@ -141,15 +159,21 @@ class Metrics {
   int64_t open_packets() const { return static_cast<int64_t>(open_.size()); }
   int64_t total_generated() const { return total_generated_; }
   int64_t total_completed() const { return total_completed_; }
+  /// Lifetime dropped-packet count (conservation checks:
+  /// total_generated == total_completed + total_dropped once quiescent).
+  int64_t total_dropped() const { return total_dropped_; }
 
  private:
   struct OpenPacket {
     Cycle gen = 0;
     int remaining = 0;
+    int dropped = 0;  // deliveries lost to faults (docs/FAULTS.md)
     PacketKind kind = PacketKind::UnicastRequest;
   };
 
   void apply_flit_received(PacketId logical_id, bool tail, Cycle now);
+  void apply_packet_dropped(PacketId logical_id, int count);
+  void retire_if_closed(PacketId logical_id, OpenPacket* op, Cycle now);
 
   const MeshGeometry& geom_;
   Metrics* shared_ = nullptr;  // non-null: this instance is a capture shard
@@ -168,8 +192,10 @@ class Metrics {
   RunningStat latency_by_kind_[kNumPacketKinds];
   int64_t window_flits_received_ = 0;
   int64_t window_packets_completed_ = 0;
+  int64_t window_packets_dropped_ = 0;
   int64_t total_generated_ = 0;
   int64_t total_completed_ = 0;
+  int64_t total_dropped_ = 0;
 
   // link flit counters, window-scoped: [node][port]
   std::vector<std::array<int64_t, kNumPorts>> link_flits_;

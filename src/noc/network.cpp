@@ -52,6 +52,10 @@ Network::Network(const NetworkConfig& cfg)
       geom_(cfg.k, cfg.ky > 0 ? cfg.ky : cfg.k),
       metrics_(geom_) {
   const int n = geom_.num_nodes();
+  // Fault schedule first: routers/NICs built below capture a pointer to
+  // this state when the plan is non-empty (and none at all otherwise, so
+  // pristine networks keep the fault-free fast path, bit for bit).
+  fault_state_.init(geom_, cfg.fault);
 
   // Column-span partition for intra-network parallel stepping. The span
   // COUNT is fixed by the config (clamped to one span per column), so
@@ -68,8 +72,12 @@ Network::Network(const NetworkConfig& cfg)
       sp.metrics->set_shared(&metrics_);
       // Per-cycle worst case per node: one packet submission plus the local
       // flit deliveries of a NIC-duplicated broadcast in the inject phase,
-      // one drained flit in the eject phase. 8 covers both with slack.
-      sp.metrics->reserve_capture(sp.nodes.size() * 8);
+      // one drained flit in the eject phase. 8 covers both with slack. A
+      // faulted network additionally retires router-phase drop events -- up
+      // to one per input VC per node per cycle.
+      sp.metrics->reserve_capture(
+          sp.nodes.size() *
+          (cfg.fault.empty() ? 8 : 8 + kNumPorts * kMaxTotalVcs));
     }
   }
   // Each component records events into its owning span's shards; in serial
@@ -105,6 +113,10 @@ Network::Network(const NetworkConfig& cfg)
                                           sources_.back().get(),
                                           energy_for(node),
                                           metrics_for(node)));
+    if (fault_state_.enabled()) {
+      routers_.back()->attach_faults(&fault_state_);
+      nics_.back()->attach_faults(&fault_state_);
+    }
   }
 
   const bool bypass = cfg.router.has_bypass();
@@ -342,6 +354,7 @@ void Network::setup_activity() {
 }
 
 void Network::step(Cycle now) {
+  apply_faults(now);
   if (!spans_.empty())
     step_parallel(now);
   else if (cfg_.activity_gating)
@@ -349,6 +362,22 @@ void Network::step(Cycle now) {
   else
     step_full(now);
   ++energy_.cycles;
+}
+
+void Network::apply_faults(Cycle now) {
+  // One compare on the pristine/idle path (next event kCycleNever). Runs
+  // on the main thread before gating decisions and the span fan-out, so
+  // every stepping mode sees identical fault state for the whole cycle.
+  if (fault_state_.next_event_at() > now) return;
+  const uint64_t epoch = fault_state_.epoch();
+  fault_state_.advance(now);
+  if (fault_state_.epoch() != epoch) {
+    // The surviving topology changed: re-validate open escape-class
+    // packets everywhere (routers convert stranded branches to drops).
+    // Wedged/busy routers are never asleep (busy VCs keep them awake), so
+    // no wake edges are needed.
+    for (auto& r : routers_) r->on_topology_change(now);
+  }
 }
 
 void Network::step_full(Cycle now) {
@@ -526,6 +555,7 @@ void Network::span_inject_tick(StepSpan& sp, int node, Cycle now) {
 
 void Network::span_router_tick(StepSpan& sp, int node, Cycle now) {
   const auto i = static_cast<size_t>(node);
+  sp.metrics->set_capture_point(kCaptureRouter, node);
   routers_[i]->tick(now);
   if (cfg_.activity_gating && routers_[i]->idle()) sp.router_awake.clear(node);
 }

@@ -31,6 +31,7 @@
 
 #include "common/active_set.hpp"
 #include "noc/energy_events.hpp"
+#include "noc/fault.hpp"
 #include "noc/metrics.hpp"
 #include "noc/nic.hpp"
 #include "noc/partition.hpp"
@@ -53,6 +54,13 @@ struct NetworkConfig {
   /// default open loop reads `traffic` unchanged, so existing configs keep
   /// their exact behaviour.
   WorkloadSpec workload;
+
+  /// Deterministic fault schedule (docs/FAULTS.md): link kills / revivals
+  /// and router arbiter degrades applied at cycle boundaries. Empty (the
+  /// default) keeps the pristine datapath bit-identical to pre-fault
+  /// builds; non-empty switches the MinimalAdaptive escape lane to the
+  /// surviving-topology up*/down* tree from cycle 0 (docs/ROUTING.md).
+  FaultPlan fault;
 
   /// Activity-gated stepping (docs/PERF.md): idle routers, NICs and drained
   /// channels are skipped each cycle. Metrics are bit-identical either way
@@ -93,6 +101,8 @@ class Network : public Steppable {
   EnergyCounters& energy() { return energy_; }
   Router& router(NodeId n) { return *routers_[static_cast<size_t>(n)]; }
   Nic& nic(NodeId n) { return *nics_[static_cast<size_t>(n)]; }
+  /// Fault-schedule state (FaultState::enabled() is false for empty plans).
+  const FaultState& faults() const { return fault_state_; }
   TrafficSource& source(NodeId n) { return *sources_[static_cast<size_t>(n)]; }
 
   /// Capture every logical packet submitted at any NIC into `out`
@@ -179,6 +189,12 @@ class Network : public Steppable {
   Channel<T>* make_channel(std::vector<Channel<T>>& pool, int latency);
 
   void setup_activity();
+  /// Apply fault-schedule events stamped <= now, pushing the updated
+  /// dead-port masks / degrade flags into the affected routers. Runs on
+  /// the main thread at the top of step() in EVERY mode, before gating
+  /// decisions and before the span fan-out, so the schedule commutes with
+  /// activity gating and span decomposition.
+  void apply_faults(Cycle now);
   void step_full(Cycle now);
   void step_gated(Cycle now);
 
@@ -201,6 +217,7 @@ class Network : public Steppable {
   MeshGeometry geom_;
   Metrics metrics_;
   EnergyCounters energy_;
+  FaultState fault_state_;
 
   // Contiguous channel pools (docs/PERF.md Layer 5): the gated per-cycle
   // sweep touches most channels at saturation, so keeping the Channel

@@ -57,6 +57,34 @@ void Nic::submit_packet(Packet pkt) {
         {pkt.gen_cycle, node_, pkt.dest_mask, pkt.length, pkt.mc});
   account_new_packet(pkt, pkt.gen_cycle);
 
+  // Fault-mode injection filter (docs/FAULTS.md): destinations with no
+  // usable path on the surviving topology are counted as drops at the
+  // door. Adaptive routing requires the escape tree (Duato); the oblivious
+  // policies only lose fully-disconnected destinations here -- a dest that
+  // is connected but whose fixed dimension-ordered path crosses a dead
+  // link injects normally and wedges until revival. The packet was
+  // accounted with its FULL destination count above, so generated ==
+  // completed + dropped conservation is exact.
+  if (faults_ != nullptr) {
+    DestMask dead;
+    const bool adaptive = router_cfg_.routing == RoutePolicy::MinimalAdaptive;
+    pkt.dest_mask.for_each([&](int d) {
+      if (d == node_) return;  // local delivery never touches the mesh
+      const bool ok = adaptive ? faults_->escape_reachable(node_, d)
+                               : faults_->connected(node_, d);
+      if (!ok) dead.set(d);
+    });
+    if (dead.any()) {
+      if (metrics_)
+        metrics_->on_packet_dropped(pkt.id, dead.count(), pkt.gen_cycle);
+      source_->on_drop(pkt, dead, pkt.gen_cycle);
+      pkt.dest_mask = pkt.dest_mask.andnot(dead);
+      if (pkt.dest_mask.none()) return;
+      // A broadcast shrunk to one survivor becomes a plain unicast.
+      pkt.rc = route_class_for_packet(router_cfg_.routing, pkt);
+    }
+  }
+
   const bool is_multicast = pkt.dest_mask.count() > 1;
   if (is_multicast && !router_cfg_.multicast) {
     // Routers cannot fork: duplicate into unicast copies (paper Sec 2.3).

@@ -72,6 +72,12 @@ class Nic {
   /// can unblock a closed-loop source). Null hook = no-op (ungated).
   void set_inject_wake_hook(const WakeHook& h) { wake_inject_ = h; }
 
+  /// Attach the network's fault-schedule state (docs/FAULTS.md): packets
+  /// submitted toward destinations unreachable on the surviving topology
+  /// are counted as drops at the door (and reported to the source) instead
+  /// of being injected to hang in the mesh. Null = pristine fast path.
+  void attach_faults(const FaultState* faults) { faults_ = faults; }
+
   /// Injection half holds queued packets or a transmission in progress.
   /// (Whether the *source* may fire is the Network's question, via
   /// TrafficSource::next_fire_cycle.)
@@ -105,6 +111,7 @@ class Nic {
   EnergyCounters* energy_;
   Metrics* metrics_;
   TrafficSource* source_;
+  const FaultState* faults_ = nullptr;
   Trace* trace_out_ = nullptr;
   WakeHook wake_inject_;
   Channels ch_;

@@ -17,6 +17,13 @@
 // deferred (double-buffered) synchronization edges of the two-phase barrier
 // schedule in Network::step. crosses() is the exact classification the
 // Network uses to mark them.
+//
+// Fault schedules commute with this decomposition (docs/FAULTS.md): the
+// Network applies every FaultPlan event -- and the resulting escape-tree
+// recompute plus router notifications -- on the MAIN thread at the top of
+// step(), before any span worker runs. Workers then read the FaultState as
+// immutable shared state for the rest of the cycle, so a faulted parallel
+// step sees exactly the topology a faulted serial step sees.
 
 #include <utility>
 #include <vector>

@@ -25,6 +25,13 @@
 // RouteClass stamped at injection (route_class_for_packet) is what the
 // datapath consumes: it selects both the routing function at each hop and
 // the VC lane the packet may occupy (route_class_lane).
+//
+// Under a non-empty FaultPlan (docs/FAULTS.md) MinimalAdaptive becomes
+// fault-aware: dead output ports drop out of the productive choice and the
+// Ordered-lane escape hop comes from the surviving-topology spanning tree
+// in noc/fault.hpp instead of escape_port() below (deadlock argument in
+// docs/ROUTING.md "Escape routing on a faulted mesh"). The oblivious
+// policies keep their static trees and stall on dead links until revival.
 
 #include <optional>
 #include <string_view>

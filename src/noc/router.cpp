@@ -116,8 +116,18 @@ void Router::tick(Cycle now) {
   }
   apply_credits(now, active);
   phase_st_and_bw(now, active);
-  phase_sa2(now, active);
-  phase_sa1_va(now, active);
+  fault_tick(now);
+  // A degraded router's allocators run at half rate (docs/FAULTS.md): odd
+  // cycles skip both switch allocation and mSA-I/VA. Credits and the ST
+  // stage still run -- flits granted on even cycles drain normally, and
+  // lookaheads ignored this cycle are harmless (their flit arrives next
+  // cycle and takes the buffered path).
+  const bool throttled =
+      faults_ != nullptr && faults_->degraded(node_) && (now & 1) != 0;
+  if (!throttled) {
+    phase_sa2(now, active);
+    phase_sa1_va(now, active);
+  }
   if (energy_) energy_->vc_active_cycles += busy_.count();
 }
 
@@ -134,7 +144,9 @@ void Router::apply_credits(Cycle, const PortMask& active) {
   }
 }
 
-RouteSet Router::route_head(const Flit& head) const {
+RouteSet Router::route_head(int in_port, const Flit& head,
+                            DestMask* drop) const {
+  *drop = DestMask{};
   if (head.rc == RouteClass::Adaptive) {
     // Adaptive packets are unicasts by construction
     // (route_class_for_packet); the hop decision is made from live credit
@@ -142,9 +154,35 @@ RouteSet Router::route_head(const Flit& head) const {
     NOC_ASSERT(head.branch_mask.count() == 1);
     const NodeId dest = head.branch_mask.lowest();
     RouteSet rs;
+    if (faults_ != nullptr && dest != node_ &&
+        !faults_->escape_reachable(node_, dest)) {
+      // No deadlock-free path can be guaranteed: counted drop, not a hang.
+      *drop = head.branch_mask;
+      return rs;
+    }
     const PortDir out =
         dest == node_ ? PortDir::Local : adaptive_port_choice(dest, head.mc);
     rs[out] = head.branch_mask;
+    return rs;
+  }
+  if (faults_ != nullptr && head.rc == RouteClass::Escape) {
+    // Fault-mode escape: the up*/down* tree of the surviving topology.
+    RouteSet rs = faults_->escape_tree_route(node_, head.branch_mask, drop);
+    // Down-phase constraint (docs/ROUTING.md): a packet that arrived on a
+    // down-class hop (via the South or West INPUT port, i.e. moving away
+    // from the root) must never turn back up (out South/West). Within one
+    // epoch tree paths are up* down* and this never fires; across a
+    // topology change it converts the offending destinations into counted
+    // drops instead of risking a down->up dependency cycle.
+    if (in_port == port_index(PortDir::South) ||
+        in_port == port_index(PortDir::West)) {
+      for (const PortDir up : {PortDir::South, PortDir::West}) {
+        DestMask& m = rs[up];
+        if (m.none()) continue;
+        *drop |= m;
+        m = DestMask{};
+      }
+    }
     return rs;
   }
   return class_tree_route(head.rc, geom_, node_, head.branch_mask);
@@ -153,9 +191,13 @@ RouteSet Router::route_head(const Flit& head) const {
 PortDir Router::adaptive_port_choice(NodeId dest, MsgClass mc) const {
   const PortChoices ports = productive_ports(geom_, node_, dest);
   NOC_ASSERT(!ports.empty());
+  bool found = false;
   PortDir best = ports[0];
   int best_key = -1;
   for (const PortDir p : ports) {
+    // Dead output ports drop out of the productive set (docs/FAULTS.md).
+    if (faults_ != nullptr && faults_->port_dead(node_, p)) continue;
+    found = true;
     const auto& ds = out_[static_cast<size_t>(port_index(p))].ds;
     // Free VCs weigh above credit slack (a port without a free VC cannot
     // accept a new packet no matter how empty its buffers; the actionable
@@ -171,21 +213,40 @@ PortDir Router::adaptive_port_choice(NodeId dest, MsgClass mc) const {
       best = p;
     }
   }
+  // Every productive port dead: aim at the escape-tree hop so the bypass /
+  // actionable checks look at the only port that can still make progress.
+  // Callers guarantee escape_reachable (route_head / VA convert the rest
+  // into drops before asking for a port).
+  if (!found) return faults_->escape_next(node_, dest);
   return best;
 }
 
 bool Router::branch_could_get_vc(RouteClass rc, MsgClass mc,
                                  const Branch& b) const {
+  if (b.drop) return false;  // never allocates; the fault sweep drains it
   if (rc == RouteClass::Adaptive && b.out != PortDir::Local) {
     const NodeId dest = b.dests.lowest();
-    for (const PortDir p : productive_ports(geom_, node_, dest))
+    // Destination fell off the escape tree mid-flight: VA's "allocation"
+    // is the conversion into a counted drop -- actionable work, so mSA-I
+    // must be allowed to select the packet.
+    if (faults_ != nullptr && !faults_->escape_reachable(node_, dest))
+      return true;
+    for (const PortDir p : productive_ports(geom_, node_, dest)) {
+      if (faults_ != nullptr && faults_->port_dead(node_, p)) continue;
       if (out_[static_cast<size_t>(port_index(p))].ds.has_free_vc(
               mc, VcLane::Free))
         return true;
-    const PortDir esc = escape_port(geom_, node_, dest);
+    }
+    const PortDir esc = faults_ != nullptr ? faults_->escape_next(node_, dest)
+                                           : escape_port(geom_, node_, dest);
     return out_[static_cast<size_t>(port_index(esc))].ds.has_free_vc(
         mc, VcLane::Ordered);
   }
+  // A dead output port accepts no NEW packets (in-flight branches keep
+  // their VC and drain; this predicate only guards fresh allocation).
+  if (faults_ != nullptr && b.out != PortDir::Local &&
+      faults_->port_dead(node_, b.out))
+    return false;
   return out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(
       mc, branch_lane(rc, b.out));
 }
@@ -200,7 +261,8 @@ RouteClass Router::downstream_rc(const Flit& f, const GrantOut& go) const {
 
 void Router::open_packet_state(int port, const Flit& head) {
   NOC_EXPECTS(is_head(head.type));
-  const RouteSet rs = route_head(head);
+  DestMask dropped;
+  const RouteSet rs = route_head(port, head, &dropped);
   BranchList& branches = open_branches_;  // persistent scratch, see router.hpp
   branches.clear();
   for (int o = 0; o < kNumPorts; ++o) {
@@ -210,6 +272,15 @@ void Router::open_packet_state(int port, const Flit& head) {
     b.out = port_dir(o);
     b.dests = m;
     branches.push_back(b);
+  }
+  if (dropped.any()) {
+    // Unreachable destinations (docs/FAULTS.md): one drop branch drains
+    // the shared FIFO for them and counts the lost deliveries at its tail.
+    Branch b;
+    b.dests = dropped;
+    b.drop = true;
+    branches.push_back(b);
+    ++open_drop_branches_;
   }
   NOC_ASSERT(!branches.empty());
   if (!cfg_.multicast) NOC_ASSERT(branches.size() == 1);
@@ -448,6 +519,14 @@ void Router::process_lookaheads(Cycle now, const PortMask& active,
       if (!ivc.busy() || !ivc.empty()) continue;  // order would be violated
       // With an empty FIFO all unfinished branches sit at the same seq.
       if (ivc.current_seq() != la.flit.seq) continue;
+      // Packets carrying a drop branch take the buffered path only: the
+      // fault sweep consumes their flits from the FIFO, and a bypass copy
+      // would race it (docs/FAULTS.md).
+      if (open_drop_branches_ > 0) {
+        bool has_drop = false;
+        for (const auto& b : ivc.branches()) has_drop |= b.drop;
+        if (has_drop) continue;
+      }
 
       // Which branches can be granted right now?
       auto& want = la_want_;
@@ -461,6 +540,11 @@ void Router::process_lookaheads(Cycle now, const PortMask& active,
         if (out_claimed[static_cast<size_t>(o)]) continue;
         auto& ds = out_[static_cast<size_t>(o)].ds;
         int vc = b.ds_vc;
+        // A dead output port grants no NEW VC (graceful drain: branches
+        // already holding one keep sending on credits).
+        if (vc < 0 && faults_ != nullptr && b.out != PortDir::Local &&
+            faults_->port_dead(node_, b.out))
+          continue;
         // Class-aware VA: an Adaptive flit bypasses only through its
         // primary (Free) lane on the pre-aimed port -- the escape fallback
         // stays on the buffered path, where VA re-aims every retry.
@@ -705,15 +789,26 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
       return;
     }
     const NodeId dest = b.dests.lowest();
+    if (faults_ != nullptr && !faults_->escape_reachable(node_, dest)) {
+      // The destination fell off the escape tree while the packet waited:
+      // convert in place to a counted drop (docs/FAULTS.md) -- the fault
+      // sweep drains it from here on.
+      b.drop = true;
+      ++open_drop_branches_;
+      return;
+    }
     const PortDir aim = adaptive_port_choice(dest, mc);
     auto& aim_ds = out_[static_cast<size_t>(port_index(aim))].ds;
-    if (aim_ds.has_free_vc(mc, VcLane::Free)) {
+    const bool aim_dead =
+        faults_ != nullptr && faults_->port_dead(node_, aim);
+    if (!aim_dead && aim_ds.has_free_vc(mc, VcLane::Free)) {
       b.out = aim;
       b.ds_vc = aim_ds.allocate_vc(mc, VcLane::Free);
       if (energy_) ++energy_->vc_allocations;
       return;
     }
-    const PortDir esc = escape_port(geom_, node_, dest);
+    const PortDir esc = faults_ != nullptr ? faults_->escape_next(node_, dest)
+                                           : escape_port(geom_, node_, dest);
     auto& esc_ds = out_[static_cast<size_t>(port_index(esc))].ds;
     if (esc_ds.has_free_vc(mc, VcLane::Ordered)) {
       b.out = esc;
@@ -734,9 +829,14 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
   // moment the branch sends, so lazy per-branch VA is safe -- and that is
   // the only multicast the paper's traffic contains.
   const bool atomic = ivc.packet_len > 1 && ivc.branches().size() > 1;
+  auto port_is_dead = [&](const Branch& b) {
+    return faults_ != nullptr && b.out != PortDir::Local &&
+           faults_->port_dead(node_, b.out);
+  };
   if (atomic) {
     for (const auto& b : ivc.branches()) {
       if (b.tail_sent || !b.needs_vc()) continue;
+      if (port_is_dead(b)) return;  // wedged until revival (or epoch drop)
       if (!out_[static_cast<size_t>(port_index(b.out))].ds.has_free_vc(
               mc, branch_lane(ivc.rc(), b.out)))
         return;  // all-or-nothing: try again next cycle
@@ -744,11 +844,84 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
   }
   for (auto& b : ivc.branches()) {
     if (!b.needs_vc() || b.tail_sent) continue;
+    if (port_is_dead(b)) continue;  // no NEW VC across a dead link
     const int vc = out_[static_cast<size_t>(port_index(b.out))].ds.allocate_vc(
         mc, branch_lane(ivc.rc(), b.out));
     if (vc >= 0) {
       b.ds_vc = vc;
       if (energy_) ++energy_->vc_allocations;
+    }
+  }
+}
+
+void Router::fault_tick(Cycle now) {
+  if (open_drop_branches_ == 0) return;
+  // Consume one buffered flit per drop branch per cycle, as if sent: the
+  // drop branch mimics a branch with infinite downstream credit, so the
+  // shared FIFO keeps draining and sibling (live) branches never stall
+  // behind unreachable destinations. Runs after this tick's ST latch was
+  // consumed and before new grants are issued, so the retire pops below
+  // cannot invalidate a flit reference held elsewhere.
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (uint32_t scan = busy_slice(p); scan != 0; scan &= scan - 1) {
+      const int v = std::countr_zero(scan);
+      auto& ivc = in_[static_cast<size_t>(p)].vcs[static_cast<size_t>(v)];
+      bool swept = false;
+      for (auto& b : ivc.branches()) {
+        if (!b.drop || b.tail_sent) continue;
+        if (!ivc.has_seq(b.next_seq)) continue;  // flit not yet arrived
+        const Flit f = ivc.flit_at_seq(b.next_seq);
+        if (is_tail(f.type) && metrics_ != nullptr)
+          metrics_->on_packet_dropped(f.logical_id,
+                                      b.dests.count(), now);
+        advance_branch(b, f);
+        if (b.tail_sent) --open_drop_branches_;
+        swept = true;
+      }
+      if (swept) retire_sent_flits(now, p, v);
+    }
+  }
+}
+
+void Router::on_topology_change(Cycle) {
+  NOC_ASSERT(faults_ != nullptr);
+  // Only the escape class routes on per-epoch state. Adaptive packets are
+  // re-aimed by VA every retry (and their unreachable case is converted
+  // there); the oblivious classes (XY/YX/O1TURN trees) keep their route and
+  // simply wedge on dead ports until revival.
+  if (cfg_.routing != RoutePolicy::MinimalAdaptive) return;
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (uint32_t scan = busy_slice(p); scan != 0; scan &= scan - 1) {
+      const int v = std::countr_zero(scan);
+      auto& ivc = in_[static_cast<size_t>(p)].vcs[static_cast<size_t>(v)];
+      if (ivc.rc() != RouteClass::Escape) continue;
+      for (auto& b : ivc.branches()) {
+        if (b.drop || b.tail_sent) continue;
+        if (b.out == PortDir::Local) continue;  // local delivery unaffected
+        // Started branches (downstream VC held, or flits already sent)
+        // drain gracefully across the old route: dead links keep returning
+        // credits for in-flight packets. Only unstarted branches are
+        // re-validated against the new tree.
+        if (b.ds_vc >= 0 || b.next_seq > 0) continue;
+        bool ok = true;
+        b.dests.for_each([&](int dest) {
+          if (!ok) return;
+          if (!faults_->escape_reachable(node_, dest) ||
+              faults_->escape_next(node_, dest) != b.out)
+            ok = false;
+        });
+        // Down-phase constraint for the arrival port (see route_head).
+        if (ok && (p == port_index(PortDir::South) ||
+                   p == port_index(PortDir::West)) &&
+            (b.out == PortDir::South || b.out == PortDir::West))
+          ok = false;
+        if (ok) continue;
+        // Convert the whole branch in place (docs/FAULTS.md): splitting it
+        // per-destination could mint a second branch on an out port the
+        // packet already forks to, which the grant-commit loops forbid.
+        b.drop = true;
+        ++open_drop_branches_;
+      }
     }
   }
 }

@@ -31,6 +31,7 @@
 #include "noc/arbiters.hpp"
 #include "noc/buffers.hpp"
 #include "noc/energy_events.hpp"
+#include "noc/fault.hpp"
 #include "noc/flit.hpp"
 #include "noc/geometry.hpp"
 #include "noc/metrics.hpp"
@@ -134,6 +135,19 @@ class Router {
     return out_[port_index(out)].ds;
   }
 
+  /// Attach the network's fault-schedule state (docs/FAULTS.md). Called
+  /// once at construction time for networks with a non-empty FaultPlan;
+  /// the router reads dead-port / degrade flags through this pointer every
+  /// tick (nullptr = pristine fast path, bit-identical to pre-fault builds).
+  void attach_faults(const FaultState* faults) { faults_ = faults; }
+
+  /// The fault schedule changed the surviving topology (link kill or
+  /// revival). Re-validates every open Escape-class packet against the new
+  /// escape tree: branches that have not started sending and whose route no
+  /// longer matches convert in place to drop branches (graceful drain;
+  /// docs/FAULTS.md). Adaptive packets need nothing -- VA re-aims them.
+  void on_topology_change(Cycle now);
+
   /// Human-readable dump of all non-idle state (debugging stuck networks).
   void dump_state(FILE* out) const;
 
@@ -188,6 +202,13 @@ class Router {
   void phase_st_and_bw(Cycle now, const PortMask& active);
   void phase_sa2(Cycle now, const PortMask& active);
   void phase_sa1_va(Cycle now, const PortMask& active);
+  /// Fault-mode drop-branch sweep (docs/FAULTS.md): consumes one flit per
+  /// cycle per drop branch as if sent and counts the tail as a dropped
+  /// delivery. Runs between ST/BW and mSA-II -- after this tick's ST latch
+  /// consumed its flit references, before new grants are issued -- so
+  /// retire_sent_flits can safely pop swept flits. No-op (one integer
+  /// compare) unless drop branches exist.
+  void fault_tick(Cycle now);
 
   // --- helpers ---
   void process_lookaheads(Cycle now, const PortMask& active,
@@ -201,8 +222,12 @@ class Router {
   /// Route computation for a head under the configured policy: the ordered
   /// classes use their dimension-ordered tree; Adaptive heads get an
   /// initial productive-port aim from live credit state (re-aimed by VA
-  /// every retry until a downstream VC is granted).
-  RouteSet route_head(const Flit& head) const;
+  /// every retry until a downstream VC is granted). Under a non-empty
+  /// fault plan, Escape heads route on the surviving-topology tree and
+  /// destinations that cannot be served (off-tree, or forbidden by the
+  /// down-phase constraint for the arrival port; docs/ROUTING.md) are
+  /// returned in `*drop` instead of the RouteSet.
+  RouteSet route_head(int in_port, const Flit& head, DestMask* drop) const;
   /// Best productive port toward `dest` for an Adaptive packet: most free
   /// Free-lane VCs, then most Free-lane buffer credits, X-first tie-break.
   PortDir adaptive_port_choice(NodeId dest, MsgClass mc) const;
@@ -263,6 +288,12 @@ class Router {
   RouterConfig cfg_;
   EnergyCounters* energy_;
   Metrics* metrics_;
+  /// Fault-schedule view (nullptr on pristine networks: every fault check
+  /// compiles to one branch on this pointer). Updated by the Network on the
+  /// main thread at cycle boundaries only.
+  const FaultState* faults_ = nullptr;
+  /// Open drop branches across all input VCs; gates fault_tick's sweep.
+  int open_drop_branches_ = 0;
 
   std::array<InputPort, kNumPorts> in_;
   std::array<OutputPort, kNumPorts> out_;

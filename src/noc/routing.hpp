@@ -8,6 +8,13 @@
 // this node itself ejects Local. Because X is always resolved before Y the
 // channel-dependency graph is acyclic (same argument as plain XY), and
 // because partitions are disjoint no destination is covered twice.
+//
+// These trees assume a pristine mesh: they never consult the fault state,
+// so on a degraded topology a dimension-ordered path that crosses a dead
+// link simply stalls until revival. Fault-aware routing (surviving-topology
+// escape trees, drop-at-the-door for unreachable destinations) lives in
+// noc/fault.hpp and applies only to MinimalAdaptive -- see docs/FAULTS.md
+// and docs/ROUTING.md "Escape routing on a faulted mesh".
 
 #include <array>
 #include <cstdint>

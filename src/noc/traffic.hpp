@@ -118,6 +118,18 @@ class TrafficSource {
     (void)now;
   }
 
+  /// Fault mode only (docs/FAULTS.md): the NIC refused `dropped` of this
+  /// source's own packet `pkt`'s destinations at submission time -- they
+  /// are unreachable on the surviving topology and were counted as drops
+  /// by Metrics. Closed-loop sources use this to retire transactions whose
+  /// probe can never arrive instead of waiting forever. Called after the
+  /// drop has been counted; open-loop sources need no reaction.
+  virtual void on_drop(const Packet& pkt, const DestMask& dropped, Cycle now) {
+    (void)pkt;
+    (void)dropped;
+    (void)now;
+  }
+
   /// Change the injection rate mid-run. Open loop: offered flits per node
   /// per cycle (0 stops injection; used to drain at the end of a run).
   /// Closed loop: per-cycle probability of starting a new transaction when

@@ -251,6 +251,30 @@ void ClosedLoopSource::on_delivery(const Flit& flit, Cycle now) {
   }
 }
 
+void ClosedLoopSource::on_drop(const Packet& pkt, const DestMask& dropped,
+                               Cycle now) {
+  // Fault mode (docs/FAULTS.md): the NIC refused some destinations of our
+  // own packet at submission. The only drop that strands closed-loop state
+  // is a probe that can no longer reach its deterministic owner -- without
+  // the probe there will never be a data response, so the miss would pin a
+  // window slot forever. Retire it as LOST (no ++completed_, no latency
+  // sample) and restart the think timer so the source keeps generating.
+  //
+  // Known limitation: a RESPONSE dropped at the owner's NIC (owner became
+  // disconnected from the requester after accepting the probe) leaves the
+  // requester's miss dangling until a revival reconnects them. Fault soaks
+  // therefore use open-loop traffic; see docs/FAULTS.md.
+  if (pkt.mc != MsgClass::Request || pkt.tag == 0 || pkt.src != node_) return;
+  if (!dropped.test(owner_of(pkt.tag, node_))) return;
+  for (int i = 0; i < outstanding_.size(); ++i) {
+    if (outstanding_[i].tag != pkt.tag) continue;
+    outstanding_[i] = outstanding_[outstanding_.size() - 1];
+    outstanding_.pop_back();
+    next_miss_eligible_ = now + cfg_.think_time;
+    return;
+  }
+}
+
 void ClosedLoopSource::begin_window(Cycle now) {
   (void)now;
   window_latency_.reset();

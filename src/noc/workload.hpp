@@ -138,6 +138,7 @@ class ClosedLoopSource final : public TrafficSource {
   std::optional<Packet> generate(Cycle now) override;
   uint64_t next_payload() override { return payload_prbs_.next_bits(64); }
   void on_delivery(const Flit& flit, Cycle now) override;
+  void on_drop(const Packet& pkt, const DestMask& dropped, Cycle now) override;
   Cycle next_fire_cycle(Cycle from) const override;
   bool idle() const override {
     return outstanding_.empty() && pending_.empty();

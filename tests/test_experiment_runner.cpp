@@ -69,6 +69,7 @@ void expect_identical(const PointResult& a, const PointResult& b) {
   EXPECT_EQ(a.recv_gbps, b.recv_gbps);
   EXPECT_EQ(a.bypass_rate, b.bypass_rate);
   EXPECT_EQ(a.completed_packets, b.completed_packets);
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets);
   EXPECT_EQ(a.max_ejection_load, b.max_ejection_load);
   EXPECT_EQ(a.max_bisection_load, b.max_bisection_load);
   EXPECT_EQ(a.energy.xbar_traversals, b.energy.xbar_traversals);
@@ -315,6 +316,43 @@ TEST(ParallelStepping, BitIdenticalAtLargeAndRectangularK) {
     cfg.traffic.pattern = TrafficPattern::UniformRequest;
     cfg.traffic.seed = 3;
     expect_step_threads_invisible(cfg, 0.06, measure);
+  }
+}
+
+TEST(ParallelStepping, BitIdenticalUnderFaultSchedules) {
+  // Faults are applied on the main thread at the top of step() before span
+  // workers launch (partition.hpp), so a kill/revive schedule -- including
+  // one that severs a node and produces drops -- must be invisible to the
+  // span decomposition.
+  const MeasureOptions measure{.warmup = 300, .window = 900};
+  ScopedBudget budget(8);
+  for (RoutePolicy policy :
+       {RoutePolicy::MinimalAdaptive, RoutePolicy::XY}) {
+    SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)));
+    NetworkConfig cfg = NetworkConfig::proposed(8);
+    cfg.router.routing = policy;
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 17;
+    // Vertical center cut in-window, revived before the end; corner 63 is
+    // permanently severed mid-window so the drop path runs threaded too.
+    cfg.fault.kill_link(400, 27, 35)
+        .kill_link(400, 28, 36)
+        .degrade_router(400, 27)
+        .revive_link(900, 27, 35)
+        .revive_link(900, 28, 36)
+        .restore_router(900, 27)
+        .kill_link(700, 63, 62)
+        .kill_link(700, 63, 55);
+    expect_step_threads_invisible(cfg, 0.08, measure);
+  }
+  {
+    SCOPED_TRACE("k=12 word-boundary seam");
+    NetworkConfig cfg = NetworkConfig::proposed(12);
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 11;
+    cfg.fault.kill_link(300, 63, 64).kill_link(300, 127, 128);
+    const MeasureOptions small{.warmup = 200, .window = 500};
+    expect_step_threads_invisible(cfg, 0.04, small);
   }
 }
 

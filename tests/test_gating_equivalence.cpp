@@ -22,6 +22,7 @@ void expect_identical(const PointResult& a, const PointResult& b) {
   EXPECT_EQ(a.recv_gbps, b.recv_gbps);
   EXPECT_EQ(a.bypass_rate, b.bypass_rate);
   EXPECT_EQ(a.completed_packets, b.completed_packets);
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets);
   EXPECT_EQ(a.max_ejection_load, b.max_ejection_load);
   EXPECT_EQ(a.max_bisection_load, b.max_bisection_load);
   EXPECT_EQ(a.energy.xbar_traversals, b.energy.xbar_traversals);
@@ -206,6 +207,32 @@ TEST(GatingEquivalence, PortGatingLargeK12) {
   cfg.traffic.pattern = TrafficPattern::MixedPaper;
   cfg.traffic.seed = 29;
   expect_port_gating_invisible(cfg, 0.02);
+}
+
+TEST(GatingEquivalence, FaultScheduleIsGatingInvisible) {
+  // Fault mode (docs/FAULTS.md): apply_faults runs at the top of every
+  // step in both modes, wedged routers never sleep (busy components stay
+  // on the active list), and drop events land in the same cycle whether or
+  // not anything was parked -- so a mid-window kill/revive schedule must
+  // stay bit-invisible to gating, drops included.
+  for (RoutePolicy policy :
+       {RoutePolicy::MinimalAdaptive, RoutePolicy::XY}) {
+    NetworkConfig cfg = NetworkConfig::proposed(4);
+    cfg.router.routing = policy;
+    cfg.traffic.pattern = TrafficPattern::UniformRequest;
+    cfg.traffic.seed = 31;
+    // Inside kOpt's 300+900 window: kill at 500 (with an off-tree node 5
+    // under adaptive: both its up links die), revive at 900.
+    cfg.fault.kill_link(500, 5, 1)
+        .kill_link(500, 5, 4)
+        .degrade_router(500, 10)
+        .revive_link(900, 5, 1)
+        .revive_link(900, 5, 4)
+        .restore_router(900, 10);
+    expect_gating_invisible(cfg, 0.05);
+    expect_gating_invisible(cfg, 0.25);
+    expect_port_gating_invisible(cfg, 0.10);
+  }
 }
 
 TEST(GatingEquivalence, NearSaturation) {

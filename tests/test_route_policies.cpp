@@ -193,6 +193,51 @@ TEST(RoutePolicy, O1TurnSoakMixedWithMulticasts) {
   saturation_soak(cfg, 0.40);
 }
 
+// Fault-schedule soak (docs/FAULTS.md): drive adaptive past saturation and
+// kill links mid-soak -- including a spine cut that orphans escape-tree
+// nodes and forces drops -- then revive them. Progress must continue in
+// every window and the drain must conserve packets through the drop path.
+void faulted_saturation_soak(NetworkConfig cfg, double offered) {
+  cfg.traffic.offered_flits_per_node_cycle = offered;
+  cfg.fault.kill_link(1500, 5, 6)
+      .kill_link(2500, 1, 2)   // spine cut: row-0 tail off-tree -> drops
+      .degrade_router(2500, 10)
+      .revive_link(4000, 5, 6)
+      .revive_link(4000, 1, 2)
+      .restore_router(4000, 10);
+  Network net(cfg);
+  Simulation sim(net);
+  sim.run(1000);  // fill the network past saturation
+  int64_t last = net.metrics().total_completed();
+  for (int window = 0; window < 10; ++window) {
+    sim.run(500);
+    const int64_t now = net.metrics().total_completed();
+    ASSERT_GT(now, last) << "no packet completed in a 500-cycle window "
+                         << window << " -- stalled faulted network";
+    last = now;
+  }
+  for (NodeId n = 0; n < net.geom().num_nodes(); ++n)
+    net.nic(n).source().set_rate(0.0);
+  ASSERT_TRUE(sim.run_until([&] { return net.quiescent(); }, 50000))
+      << "faulted network failed to drain -- possible deadlock";
+  EXPECT_EQ(net.metrics().total_generated(),
+            net.metrics().total_completed() + net.metrics().total_dropped());
+}
+
+TEST(RoutePolicy, AdaptiveFaultSoakUniformSaturated) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  faulted_saturation_soak(cfg, 0.80);
+}
+
+TEST(RoutePolicy, AdaptiveFaultSoakTransposeSaturated) {
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::Transpose;
+  faulted_saturation_soak(cfg, 0.60);
+}
+
 TEST(RoutePolicy, AdaptiveSoakClosedLoopSaturating) {
   NetworkConfig cfg = NetworkConfig::proposed(4);
   cfg.router.routing = RoutePolicy::MinimalAdaptive;

@@ -264,6 +264,46 @@ TEST(ZeroAlloc, PortGatingParallelSteppingSteadyState) {
   noc::thread_budget::set_total(saved);
 }
 
+TEST(ZeroAlloc, FaultedAdaptiveSteadyState) {
+  // Fault mode (docs/FAULTS.md): the schedule advance, the escape-tree
+  // recompute on each epoch change, the in-flight branch conversion and the
+  // drop-branch sweep all run INSIDE the measured window here (kill at
+  // 4000, revive at 5000, kill again at 7000 against warmup 3000 + 6000
+  // measured) and must never touch the heap -- FaultState preallocates
+  // every table at init.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.offered_flits_per_node_cycle = 0.20;
+  cfg.fault.kill_link(4000, 5, 6)
+      .kill_link(4000, 9, 10)
+      .degrade_router(4000, 6)
+      .revive_link(5000, 5, 6)
+      .revive_link(5000, 9, 10)
+      .restore_router(5000, 6)
+      .kill_link(7000, 10, 11);
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, FaultedParallelSteppingSteadyState) {
+  // The same mid-window fault schedule under span-parallel stepping: the
+  // main-thread apply_faults + on_topology_change fan-out and the capture
+  // replay of PacketDropped events must stay heap-free too.
+  const int saved = noc::thread_budget::total();
+  noc::thread_budget::set_total(8);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.step_threads = 4;
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.offered_flits_per_node_cycle = 0.10;
+  cfg.fault.kill_link(4000, 27, 35)
+      .kill_link(4000, 28, 36)
+      .revive_link(6000, 27, 35)
+      .kill_link(7500, 18, 19);
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+  noc::thread_budget::set_total(saved);
+}
+
 TEST(ZeroAlloc, SanityCounterIsLive) {
   // Guard against the override silently not linking: an explicit heap
   // allocation must bump the counter.
