@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
   Table t("Sustained throughput and miss latency vs outstanding window");
   t.set_columns({"Window", "Misses/node/cyc", "Miss lat avg (cyc)",
                  "Probe leg (cyc)", "Data leg (cyc)", "Miss lat max (cyc)",
-                 "Net pkt lat (cyc)", "Recv (Gb/s)", "Bypass rate"});
+                 "Net pkt lat (cyc)", "Net lat min/max", "Recv (Gb/s)",
+                 "Bypass rate"});
   std::vector<benchjson::Entry> entries;
   for (const PointResult& p : curve) {
     t.add_row({Table::fmt_int(p.closed_loop_window),
@@ -69,8 +70,13 @@ int main(int argc, char** argv) {
                Table::fmt(p.avg_probe_latency, 1),
                Table::fmt(p.avg_response_latency, 1),
                Table::fmt(p.max_transaction_latency, 0),
-               Table::fmt(p.avg_latency, 1), Table::fmt(p.recv_gbps, 0),
-               Table::fmt(p.bypass_rate, 2)});
+               Table::fmt(p.avg_latency, 1),
+               // Per-packet extremes from the always-on latency histogram
+               // (docs/OBSERVABILITY.md): the min is the zero-load network
+               // round trip, the max the deepest queueing excursion.
+               Table::fmt_int(static_cast<int64_t>(p.min_latency)) + "/" +
+                   Table::fmt_int(static_cast<int64_t>(p.max_latency)),
+               Table::fmt(p.recv_gbps, 0), Table::fmt(p.bypass_rate, 2)});
     // transactions/cycle at 1 GHz -> transactions/second.
     entries.emplace_back(
         "closed_loop_latency/window=" + std::to_string(p.closed_loop_window),

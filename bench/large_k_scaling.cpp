@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
   Table t("Saturation vs theoretical limit across mesh radix and policy");
   t.set_columns({"k", "Policy", "Req VCs", "Zero-load lat (cyc)",
                  "Sat R (fl/node/cyc)", "Limit R", "Sat (Gb/s)",
-                 "Fraction of limit"});
+                 "Lat min/max (cyc)", "Fraction of limit"});
   std::vector<benchjson::Entry> entries;
   for (size_t i = 0; i < cfgs.size(); ++i) {
     const int k = points[i].point->k;
@@ -130,7 +130,15 @@ int main(int argc, char** argv) {
                Table::fmt_int(cfgs[i].router.vc.vcs_per_mc[0]),
                Table::fmt(s.zero_load_latency, 2),
                Table::fmt(s.saturation_offered, 3), Table::fmt(limit_r, 3),
-               Table::fmt(s.saturation_gbps, 0), Table::fmt(frac, 3)});
+               Table::fmt(s.saturation_gbps, 0),
+               // Extremes at the saturation point (the mean alone hides the
+               // queueing tail docs/OBSERVABILITY.md's histograms explain).
+               Table::fmt_int(static_cast<int64_t>(
+                   s.at_saturation.min_latency)) +
+                   "/" +
+                   Table::fmt_int(
+                       static_cast<int64_t>(s.at_saturation.max_latency)),
+               Table::fmt(frac, 3)});
     // The continuity row keeps the PR-4 entry name so the cross-PR
     // trajectory lines up; policy rows carry the policy in the name.
     // Delivered flits/cycle at saturation, at 1 GHz -> flits/second.

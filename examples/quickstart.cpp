@@ -7,10 +7,14 @@
 //        --policy NAME (xy | yx | o1turn | adaptive; default the chip's xy)
 //        --step-threads N (intra-network parallel stepping; 1 = serial,
 //                          results are bit-identical either way)
+//        --telemetry (arm the observability probes, docs/OBSERVABILITY.md:
+//                     prints the latency percentile table and the
+//                     per-class stall attribution after the run)
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "noc/experiment.hpp"
+#include "noc/telemetry.hpp"
 #include "power/energy_model.hpp"
 #include "power/tech_params.hpp"
 #include "theory/mesh_limits.hpp"
@@ -22,7 +26,7 @@ int main(int argc, char** argv) {
   if (args.help()) {
     std::printf(
         "usage: %s [--pattern NAME] [--load R] [--k N] [--policy NAME]\n"
-        "          [--step-threads N]\n",
+        "          [--step-threads N] [--telemetry]\n",
         argv[0]);
     return 0;
   }
@@ -44,15 +48,17 @@ int main(int argc, char** argv) {
     }
     cfg.traffic.pattern = *parsed;
   }
+  const bool telemetry = args.has("telemetry");
+  cfg.telemetry.enabled = telemetry;
   if (!args.check_unused()) return 1;
 
   // 2. Run it: warm up, then measure for 10k cycles.
   Network net(cfg);
   Simulation sim(net);
   sim.run(3000);
-  net.metrics().begin_window(sim.now());
+  net.begin_measurement_window(sim.now());  // also resets stall counters
   sim.run(10000);
-  net.metrics().end_window(sim.now());
+  net.end_measurement_window(sim.now());
 
   // 3. Read the results.
   const Metrics& m = net.metrics();
@@ -79,6 +85,28 @@ int main(int argc, char** argv) {
               theory::aggregate_throughput_limit_gbps(k));
   std::printf("bypass rate              : %.1f%% of hops skipped buffering\n",
               100.0 * net.energy().bypass_rate());
+
+  // 3b. Observability (docs/OBSERVABILITY.md): the always-on histogram's
+  //     exact order statistics, and -- probes armed -- where the
+  //     non-productive cycles went.
+  if (telemetry) {
+    const LatencyHistogram& h = m.latency_hist();
+    std::printf(
+        "latency percentiles      : p50 %lld  p95 %lld  p99 %lld  "
+        "(min %lld, max %lld)\n",
+        static_cast<long long>(h.percentile(0.50)),
+        static_cast<long long>(h.percentile(0.95)),
+        static_cast<long long>(h.percentile(0.99)),
+        static_cast<long long>(h.min()), static_cast<long long>(h.max()));
+    const Telemetry& t = *net.telemetry();
+    std::printf("stall attribution        :");
+    for (int c = 0; c < kNumStallClasses; ++c)
+      std::printf(" %s %lld%s",
+                  stall_class_name(static_cast<StallClass>(c)),
+                  static_cast<long long>(
+                      t.total_stalls(static_cast<StallClass>(c))),
+                  c + 1 < kNumStallClasses ? "," : "\n");
+  }
 
   // 4. Energy: event counts -> calibrated 45nm SOI power model.
   const auto power = power::compute_power(net.energy(), k * k,

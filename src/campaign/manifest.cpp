@@ -94,6 +94,11 @@ std::string validate_manifest(const Manifest& m) {
     if (p.fault_links < 0 || p.fault_degrade < 0 || p.fault_kill_at < 0 ||
         p.fault_revive_after < 0)
       return point_error(p, "fault knobs must be >= 0");
+    if (p.telemetry_sample_every < 0)
+      return point_error(p, "telemetry-sample-every must be >= 0");
+    if (p.telemetry_sample_every > 0 && !p.telemetry)
+      return point_error(p,
+                         "telemetry-sample-every needs 'telemetry on'");
     const int num_links = (p.k - 1) * ky + p.k * (ky - 1);
     if (p.fault_links > num_links)
       return point_error(p, "fault-links exceeds the mesh's link count");
@@ -178,6 +183,10 @@ NetworkConfig point_config(const CampaignPoint& p) {
     cfg.fault = make_random_fault_plan(geom, p.fault_seed, p.fault_links,
                                        p.fault_degrade, p.fault_kill_at,
                                        p.fault_revive_after);
+  }
+  if (p.telemetry) {
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_every = p.telemetry_sample_every;
   }
   return cfg;
 }
@@ -271,6 +280,12 @@ std::string campaign_point_key(const Manifest& m, const CampaignPoint& p,
     append_u64(key, "fault_seed", p.fault_seed);
     append_int(key, "fault_kill_at", p.fault_kill_at);
     append_int(key, "fault_revive_after", p.fault_revive_after);
+  }
+  // Telemetry knobs hash conditionally for the same reason: points without
+  // them keep their existing key byte-for-byte.
+  if (p.telemetry) {
+    append_int(key, "telemetry", 1);
+    append_int(key, "telemetry_sample", p.telemetry_sample_every);
   }
   if (!dep_hash.empty()) append_kv(key, "trace", dep_hash);
   return key;
@@ -367,6 +382,12 @@ bool save_manifest(const std::string& path, const Manifest& m) {
       std::fprintf(f, "  fault-kill-at %" PRId64 "\n", p.fault_kill_at);
       std::fprintf(f, "  fault-revive-after %" PRId64 "\n",
                    p.fault_revive_after);
+    }
+    if (p.telemetry) {
+      std::fprintf(f, "  telemetry on\n");
+      if (p.telemetry_sample_every > 0)
+        std::fprintf(f, "  telemetry-sample-every %" PRId64 "\n",
+                     p.telemetry_sample_every);
     }
     if (p.warmup > 0) std::fprintf(f, "  warmup %" PRId64 "\n", p.warmup);
     if (p.window > 0) std::fprintf(f, "  window %" PRId64 "\n", p.window);
@@ -516,6 +537,11 @@ std::shared_ptr<Manifest> load_manifest(const std::string& path,
       cur->fault_kill_at = std::atoll(val.c_str());
     } else if (kw == "fault-revive-after") {
       cur->fault_revive_after = std::atoll(val.c_str());
+    } else if (kw == "telemetry") {
+      if (!parse_on_off(val, &cur->telemetry))
+        return fail("telemetry must be on|off");
+    } else if (kw == "telemetry-sample-every") {
+      cur->telemetry_sample_every = std::atoll(val.c_str());
     } else if (kw == "warmup") {
       cur->warmup = std::atoll(val.c_str());
     } else if (kw == "window") {

@@ -100,6 +100,16 @@ struct CampaignPoint {
   Cycle fault_kill_at = 0;
   Cycle fault_revive_after = 0;
 
+  // --- telemetry (docs/OBSERVABILITY.md) ---
+  /// Enable the telemetry probes for this point: stall attribution feeds
+  /// the report's stall_* rows, and `telemetry_sample_every` > 0 samples
+  /// the time series at that period. Both knobs feed the content hash ONLY
+  /// for telemetry points (the fault-knob pattern above), so every
+  /// pre-telemetry hash in existing result stores stays valid. Latency
+  /// percentile rows do NOT need this -- the histogram is always on.
+  bool telemetry = false;
+  Cycle telemetry_sample_every = 0;
+
   // --- measurement ---
   /// 0 = the manifest's defaults.
   Cycle warmup = 0;

@@ -33,6 +33,19 @@ std::vector<std::pair<std::string, double>> point_report(
                    static_cast<double>(r.closed_loop_window));
   rep.emplace_back("avg_probe_latency", r.avg_probe_latency);
   rep.emplace_back("avg_response_latency", r.avg_response_latency);
+  // Latency order statistics (docs/OBSERVABILITY.md): always available --
+  // the histogram in Metrics is unconditional. Report rows never feed the
+  // content hash, so adding them leaves every existing hash valid.
+  rep.emplace_back("p50_latency", static_cast<double>(r.p50_latency));
+  rep.emplace_back("p95_latency", static_cast<double>(r.p95_latency));
+  rep.emplace_back("p99_latency", static_cast<double>(r.p99_latency));
+  rep.emplace_back("min_latency", static_cast<double>(r.min_latency));
+  rep.emplace_back("max_latency", static_cast<double>(r.max_latency));
+  // Stall attribution totals; zero unless the point enables telemetry.
+  for (int c = 0; c < kNumStallClasses; ++c)
+    rep.emplace_back(
+        std::string("stall_") + stall_class_name(static_cast<StallClass>(c)),
+        static_cast<double>(r.stall_cycles[c]));
   // The energy-event counts that differ across router configs -- the
   // ablation axis trace replay exists to compare.
   rep.emplace_back("xbar_traversals",

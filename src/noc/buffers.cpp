@@ -14,6 +14,7 @@ void InputVc::open_packet(const Flit& head, const BranchList& branches) {
   accepted_flits = 0;
   packet_len = head.packet_len;
   rc_ = head.rc;
+  logical_ = head.logical_id;
 }
 
 void InputVc::close_packet() {
@@ -25,6 +26,7 @@ void InputVc::close_packet() {
   packet_len = 0;
   front_seq_ = 0;
   rc_ = RouteClass::XY;
+  logical_ = 0;
 }
 
 void InputVc::push(const Flit& f) {

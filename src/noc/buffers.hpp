@@ -141,6 +141,11 @@ class InputVc {
   /// Route class of the packet currently holding this VC.
   RouteClass rc() const { return rc_; }
 
+  /// Logical id of the packet currently holding this VC (latched from the
+  /// head at open_packet). Close sites use it to stamp telemetry hop-exit
+  /// trace events after the FIFO has drained (docs/OBSERVABILITY.md).
+  PacketId logical() const { return logical_; }
+
   /// Release the VC after the tail has been sent on every branch.
   void close_packet();
 
@@ -178,6 +183,7 @@ class InputVc {
   int front_seq_ = 0;
   bool busy_ = false;
   RouteClass rc_ = RouteClass::XY;
+  PacketId logical_ = 0;
 };
 
 /// Upstream-side view of one downstream input port: per-VC credit counters

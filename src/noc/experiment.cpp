@@ -62,6 +62,17 @@ PointResult measure_point(NetworkConfig cfg, double offered,
   r.energy = net.energy().delta_since(before);
   r.bypass_rate = r.energy.bypass_rate();
 
+  const LatencyHistogram& hist = net.metrics().latency_hist();
+  r.p50_latency = hist.percentile(0.50);
+  r.p95_latency = hist.percentile(0.95);
+  r.p99_latency = hist.percentile(0.99);
+  r.min_latency = hist.min();
+  r.max_latency = hist.max();
+  if (const Telemetry* t = net.telemetry()) {
+    for (int c = 0; c < kNumStallClasses; ++c)
+      r.stall_cycles[c] = t->total_stalls(static_cast<StallClass>(c));
+  }
+
   TrafficSource::WindowStats total;
   for (NodeId n = 0; n < net.geom().num_nodes(); ++n) {
     const auto s = net.source(n).window_stats();

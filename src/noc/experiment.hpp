@@ -51,6 +51,18 @@ struct PointResult {
   double max_bisection_load = 0;
   EnergyCounters energy;        // window-scoped event counts
 
+  // Exact latency order statistics over window-completed packets, from the
+  // always-on fixed-bin histogram in Metrics (docs/OBSERVABILITY.md).
+  // All zero when no packet completed.
+  Cycle p50_latency = 0;
+  Cycle p95_latency = 0;
+  Cycle p99_latency = 0;
+  Cycle min_latency = 0;
+  Cycle max_latency = 0;
+  /// Window-scoped stall attribution summed over routers, indexed by
+  /// StallClass; all zero unless cfg.telemetry.enabled.
+  int64_t stall_cycles[kNumStallClasses] = {0, 0, 0, 0, 0};
+
   // Transaction-level results (zero for pure open-loop points). For
   // closed-loop workloads: completed miss transactions and probe-to-response
   // latency; for trace replay: records injected inside the window.

@@ -117,6 +117,14 @@ class FaultState {
   /// Monotone counter bumped on every topology change (link events).
   uint64_t epoch() const { return epoch_; }
 
+  /// Applied-event cursor into the sorted schedule: events_[i] for
+  /// i < cursor() have fired. Bracketing advance() with cursor() reads is
+  /// how the telemetry layer records exactly the events one step applied.
+  size_t cursor() const { return cursor_; }
+  const FaultEvent& event(size_t i) const {
+    return events_[i];
+  }
+
   // --- surviving-topology queries (valid only when enabled()) -----------
   bool port_dead(NodeId n, PortDir p) const {
     return dead_[static_cast<size_t>(n)].test(port_index(p));

@@ -1,8 +1,10 @@
 #include "noc/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
+#include "noc/telemetry.hpp"
 
 namespace noc {
 
@@ -54,6 +56,7 @@ void Metrics::on_flit_received(PacketId logical_id, const Flit& f, Cycle now) {
 }
 
 void Metrics::apply_flit_received(PacketId logical_id, bool tail, Cycle now) {
+  ++lifetime_flits_received_;
   if (in_window_) ++window_flits_received_;
   if (!tail) return;
   OpenPacket* op = open_.find(logical_id);
@@ -100,11 +103,16 @@ void Metrics::retire_if_closed(PacketId logical_id, OpenPacket* op,
   } else {
     ++total_completed_;
     if (in_window_) {
-      const auto lat = static_cast<double>(now - op->gen);
+      const Cycle lat_cycles = now - op->gen;
+      const auto lat = static_cast<double>(lat_cycles);
       latency_all_.add(lat);
       latency_by_kind_[static_cast<int>(op->kind)].add(lat);
+      hist_all_.add(lat_cycles);
+      hist_by_kind_[static_cast<int>(op->kind)].add(lat_cycles);
       ++window_packets_completed_;
     }
+    if (telemetry_ != nullptr && telemetry_->tracing(logical_id))
+      telemetry_->trace(TraceEventType::PacketEnd, now, logical_id, 0);
   }
   open_.erase(logical_id);
 }
@@ -146,6 +154,8 @@ void Metrics::begin_window(Cycle now) {
   window_end_ = now;
   latency_all_.reset();
   for (auto& s : latency_by_kind_) s.reset();
+  hist_all_.reset();
+  for (auto& h : hist_by_kind_) h.reset();
   window_flits_received_ = 0;
   window_packets_completed_ = 0;
   window_packets_dropped_ = 0;
@@ -159,6 +169,22 @@ void Metrics::end_window(Cycle now) {
 }
 
 Cycle Metrics::window_cycles() const { return window_end_ - window_start_; }
+
+Cycle LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  auto rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<int64_t>(rank, 1, count_);
+  // Overflow samples are all >= kBins, i.e. above every binned sample: a
+  // rank beyond the binned population resolves to the tracked max.
+  if (rank > count_ - overflow_) return max_;
+  int64_t cum = 0;
+  for (int b = 0; b < kBins; ++b) {
+    cum += bins_[static_cast<size_t>(b)];
+    if (cum >= rank) return b;
+  }
+  return max_;
+}
 
 double Metrics::received_flits_per_cycle() const {
   const Cycle w = window_cycles();

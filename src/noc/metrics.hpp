@@ -8,7 +8,9 @@
 // latency -- requires), to the cycle the tail flit is drained at the last
 // destination NIC.
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -18,6 +20,51 @@
 #include "noc/routing.hpp"
 
 namespace noc {
+
+class Telemetry;
+
+/// Fixed-bin latency histogram (docs/OBSERVABILITY.md): one bin per cycle
+/// of latency, pow-2 bin count, held inline so recording is a single
+/// array increment with no heap traffic. Packet latencies are integer
+/// cycle counts, so percentiles below kBins are *exact*; samples at or
+/// above kBins land in an overflow count (min/max still tracked exactly)
+/// and percentile() falls back to the observed max when the requested
+/// rank lies in the overflow region.
+class LatencyHistogram {
+ public:
+  static constexpr int kBins = 1 << 12;
+
+  void add(Cycle lat) {
+    ++count_;
+    if (lat < min_) min_ = lat;
+    if (lat > max_) max_ = lat;
+    if (lat >= 0 && lat < kBins)
+      ++bins_[static_cast<size_t>(lat)];
+    else
+      ++overflow_;
+  }
+  void reset() {
+    bins_.fill(0);
+    count_ = overflow_ = 0;
+    min_ = std::numeric_limits<Cycle>::max();
+    max_ = 0;
+  }
+
+  int64_t count() const { return count_; }
+  int64_t overflow() const { return overflow_; }
+  Cycle min() const { return count_ > 0 ? min_ : 0; }
+  Cycle max() const { return count_ > 0 ? max_ : 0; }
+  /// Smallest latency L such that at least ceil(q * count) samples are
+  /// <= L. Exact for samples below kBins; 0 when empty.
+  Cycle percentile(double q) const;
+
+ private:
+  std::array<int64_t, kBins> bins_{};
+  int64_t count_ = 0;
+  int64_t overflow_ = 0;
+  Cycle min_ = std::numeric_limits<Cycle>::max();
+  Cycle max_ = 0;
+};
 
 /// Classification used for per-traffic-type statistics.
 enum class PacketKind { UnicastRequest, UnicastResponse, Broadcast };
@@ -139,6 +186,15 @@ class Metrics {
     return latency_by_kind_[static_cast<int>(k)];
   }
 
+  /// Exact window latency histograms (docs/OBSERVABILITY.md). Always on:
+  /// recording is one inline-array increment per completed packet, and it
+  /// happens where packets retire -- on the shared instance only, after
+  /// capture replay -- so serial and parallel stepping fill identical bins.
+  const LatencyHistogram& latency_hist() const { return hist_all_; }
+  const LatencyHistogram& latency_hist(PacketKind k) const {
+    return hist_by_kind_[static_cast<int>(k)];
+  }
+
   /// Aggregate received flits per cycle inside the window.
   double received_flits_per_cycle() const;
   int64_t received_flits() const { return window_flits_received_; }
@@ -162,6 +218,20 @@ class Metrics {
   /// Lifetime dropped-packet count (conservation checks:
   /// total_generated == total_completed + total_dropped once quiescent).
   int64_t total_dropped() const { return total_dropped_; }
+  /// Lifetime flits drained at destination NICs (not window-scoped) -- the
+  /// telemetry time-series "delivered" counter.
+  int64_t lifetime_flits_received() const { return lifetime_flits_received_; }
+
+  /// Window flit count on the link leaving `node` through `port` (the
+  /// telemetry per-link load heatmap input).
+  int64_t link_flits(NodeId node, PortDir port) const {
+    return link_flits_[static_cast<size_t>(node)]
+                      [static_cast<size_t>(port_index(port))];
+  }
+
+  /// Attach the telemetry sink for packet-lifecycle trace events (shared
+  /// instance only; shards never retire packets). Null detaches.
+  void set_telemetry(Telemetry* t) { telemetry_ = t; }
 
  private:
   struct OpenPacket {
@@ -190,6 +260,10 @@ class Metrics {
 
   RunningStat latency_all_;
   RunningStat latency_by_kind_[kNumPacketKinds];
+  LatencyHistogram hist_all_;
+  LatencyHistogram hist_by_kind_[kNumPacketKinds];
+  Telemetry* telemetry_ = nullptr;
+  int64_t lifetime_flits_received_ = 0;
   int64_t window_flits_received_ = 0;
   int64_t window_packets_completed_ = 0;
   int64_t window_packets_dropped_ = 0;

@@ -80,6 +80,18 @@ Network::Network(const NetworkConfig& cfg)
           (cfg.fault.empty() ? 8 : 8 + kNumPorts * kMaxTotalVcs));
     }
   }
+  // Telemetry sink (docs/OBSERVABILITY.md). Packet-lifecycle tracing
+  // appends to one shared event buffer from router/NIC hooks, which run on
+  // workers under parallel stepping -- so tracing is disabled there. The
+  // other probes stay on: stall rows are per-router (one worker each),
+  // histograms ride the capture-replay path, and the time series samples on
+  // the main thread after the merge.
+  if (cfg.telemetry.enabled) {
+    telemetry_ = std::make_unique<Telemetry>(n, cfg.telemetry);
+    if (!spans_.empty()) telemetry_->disable_tracing();
+    metrics_.set_telemetry(telemetry_.get());
+  }
+
   // Each component records events into its owning span's shards; in serial
   // mode everything points at the globals, exactly as before.
   auto energy_for = [&](NodeId node) {
@@ -116,6 +128,10 @@ Network::Network(const NetworkConfig& cfg)
     if (fault_state_.enabled()) {
       routers_.back()->attach_faults(&fault_state_);
       nics_.back()->attach_faults(&fault_state_);
+    }
+    if (telemetry_ != nullptr) {
+      routers_.back()->attach_telemetry(telemetry_.get());
+      nics_.back()->attach_telemetry(telemetry_.get());
     }
   }
 
@@ -361,7 +377,30 @@ void Network::step(Cycle now) {
     step_gated(now);
   else
     step_full(now);
+  if (telemetry_ != nullptr && telemetry_->want_sample(now))
+    sample_telemetry(now);
   ++energy_.cycles;
+}
+
+void Network::sample_telemetry(Cycle now) {
+  TimeSample s;
+  s.cycle = now;
+  s.injected_flits = energy_.nic_link_traversals;
+  s.delivered_flits = metrics_.lifetime_flits_received();
+  s.open_packets = metrics_.open_packets();
+  s.fault_epoch = fault_state_.epoch();
+  // Awake-router count is a SCHEDULING observable -- how many routers the
+  // gated sweep would visit -- so it legitimately differs across stepping
+  // modes (ungated runs report every router awake) and is excluded from the
+  // determinism comparisons in tests/test_gating_equivalence.cpp.
+  if (!cfg_.activity_gating) {
+    s.awake_routers = geom_.num_nodes();
+  } else if (spans_.empty()) {
+    s.awake_routers = router_awake_.count();
+  } else {
+    for (const auto& sp : spans_) s.awake_routers += sp.router_awake.count();
+  }
+  telemetry_->push_sample(s);
 }
 
 void Network::apply_faults(Cycle now) {
@@ -370,7 +409,14 @@ void Network::apply_faults(Cycle now) {
   // every stepping mode sees identical fault state for the whole cycle.
   if (fault_state_.next_event_at() > now) return;
   const uint64_t epoch = fault_state_.epoch();
+  const size_t applied_before = fault_state_.cursor();
   fault_state_.advance(now);
+  if (telemetry_ != nullptr) {
+    for (size_t i = applied_before; i < fault_state_.cursor(); ++i) {
+      const FaultEvent& e = fault_state_.event(i);
+      telemetry_->record_fault(now, e.kind, e.a, e.b);
+    }
+  }
   if (fault_state_.epoch() != epoch) {
     // The surviving topology changed: re-validate open escape-class
     // packets everywhere (routers convert stranded branches to drops).
@@ -686,6 +732,7 @@ void Network::record_trace(Trace* out) {
 
 void Network::begin_measurement_window(Cycle now) {
   metrics_.begin_window(now);
+  if (telemetry_ != nullptr) telemetry_->reset_stalls();
   for (auto& src : sources_) src->begin_window(now);
 }
 

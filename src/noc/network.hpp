@@ -36,6 +36,7 @@
 #include "noc/nic.hpp"
 #include "noc/partition.hpp"
 #include "noc/router.hpp"
+#include "noc/telemetry.hpp"
 #include "noc/traffic.hpp"
 #include "noc/workload.hpp"
 #include "sim/simulation.hpp"
@@ -61,6 +62,12 @@ struct NetworkConfig {
   /// builds; non-empty switches the MinimalAdaptive escape lane to the
   /// surviving-topology up*/down* tree from cycle 0 (docs/ROUTING.md).
   FaultPlan fault;
+
+  /// Observability probes (docs/OBSERVABILITY.md): stall attribution,
+  /// time-series sampling and the packet-lifecycle trace. Disabled (the
+  /// default) the Network never constructs the Telemetry instance and the
+  /// datapath pays one untaken null test per hook.
+  TelemetryConfig telemetry;
 
   /// Activity-gated stepping (docs/PERF.md): idle routers, NICs and drained
   /// channels are skipped each cycle. Metrics are bit-identical either way
@@ -103,6 +110,9 @@ class Network : public Steppable {
   Nic& nic(NodeId n) { return *nics_[static_cast<size_t>(n)]; }
   /// Fault-schedule state (FaultState::enabled() is false for empty plans).
   const FaultState& faults() const { return fault_state_; }
+  /// Telemetry sink; null unless NetworkConfig::telemetry.enabled.
+  Telemetry* telemetry() { return telemetry_.get(); }
+  const Telemetry* telemetry() const { return telemetry_.get(); }
   TrafficSource& source(NodeId n) { return *sources_[static_cast<size_t>(n)]; }
 
   /// Capture every logical packet submitted at any NIC into `out`
@@ -195,6 +205,9 @@ class Network : public Steppable {
   /// decisions and before the span fan-out, so the schedule commutes with
   /// activity gating and span decomposition.
   void apply_faults(Cycle now);
+  /// Append one time-series sample (main thread, end of step(), after the
+  /// parallel merge so the cumulative counters are whole-network values).
+  void sample_telemetry(Cycle now);
   void step_full(Cycle now);
   void step_gated(Cycle now);
 
@@ -218,6 +231,7 @@ class Network : public Steppable {
   Metrics metrics_;
   EnergyCounters energy_;
   FaultState fault_state_;
+  std::unique_ptr<Telemetry> telemetry_;  // null unless telemetry.enabled
 
   // Contiguous channel pools (docs/PERF.md Layer 5): the gated per-cycle
   // sweep touches most channels at saturation, so keeping the Channel

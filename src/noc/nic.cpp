@@ -56,6 +56,11 @@ void Nic::submit_packet(Packet pkt) {
     trace_out_->records.push_back(
         {pkt.gen_cycle, node_, pkt.dest_mask, pkt.length, pkt.mc});
   account_new_packet(pkt, pkt.gen_cycle);
+  if (telemetry_ != nullptr &&
+      telemetry_->tracing(pkt.effective_logical_id()))
+    telemetry_->trace(TraceEventType::PacketBegin, pkt.gen_cycle,
+                      pkt.effective_logical_id(), node_,
+                      static_cast<uint8_t>(classify(pkt)));
 
   // Fault-mode injection filter (docs/FAULTS.md): destinations with no
   // usable path on the surviving topology are counted as drops at the
@@ -226,6 +231,9 @@ void Nic::tick_eject(Cycle now) {
     c.vc_free = is_tail(f.type);
     ch_.credit_to_router->send(now, c);
   }
+  if (telemetry_ != nullptr && is_tail(f.type) &&
+      telemetry_->tracing(f.logical_id))
+    telemetry_->trace(TraceEventType::Eject, now, f.logical_id, node_);
   if (metrics_) metrics_->on_flit_received(f.logical_id, f, now);
   source_->on_delivery(f, now);
   // The delivery may have unblocked the source (a closed-loop response

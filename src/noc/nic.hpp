@@ -78,6 +78,12 @@ class Nic {
   /// of being injected to hang in the mesh. Null = pristine fast path.
   void attach_faults(const FaultState* faults) { faults_ = faults; }
 
+  /// Attach the network's telemetry sink (docs/OBSERVABILITY.md): the NIC
+  /// stamps the inject-side begin of each sampled packet's lifecycle slice
+  /// and an eject instant per drained tail. Null = off, one untaken branch
+  /// per hook (the attach_faults pattern).
+  void attach_telemetry(Telemetry* t) { telemetry_ = t; }
+
   /// Injection half holds queued packets or a transmission in progress.
   /// (Whether the *source* may fire is the Network's question, via
   /// TrafficSource::next_fire_cycle.)
@@ -112,6 +118,7 @@ class Nic {
   Metrics* metrics_;
   TrafficSource* source_;
   const FaultState* faults_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
   Trace* trace_out_ = nullptr;
   WakeHook wake_inject_;
   Channels ch_;

@@ -259,7 +259,7 @@ RouteClass Router::downstream_rc(const Flit& f, const GrantOut& go) const {
   return f.rc;
 }
 
-void Router::open_packet_state(int port, const Flit& head) {
+void Router::open_packet_state(Cycle now, int port, const Flit& head) {
   NOC_EXPECTS(is_head(head.type));
   DestMask dropped;
   const RouteSet rs = route_head(port, head, &dropped);
@@ -287,6 +287,8 @@ void Router::open_packet_state(int port, const Flit& head) {
   in_[static_cast<size_t>(port)].vcs[static_cast<size_t>(head.vc)].open_packet(
       head, branches);
   busy_.set(vc_bit(port, head.vc));
+  if (telemetry_ != nullptr && telemetry_->tracing(head.logical_id))
+    telemetry_->trace(TraceEventType::HopBegin, now, head.logical_id, node_);
 }
 
 void Router::forward_copy(Cycle now, const Flit& f, const GrantOut& go) {
@@ -372,6 +374,8 @@ void Router::retire_sent_flits(Cycle now, int port, int vc) {
     send_credit_upstream(now, port, vc, last);
   }
   if (ivc.empty() && ivc.all_branches_done()) {
+    if (telemetry_ != nullptr && telemetry_->tracing(ivc.logical()))
+      telemetry_->trace(TraceEventType::HopEnd, now, ivc.logical(), node_);
     ivc.close_packet();
     busy_.clear(vc_bit(port, vc));
   }
@@ -442,6 +446,9 @@ void Router::phase_st_and_bw(Cycle now, const PortMask& active) {
         const bool last = is_tail(f.type) && ivc.all_branches_done();
         send_credit_upstream(now, p, f.vc, last);
         if (ivc.empty() && ivc.all_branches_done()) {
+          if (telemetry_ != nullptr && telemetry_->tracing(ivc.logical()))
+            telemetry_->trace(TraceEventType::HopEnd, now, ivc.logical(),
+                              node_);
           ivc.close_packet();
           busy_.clear(vc_bit(p, f.vc));
         }
@@ -459,7 +466,7 @@ void Router::phase_st_and_bw(Cycle now, const PortMask& active) {
     }
 
     // Buffered path: BW (stage 1 action).
-    if (is_head(f.type) && !ivc.busy()) open_packet_state(p, f);
+    if (is_head(f.type) && !ivc.busy()) open_packet_state(now, p, f);
     NOC_ASSERT(ivc.busy());
     ivc.push(f);
     ++ivc.accepted_flits;
@@ -513,7 +520,7 @@ void Router::process_lookaheads(Cycle now, const PortMask& active,
       // Install route state for an incoming head even if the bypass fails:
       // NRC was already performed upstream, the flit will need it either way.
       if (is_head(la.flit.type) && !ivc.busy())
-        open_packet_state(p, la.flit);
+        open_packet_state(now, p, la.flit);
 
       if (in_claimed[static_cast<size_t>(p)]) continue;
       if (!ivc.busy() || !ivc.empty()) continue;  // order would be violated
@@ -589,6 +596,9 @@ void Router::process_lookaheads(Cycle now, const PortMask& active,
         send_lookahead(now, la.flit, go);
         grant.outs.push_back(go);
       }
+      if (telemetry_ != nullptr && telemetry_->tracing(la.flit.logical_id))
+        telemetry_->trace(TraceEventType::SaGrant, now, la.flit.logical_id,
+                          node_);
       in_claimed[static_cast<size_t>(p)] = true;
     }
   }
@@ -636,12 +646,22 @@ void Router::arbitrate_buffered(Cycle now,
   auto& granted = granted_scratch_;  // per input
   for (auto& g : granted) g.clear();
   for (int o = 0; o < kNumPorts; ++o) {
-    if (out_claimed[static_cast<size_t>(o)]) continue;
+    if (out_claimed[static_cast<size_t>(o)]) {
+      // Buffered requesters that lost the output to a lookahead bypass
+      // lost switch allocation all the same.
+      if (telemetry_ != nullptr && requests[static_cast<size_t>(o)].any())
+        telemetry_->add_stall(node_, StallClass::LostSa,
+                              requests[static_cast<size_t>(o)].count());
+      continue;
+    }
     if (requests[static_cast<size_t>(o)].none()) continue;
     if (energy_) ++energy_->sa2_arbitrations;
     const int w =
         out_[static_cast<size_t>(o)].sa2.arbitrate(requests[static_cast<size_t>(o)]);
     NOC_ASSERT(w >= 0);
+    if (telemetry_ != nullptr && requests[static_cast<size_t>(o)].count() > 1)
+      telemetry_->add_stall(node_, StallClass::LostSa,
+                            requests[static_cast<size_t>(o)].count() - 1);
     const auto& ivc =
         in_[static_cast<size_t>(w)].vcs[static_cast<size_t>(cand[static_cast<size_t>(w)].vc)];
     for (const auto& b : ivc.branches()) {
@@ -680,6 +700,8 @@ void Router::arbitrate_buffered(Cycle now,
         send_lookahead(now, f, go);
         st.outs.push_back(go);
       }
+      if (telemetry_ != nullptr && telemetry_->tracing(f.logical_id))
+        telemetry_->trace(TraceEventType::SaGrant, now, f.logical_id, node_);
       in_claimed[static_cast<size_t>(p)] = true;
     }
     // Stage-2 candidate lifetime: a multicast flit that won SOME of its
@@ -704,7 +726,7 @@ void Router::arbitrate_buffered(Cycle now,
   }
 }
 
-void Router::phase_sa1_va(Cycle, const PortMask& active) {
+void Router::phase_sa1_va(Cycle now, const PortMask& active) {
   for (int p = 0; p < kNumPorts; ++p) {
     auto& ip = in_[static_cast<size_t>(p)];
     // A skipped port has stage2_vc < 0 and an empty busy slice, so the scan
@@ -714,7 +736,8 @@ void Router::phase_sa1_va(Cycle, const PortMask& active) {
       // A partially-served multicast is holding stage 2; retry VA for any
       // of its branches that still lack a downstream VC, but do not run
       // mSA-I over it.
-      allocate_branch_vcs(ip.stage2_vc, ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
+      allocate_branch_vcs(now, ip.stage2_vc,
+                          ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
       continue;
     }
     // mSA-I scan over the port's busy-VC word: bit iteration is ascending
@@ -743,8 +766,15 @@ void Router::phase_sa1_va(Cycle, const PortMask& active) {
             }
           }
         }
-        if (!actionable) continue;
+        if (!actionable) {
+          // Stall attribution: the VC is busy but raised no request.
+          if (telemetry_ != nullptr)
+            telemetry_->add_stall(node_, classify_stalled_vc(ivc));
+          continue;
+        }
       } else if (!ivc.has_seq(s)) {
+        if (telemetry_ != nullptr)
+          telemetry_->add_stall(node_, StallClass::BufferEmpty);
         continue;
       }
       eligible.set(v);
@@ -755,16 +785,56 @@ void Router::phase_sa1_va(Cycle, const PortMask& active) {
     }
     if (energy_) ++energy_->sa1_arbitrations;
     ip.stage2_vc = ip.sa1.arbitrate(eligible);
+    // Eligible non-winners lost mSA-I this cycle.
+    if (telemetry_ != nullptr && eligible.count() > 1)
+      telemetry_->add_stall(node_, StallClass::LostSa, eligible.count() - 1);
 
     // VA (stage-1 action, paper Fig 3): allocate downstream VCs for the
     // selected packet's branches that still lack one.
-    allocate_branch_vcs(ip.stage2_vc, ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
+    allocate_branch_vcs(now, ip.stage2_vc,
+                        ip.vcs[static_cast<size_t>(ip.stage2_vc)]);
+    if (telemetry_ != nullptr) {
+      // The winner's VA left it unable to traverse next cycle: a wasted
+      // mSA-I win. A failed fresh allocation is LostVa; otherwise the
+      // blocking resource names the class (a VC freed between the
+      // actionable check and VA can only have been taken by a
+      // lower-numbered port's VA this same phase).
+      const auto& wvc = ip.vcs[static_cast<size_t>(ip.stage2_vc)];
+      if (wvc.busy() && serviceable_seq(wvc) == INT_MAX) {
+        bool va_failed = false;
+        for (const auto& b : wvc.branches())
+          if (!b.tail_sent && !b.drop && b.needs_vc() &&
+              wvc.has_seq(b.next_seq)) {
+            va_failed = true;
+            break;
+          }
+        telemetry_->add_stall(node_, va_failed ? StallClass::LostVa
+                                               : classify_stalled_vc(wvc));
+      }
+    }
   }
 }
 
-void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
+StallClass Router::classify_stalled_vc(const InputVc& ivc) const {
+  bool any_flit = false;
+  bool credit_stall = false;
+  for (const auto& b : ivc.branches()) {
+    if (b.tail_sent || b.drop) continue;
+    if (!ivc.has_seq(b.next_seq)) continue;
+    any_flit = true;
+    if (b.ds_vc >= 0) credit_stall = true;
+  }
+  if (!any_flit) return StallClass::BufferEmpty;
+  return credit_stall ? StallClass::NoCredit : StallClass::NoFreeVc;
+}
+
+void Router::allocate_branch_vcs(Cycle now, int vc_id, InputVc& ivc) {
   if (!ivc.busy()) return;
   const MsgClass mc = cfg_.vc.mc_of_vc(vc_id);
+  // Trace sampling decision hoisted: every successful allocation below
+  // stamps one VA instant on this router's track.
+  const bool traced =
+      telemetry_ != nullptr && telemetry_->tracing(ivc.logical());
 
   if (ivc.rc() == RouteClass::Adaptive) {
     // Adaptive packets are single-branch unicasts whose output port is
@@ -785,6 +855,9 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
       if (vc >= 0) {
         b.ds_vc = vc;
         if (energy_) ++energy_->vc_allocations;
+        if (traced)
+          telemetry_->trace(TraceEventType::VaGrant, now, ivc.logical(),
+                            node_);
       }
       return;
     }
@@ -805,6 +878,8 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
       b.out = aim;
       b.ds_vc = aim_ds.allocate_vc(mc, VcLane::Free);
       if (energy_) ++energy_->vc_allocations;
+      if (traced)
+        telemetry_->trace(TraceEventType::VaGrant, now, ivc.logical(), node_);
       return;
     }
     const PortDir esc = faults_ != nullptr ? faults_->escape_next(node_, dest)
@@ -814,6 +889,8 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
       b.out = esc;
       b.ds_vc = esc_ds.allocate_vc(mc, VcLane::Ordered);
       if (energy_) ++energy_->vc_allocations;
+      if (traced)
+        telemetry_->trace(TraceEventType::VaGrant, now, ivc.logical(), node_);
       return;
     }
     // Nothing free anywhere: keep the aim on the best adaptive candidate
@@ -850,6 +927,8 @@ void Router::allocate_branch_vcs(int vc_id, InputVc& ivc) {
     if (vc >= 0) {
       b.ds_vc = vc;
       if (energy_) ++energy_->vc_allocations;
+      if (traced)
+        telemetry_->trace(TraceEventType::VaGrant, now, ivc.logical(), node_);
     }
   }
 }

@@ -37,6 +37,7 @@
 #include "noc/metrics.hpp"
 #include "noc/route_policy.hpp"
 #include "noc/routing.hpp"
+#include "noc/telemetry.hpp"
 #include "sim/channel.hpp"
 
 namespace noc {
@@ -141,6 +142,15 @@ class Router {
   /// tick (nullptr = pristine fast path, bit-identical to pre-fault builds).
   void attach_faults(const FaultState* faults) { faults_ = faults; }
 
+  /// Attach the network's telemetry sink (docs/OBSERVABILITY.md). Same
+  /// lifecycle as attach_faults: set once at construction when
+  /// TelemetryConfig::enabled, nullptr otherwise -- every hot-path hook is
+  /// one untaken branch on this pointer. Stall counters are only ever
+  /// charged to busy VCs of swept ports, which makes the counts
+  /// bit-identical across activity gating, port gating, and parallel
+  /// stepping (a sleeping router has no busy VCs to charge).
+  void attach_telemetry(Telemetry* t) { telemetry_ = t; }
+
   /// The fault schedule changed the surviving topology (link kill or
   /// revival). Re-validates every open Escape-class packet against the new
   /// escape tree: branches that have not started sending and whose route no
@@ -218,7 +228,7 @@ class Router {
                           std::array<bool, kNumPorts>& out_claimed,
                           std::array<bool, kNumPorts>& in_claimed);
   /// Install route/branch state for a head flit arriving at (port, vc).
-  void open_packet_state(int port, const Flit& head);
+  void open_packet_state(Cycle now, int port, const Flit& head);
   /// Route computation for a head under the configured policy: the ordered
   /// classes use their dimension-ordered tree; Adaptive heads get an
   /// initial productive-port aim from live credit state (re-aimed by VA
@@ -254,7 +264,12 @@ class Router {
   /// VA for the packet holding (vc_id): lazy per-branch for unicasts and
   /// single-flit multicasts, atomic all-or-nothing for multi-flit
   /// multicasts (deadlock avoidance; see implementation comment).
-  void allocate_branch_vcs(int vc_id, InputVc& ivc);
+  void allocate_branch_vcs(Cycle now, int vc_id, InputVc& ivc);
+  /// Telemetry: why can this busy, unserviceable VC not move a flit?
+  /// Disjoint by branch state: no buffered flit -> BufferEmpty; a buffered
+  /// flit behind a held VC -> NoCredit; behind a VC-less branch ->
+  /// NoFreeVc (docs/OBSERVABILITY.md "Stall taxonomy").
+  StallClass classify_stalled_vc(const InputVc& ivc) const;
   /// Smallest sequence number among branches that can actually move this
   /// cycle (flit buffered, downstream VC allocated, credit available).
   /// INT_MAX when none can. Branches are deliberately NOT served in global
@@ -292,6 +307,10 @@ class Router {
   /// compiles to one branch on this pointer). Updated by the Network on the
   /// main thread at cycle boundaries only.
   const FaultState* faults_ = nullptr;
+  /// Telemetry sink (nullptr = off; see attach_telemetry). Rows are
+  /// per-router and each router is ticked by one worker, so plain adds
+  /// need no synchronization under parallel stepping.
+  Telemetry* telemetry_ = nullptr;
   /// Open drop branches across all input VCs; gates fault_tick's sweep.
   int open_drop_branches_ = 0;
 

@@ -238,7 +238,9 @@ TEST(BitMask, DownstreamStateMasksMatchShadowModel) {
         if (vc >= 0) {
           ASSERT_TRUE(free_shadow[static_cast<size_t>(vc)]);
           ASSERT_EQ(cfg.mc_of_vc(vc), mc);
-          if (lane != VcLane::Any) ASSERT_EQ(cfg.lane_of_vc(vc), lane);
+          if (lane != VcLane::Any) {
+            ASSERT_EQ(cfg.lane_of_vc(vc), lane);
+          }
           free_shadow[static_cast<size_t>(vc)] = false;
         }
         break;

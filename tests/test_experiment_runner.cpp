@@ -84,6 +84,17 @@ void expect_identical(const PointResult& a, const PointResult& b) {
   EXPECT_EQ(a.energy.bypasses, b.energy.bypasses);
   EXPECT_EQ(a.energy.partial_bypasses, b.energy.partial_bypasses);
   EXPECT_EQ(a.energy.buffered_hops, b.energy.buffered_hops);
+  // The always-on latency histogram (docs/OBSERVABILITY.md): order
+  // statistics are exact ranks, so they must be bit-identical too.
+  EXPECT_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_EQ(a.p95_latency, b.p95_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  // Stall attribution (zero for both unless the config enables telemetry).
+  for (int c = 0; c < kNumStallClasses; ++c)
+    EXPECT_EQ(a.stall_cycles[c], b.stall_cycles[c]) << stall_class_name(
+        static_cast<StallClass>(c));
 }
 
 TEST(ExperimentRunner, ParallelSweepIsBitIdenticalToSerial) {

@@ -7,10 +7,13 @@
 // edge or a skipped tick that was not actually idle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "noc/experiment.hpp"
 #include "noc/network.hpp"
 #include "noc/workload.hpp"
 #include "sim/simulation.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace noc {
 namespace {
@@ -42,6 +45,17 @@ void expect_identical(const PointResult& a, const PointResult& b) {
   EXPECT_EQ(a.avg_transaction_latency, b.avg_transaction_latency);
   EXPECT_EQ(a.max_transaction_latency, b.max_transaction_latency);
   EXPECT_EQ(a.transactions_per_cycle, b.transactions_per_cycle);
+  // The always-on latency histogram (docs/OBSERVABILITY.md): exact-rank
+  // order statistics, so bit-identical across gating like everything else.
+  EXPECT_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_EQ(a.p95_latency, b.p95_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  // Stall attribution (zero for both unless the config enables telemetry).
+  for (int c = 0; c < kNumStallClasses; ++c)
+    EXPECT_EQ(a.stall_cycles[c], b.stall_cycles[c]) << stall_class_name(
+        static_cast<StallClass>(c));
 }
 
 constexpr MeasureOptions kOpt{.warmup = 300, .window = 900};
@@ -232,6 +246,66 @@ TEST(GatingEquivalence, FaultScheduleIsGatingInvisible) {
     expect_gating_invisible(cfg, 0.05);
     expect_gating_invisible(cfg, 0.25);
     expect_port_gating_invisible(cfg, 0.10);
+  }
+}
+
+TEST(GatingEquivalence, TelemetryProbesAreDeterministicObservers) {
+  // Telemetry (docs/OBSERVABILITY.md) must be a pure observer: with the
+  // probes on, stall attribution and the latency order statistics must be
+  // bit-identical across gating on/off AND serial vs step_threads=4 -- the
+  // stall counters are charged only over busy VCs of swept ports, so every
+  // stepping mode counts the same cycles by construction. Covered across a
+  // mid-window kill/revive epoch, where rerouting shifts the stall mix.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.seed = 37;
+  cfg.fault.kill_link(500, 5, 1)
+      .kill_link(500, 5, 4)
+      .revive_link(900, 5, 1)
+      .revive_link(900, 5, 4);
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 64;
+  cfg.activity_gating = true;
+
+  const PointResult base = measure_point(cfg, 0.25, kOpt);
+  // The probes saw real traffic (all-zero counters would make the equality
+  // checks below vacuous), and the ranks are ordered as ranks must be.
+  int64_t total_stalls = 0;
+  for (int64_t s : base.stall_cycles) total_stalls += s;
+  EXPECT_GT(total_stalls, 0);
+  EXPECT_GT(base.completed_packets, 0);
+  EXPECT_LE(base.min_latency, base.p50_latency);
+  EXPECT_LE(base.p50_latency, base.p95_latency);
+  EXPECT_LE(base.p95_latency, base.p99_latency);
+  EXPECT_LE(base.p99_latency, base.max_latency);
+
+  {
+    SCOPED_TRACE("telemetry x gating off");
+    NetworkConfig ungated = cfg;
+    ungated.activity_gating = false;
+    expect_identical(base, measure_point(ungated, 0.25, kOpt));
+  }
+  {
+    SCOPED_TRACE("telemetry x step_threads=4");
+    const int saved = thread_budget::total();
+    thread_budget::set_total(std::max(4, saved));
+    NetworkConfig threaded = cfg;
+    threaded.step_threads = 4;
+    const PointResult par = measure_point(threaded, 0.25, kOpt);
+    thread_budget::set_total(saved);
+    expect_identical(base, par);
+  }
+  {
+    // Observer effect: switching the probes off must not move a single
+    // base metric (stall rows aside -- they read zero without telemetry).
+    SCOPED_TRACE("telemetry off");
+    NetworkConfig off = cfg;
+    off.telemetry.enabled = false;
+    const PointResult dark = measure_point(off, 0.25, kOpt);
+    PointResult expect_dark = base;
+    for (int c = 0; c < kNumStallClasses; ++c) expect_dark.stall_cycles[c] = 0;
+    expect_identical(expect_dark, dark);
   }
 }
 

@@ -304,6 +304,42 @@ TEST(ZeroAlloc, FaultedParallelSteppingSteadyState) {
   noc::thread_budget::set_total(saved);
 }
 
+TEST(ZeroAlloc, TelemetrySteadyState) {
+  // Telemetry (docs/OBSERVABILITY.md): the stall counters are inline
+  // per-router arrays, the time-series ring and the trace-event buffer are
+  // reserved at construction, and tracing stops (rather than growing) when
+  // the buffer fills -- so probes-on steady state must stay heap-free with
+  // sampling AND packet-lifecycle tracing armed inside the measured window.
+  NetworkConfig cfg = NetworkConfig::proposed(4);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::MixedPaper;
+  cfg.traffic.offered_flits_per_node_cycle = 0.10;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 32;
+  cfg.telemetry.trace_sample_every = 16;
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+}
+
+TEST(ZeroAlloc, TelemetryFaultedParallelSteppingSteadyState) {
+  // Probes on under span-parallel stepping with a mid-window kill/revive:
+  // tracing auto-disables in parallel mode, but the per-router stall rows,
+  // the main-thread time-series sampling and the fault-marker ring all stay
+  // armed -- and every one of them is preallocated.
+  const int saved = noc::thread_budget::total();
+  noc::thread_budget::set_total(8);
+  NetworkConfig cfg = NetworkConfig::proposed(8);
+  cfg.step_threads = 4;
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.traffic.pattern = TrafficPattern::UniformRequest;
+  cfg.traffic.offered_flits_per_node_cycle = 0.10;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = 32;
+  cfg.telemetry.trace_sample_every = 16;
+  cfg.fault.kill_link(4000, 27, 35).revive_link(6000, 27, 35);
+  EXPECT_EQ(allocations_during_run(cfg, 3000, 6000), 0u);
+  noc::thread_budget::set_total(saved);
+}
+
 TEST(ZeroAlloc, SanityCounterIsLive) {
   // Guard against the override silently not linking: an explicit heap
   // allocation must bump the counter.

@@ -6,6 +6,7 @@
 //   campaign gather <manifest> [--out FILE]
 //   campaign clean  <manifest>
 //   campaign emit --grid NAME [--out FILE] [grid options]
+//   campaign telemetry [--k N] [--out-dir DIR] [...]   (docs/OBSERVABILITY.md)
 //
 // <manifest> is either a manifest file path or `--grid NAME` for one of the
 // built-in grids (design-space | large-k | trace-ablation | smoke), with
@@ -17,9 +18,13 @@
 // --max-points N bounds one invocation (the CI smoke job's deterministic
 // "kill"). `gather` merges the records into one google-benchmark-schema
 // report for tools/check_perf_regression.py-style consumers.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "campaign/grids.hpp"
@@ -33,7 +38,7 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s <run|status|gather|clean|emit> [<manifest-file>]\n"
+      "usage: %s <run|status|gather|clean|emit|telemetry> [<manifest-file>]\n"
       "  manifest source: a positional manifest file path, or\n"
       "    --grid NAME   built-in grid: design-space | large-k |\n"
       "                  trace-ablation | smoke\n"
@@ -48,7 +53,14 @@ void usage(const char* argv0) {
       "    --quiet       suppress per-point lines\n"
       "  gather/emit:\n"
       "    --out FILE    output path (gather: campaign_report.json;\n"
-      "                  emit: stdout manifest path, default <name>.campaign)\n",
+      "                  emit: stdout manifest path, default <name>.campaign)\n"
+      "  telemetry (no manifest; one instrumented run, docs/OBSERVABILITY.md):\n"
+      "    --k N           mesh radix (default 8)\n"
+      "    --out-dir DIR   artifact directory (default telemetry-out)\n"
+      "    --offered R     open-loop load (default 0.15 flits/node/cycle)\n"
+      "    --warmup/--window N  phase lengths (defaults 2000/6000)\n"
+      "    --sample-every N     time-series period (default 50)\n"
+      "    --trace-every N      packet trace sampling (default 64)\n",
       argv0);
 }
 
@@ -124,17 +136,49 @@ int cmd_status(const Manifest& m, const ResultStore& store,
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
+  // Per-grid rollup: point ids are path-shaped (grids.cpp emits
+  // "<axis>/<point>"), so the prefix before the first '/' is the grid a
+  // point belongs to; prefix-less ids land under "(ungrouped)". "blocked"
+  // counts replay points that cannot run yet because their capture has no
+  // record -- pending, but not actionable by a bare re-run.
+  struct GroupCounts {
+    int complete = 0;
+    int pending = 0;
+    int blocked = 0;
+  };
+  std::map<std::string, GroupCounts> groups;
   int complete = 0;
   for (const ResolvedPoint& r : resolved) {
     const bool done = store.has_record(r.point->id, r.hash);
+    bool blocked = false;
+    if (!done && r.dep_index >= 0) {
+      const ResolvedPoint& dep = resolved[static_cast<size_t>(r.dep_index)];
+      blocked = !store.has_record(dep.point->id, dep.hash);
+    }
     complete += done ? 1 : 0;
-    std::printf("  %-9s %s  %s (%s)\n", done ? "complete" : "pending",
+    const size_t slash = r.point->id.find('/');
+    const std::string group =
+        slash == std::string::npos ? "(ungrouped)"
+                                   : r.point->id.substr(0, slash);
+    GroupCounts& g = groups[group];
+    if (done)
+      ++g.complete;
+    else if (blocked)
+      ++g.blocked;
+    else
+      ++g.pending;
+    std::printf("  %-9s %s  %s (%s)\n",
+                done ? "complete" : (blocked ? "blocked" : "pending"),
                 r.hash.c_str(), r.point->id.c_str(),
                 point_kind_name(r.point->kind));
   }
-  std::printf("campaign '%s': %d/%zu points complete under %s\n",
-              m.name.c_str(), complete, resolved.size(),
+  std::printf("campaign '%s' under %s:\n", m.name.c_str(),
               store.root().c_str());
+  for (const auto& [name, g] : groups)
+    std::printf("  %-24s %d complete, %d pending, %d blocked (of %d)\n",
+                name.c_str(), g.complete, g.pending, g.blocked,
+                g.complete + g.pending + g.blocked);
+  std::printf("total: %d/%zu points complete\n", complete, resolved.size());
   return 0;
 }
 
@@ -164,6 +208,131 @@ int cmd_clean(const Manifest& m, const ResultStore& store,
   return 0;
 }
 
+bool mkdir_p(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST) return true;
+  if (errno != ENOENT) return false;
+  const size_t slash = dir.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return false;
+  if (!mkdir_p(dir.substr(0, slash))) return false;
+  return ::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST;
+}
+
+bool write_links_csv(const std::string& path, const Network& net) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("node,x,y,east,west,north,south,local\n", f);
+  const MeshGeometry& g = net.geom();
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const Coord c = g.coord(n);
+    std::fprintf(f, "%d,%d,%d", n, c.x, c.y);
+    for (PortDir p : {PortDir::East, PortDir::West, PortDir::North,
+                      PortDir::South, PortDir::Local})
+      std::fprintf(f, ",%lld",
+                   static_cast<long long>(net.metrics().link_flits(n, p)));
+    std::fputs("\n", f);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// One instrumented 8x8 adaptive run with a mid-run link kill: the
+/// single-command telemetry demo (docs/OBSERVABILITY.md). Two back-to-back
+/// measurement windows -- pristine, then one with a central link dying a
+/// quarter of the way in -- and every exporter's artifact written to
+/// --out-dir for tools/plot_telemetry.py.
+int cmd_telemetry(const CliArgs& args) {
+  const int k = cli_mesh_radix(args, 8);
+  const std::string dir = args.get_str("out-dir", "telemetry-out");
+  const double offered = args.get_double("offered", 0.15);
+  const Cycle warmup = args.get_int("warmup", 2000);
+  const Cycle window = args.get_int("window", 6000);
+  const Cycle sample_every = args.get_int("sample-every", 50);
+  const auto trace_every =
+      static_cast<uint64_t>(args.get_int("trace-every", 64));
+  const int step_threads = cli_step_threads(args);
+  if (!args.check_unused()) return 1;
+
+  NetworkConfig cfg = NetworkConfig::proposed(k);
+  cfg.router.routing = RoutePolicy::MinimalAdaptive;
+  cfg.step_threads = step_threads;
+  cfg.traffic.offered_flits_per_node_cycle = offered;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.sample_every = sample_every;
+  cfg.telemetry.trace_sample_every = trace_every;
+  // Kill a central horizontal link a quarter into the second window; the
+  // faulted window's tail statistics show the rerouting detour inflation.
+  const MeshGeometry geom(k, k);
+  const NodeId fa = geom.id(k / 2 - 1, k / 2);
+  const NodeId fb = geom.id(k / 2, k / 2);
+  cfg.fault.kill_link(warmup + window + window / 4, fa, fb);
+
+  Network net(cfg);
+  Simulation sim(net);
+  struct WindowRow {
+    const char* name;
+    int64_t packets = 0;
+    double avg = 0;
+    Cycle p50 = 0, p95 = 0, p99 = 0, min = 0, max = 0;
+  };
+  auto run_window = [&](const char* name) {
+    net.begin_measurement_window(sim.now());
+    sim.run(window);
+    net.end_measurement_window(sim.now());
+    const LatencyHistogram& h = net.metrics().latency_hist();
+    return WindowRow{name,
+                     h.count(),
+                     net.metrics().avg_packet_latency(),
+                     h.percentile(0.50),
+                     h.percentile(0.95),
+                     h.percentile(0.99),
+                     h.min(),
+                     h.max()};
+  };
+  sim.run(warmup);
+  const WindowRow rows[2] = {run_window("pristine"), run_window("faulted")};
+
+  std::printf("telemetry run: %dx%d adaptive, offered %.2f, link %d-%d "
+              "killed at cycle %lld\n",
+              k, k, offered, fa, fb,
+              static_cast<long long>(warmup + window + window / 4));
+  std::printf("%-9s %9s %9s %6s %6s %6s %6s %6s\n", "window", "packets",
+              "avg", "p50", "p95", "p99", "min", "max");
+  for (const WindowRow& r : rows)
+    std::printf("%-9s %9lld %9.2f %6lld %6lld %6lld %6lld %6lld\n", r.name,
+                static_cast<long long>(r.packets), r.avg,
+                static_cast<long long>(r.p50), static_cast<long long>(r.p95),
+                static_cast<long long>(r.p99), static_cast<long long>(r.min),
+                static_cast<long long>(r.max));
+
+  if (!mkdir_p(dir)) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  const Telemetry* t = net.telemetry();
+  bool ok = true;
+  // stalls.csv / links.csv are window-scoped and cover the FAULTED window
+  // (both reset at begin_measurement_window): the heatmaps show where the
+  // rerouted traffic piles up around the dead link.
+  ok = t->write_perfetto_json(dir + "/trace.json") && ok;
+  ok = t->write_timeseries_csv(dir + "/timeseries.csv") && ok;
+  ok = t->write_timeseries_json(dir + "/timeseries.json") && ok;
+  ok = t->write_stalls_csv(dir + "/stalls.csv", k) && ok;
+  ok = write_links_csv(dir + "/links.csv", net) && ok;
+  if (!ok) {
+    std::fprintf(stderr, "cannot write telemetry artifacts under %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s/{trace.json,timeseries.csv,timeseries.json,stalls.csv,"
+      "links.csv}\n"
+      "render: python3 tools/plot_telemetry.py %s\n"
+      "trace.json loads in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+      dir.c_str(), dir.c_str());
+  return 0;
+}
+
 int cmd_emit(const Manifest& m, const CliArgs& args) {
   const std::string out = args.get_str("out", m.name + ".campaign");
   if (!args.check_unused()) return 1;
@@ -185,6 +354,8 @@ int main(int argc, char** argv) {
     return argc < 2 ? 1 : 0;
   }
   const std::string cmd = argv[1];
+  // `telemetry` is manifest-free: one instrumented demo run.
+  if (cmd == "telemetry") return cmd_telemetry(args);
   // The first non-flag token after the subcommand is the manifest path
   // (CliArgs ignores positionals; flag values are consumed by their flag).
   std::string manifest_path;

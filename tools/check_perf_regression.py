@@ -10,6 +10,11 @@ present in both files that reports items_per_second, the current value must
 be no more than THRESHOLD below the baseline; anything faster, or any
 benchmark missing from the baseline (a newly added scenario), passes.
 
+Exit codes (CI distinguishes them): 0 = pass, 1 = regression (or a
+benchmark vanished from the current run), 2 = usage error, 3 = the
+baseline file is missing/unreadable or holds no usable entries -- refresh
+bench/BENCH_perf_baseline.json rather than hunting a phantom regression.
+
 Benchmarks whose name matches --skip (default: the thread-scaling
 ParallelSweep rows, meaningless across machines with different core counts)
 are ignored.
@@ -86,12 +91,27 @@ def main():
 
     skip_re = re.compile(args.skip)
     allow_re = re.compile(args.allow_slower) if args.allow_slower else None
-    current = load_items_per_second(args.current, skip_re)
-    baseline = load_items_per_second(args.baseline, skip_re)
+    try:
+        current = load_items_per_second(args.current, skip_re)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read current run {args.current}: {e}")
+        return 2
+    try:
+        baseline = load_items_per_second(args.baseline, skip_re)
+    except (OSError, json.JSONDecodeError) as e:
+        # Distinct exit code: a lost baseline is a repo/CI plumbing problem,
+        # not a perf regression, and the fix (refresh the baseline) differs.
+        print(f"error: cannot read baseline {args.baseline}: {e}")
+        return 3
 
     if not current:
         print(f"error: no items_per_second entries in {args.current}")
         return 2
+    if not baseline:
+        print(f"error: no items_per_second entries in baseline "
+              f"{args.baseline}; refresh bench/BENCH_perf_baseline.json "
+              f"(docs/PERF.md 'Refreshing the perf baseline')")
+        return 3
 
     if args.normalize:
         common = sorted(n for n in set(current) & set(baseline)
